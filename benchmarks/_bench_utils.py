@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["write_result"]
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated table/figure; EXPERIMENTS.md points at these."""
+    path = results_dir / name
+    path.write_text(text)
+    print(f"\n[{name}]\n{text}")

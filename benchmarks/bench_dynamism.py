@@ -1,0 +1,73 @@
+"""Ablation — coherence gain vs. scene dynamism.
+
+The paper: "performance depends on the amount of frame coherence we can
+actually extract from the scene.  Only a small area of the scene changes
+per frame, allowing us to avoid computing the majority of the pixels."
+
+This bench measures the ray-reduction factor across workloads with very
+different changing-area profiles: a static scene (everything coherent),
+the Newton cradle (small changing area), the bouncing glass ball (medium),
+and a fast-ball variant (large inter-frame motion).
+"""
+
+from __future__ import annotations
+
+from repro.bench import cached_oracle
+from repro.runtime import AnimationSpec
+
+from _bench_utils import write_result
+
+
+def _measure():
+    rows = []
+    # Static: a StaticAnimation has no spec factory; emulate with the cradle
+    # at zero swing (nothing ever moves).
+    frozen = AnimationSpec.newton(n_frames=8, width=96, height=72, swing_degrees=0.0)
+    gentle = AnimationSpec.newton(n_frames=8, width=96, height=72, cycles=0.25)
+    slow_ball = AnimationSpec.brick_room(n_frames=8, width=96, height=72, frames_per_bounce=48.0)
+    fast_ball = AnimationSpec.brick_room(n_frames=8, width=96, height=72, frames_per_bounce=2.0)
+    for label, spec in [
+        ("frozen cradle (static)", frozen),
+        ("gentle cradle (small area)", gentle),
+        ("glass ball, slow (medium)", slow_ball),
+        ("glass ball, fast (large)", fast_ball),
+    ]:
+        oracle = cached_oracle(spec, grid_resolution=32)
+        rows.append(
+            (
+                label,
+                oracle.mean_dirty_fraction(),
+                oracle.total_full_rays() / oracle.total_coherent_rays(),
+            )
+        )
+    return rows
+
+
+def test_dynamism_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = [
+        "Coherence gain vs. scene dynamism (8 frames, 96x72):",
+        "",
+        f"{'workload':30s} {'dirty frac':>11s} {'ray reduction':>14s}",
+    ]
+    for label, frac, red in rows:
+        lines.append(f"{label:30s} {frac:>11.3f} {red:>13.2f}x")
+    write_result(results_dir, "ablation_dynamism.txt", "\n".join(lines))
+
+    by_label = {label: (frac, red) for label, frac, red in rows}
+    # A static scene is the upper bound: only the first frame costs rays.
+    assert by_label["frozen cradle (static)"][0] == 0.0
+    assert by_label["frozen cradle (static)"][1] > 6.0  # ~n_frames
+    # Within the same scene family, faster motion means larger dirty sets
+    # and smaller gains.
+    assert (
+        by_label["glass ball, slow (medium)"][0]
+        < by_label["glass ball, fast (large)"][0]
+    )
+    assert (
+        by_label["glass ball, slow (medium)"][1]
+        > by_label["glass ball, fast (large)"][1]
+        > 1.0
+    )
+    # Every dynamic workload still benefits from coherence.
+    assert by_label["gentle cradle (small area)"][1] > 1.5

@@ -1,0 +1,92 @@
+"""Ablation — fault-tolerant rendering under machine failures.
+
+Beyond the paper: the NOW's machines are desktops that crash and reboot.
+This bench injects failures at various points of the Table-1 frame-division
+run and measures the recovery cost (re-executed rays, extra wall clock)
+against the failure-free fault-tolerant run and the non-fault-tolerant
+baseline.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ThrashModel, ncsu_testbed
+from repro.parallel import (
+    RenderFarmConfig,
+    simulate_frame_division_fc,
+    simulate_frame_division_fc_fault_tolerant,
+)
+
+from _bench_utils import write_result
+
+SPU = 5e-4
+THRASH = ThrashModel(alpha=0.0)
+
+
+def _run(oracle):
+    machines = ncsu_testbed()
+    cfg = RenderFarmConfig(pixel_scale=(320 * 240) / oracle.n_pixels)
+    base = simulate_frame_division_fc(
+        oracle, machines, cfg, sec_per_work_unit=SPU, thrash=THRASH
+    )
+    clean = simulate_frame_division_fc_fault_tolerant(
+        oracle, machines, cfg, sec_per_work_unit=SPU, thrash=THRASH
+    )
+    rows = [("baseline (no FT)", base), ("FT, no failure", clean)]
+    for label, frac in [("early", 0.1), ("midway", 0.5), ("late", 0.9)]:
+        out = simulate_frame_division_fc_fault_tolerant(
+            oracle,
+            machines,
+            cfg,
+            sec_per_work_unit=SPU,
+            thrash=THRASH,
+            failures=[("indigo2-100", clean.total_time * frac)],
+        )
+        rows.append((f"FT, slave dies {label}", out))
+    both = simulate_frame_division_fc_fault_tolerant(
+        oracle,
+        machines,
+        cfg,
+        sec_per_work_unit=SPU,
+        thrash=THRASH,
+        failures=[
+            ("indigo2-100", clean.total_time * 0.3),
+            ("indigo-100", clean.total_time * 0.6),
+        ],
+    )
+    rows.append(("FT, both slaves die", both))
+    return rows
+
+
+def test_fault_tolerance_recovery_cost(benchmark, newton_oracle, results_dir):
+    rows = benchmark.pedantic(_run, args=(newton_oracle,), rounds=1, iterations=1)
+    by_name = dict(rows)
+    clean = by_name["FT, no failure"]
+    lines = [
+        "Fault tolerance — frame division + FC on the NCSU testbed:",
+        "",
+        f"{'scenario':24s} {'total(s)':>10s} {'vs clean':>9s} {'rays':>10s} {'frames':>7s} {'events':>7s}",
+    ]
+    for name, out in rows:
+        lines.append(
+            f"{name:24s} {out.total_time:>10.1f} {out.total_time / clean.total_time:>8.2f}x "
+            f"{out.total_rays:>10,d} {len(out.frame_completion_times):>7d} {out.n_steals:>7d}"
+        )
+    write_result(results_dir, "ablation_fault_tolerance.txt", "\n".join(lines))
+
+    # Every scenario completes all 45 frames.
+    for name, out in rows:
+        assert len(out.frame_completion_times) == newton_oracle.n_frames, name
+    # FT overhead without failures is modest.
+    base = by_name["baseline (no FT)"]
+    assert clean.total_time < 1.5 * base.total_time
+    # A failure costs time; ray totals stay above the single-chain floor
+    # (restart patterns differ run to run, so only the floor is invariant)
+    # and within sanity of the clean run.
+    floor = newton_oracle.total_coherent_rays()
+    for scenario in ("FT, slave dies early", "FT, slave dies midway", "FT, slave dies late"):
+        out = by_name[scenario]
+        assert out.total_rays >= floor
+        assert out.total_time > clean.total_time
+        assert out.total_time < 4.0 * clean.total_time
+    # Losing both slaves is survivable (single surviving machine).
+    assert by_name["FT, both slaves die"].total_time > clean.total_time

@@ -1,0 +1,85 @@
+"""Figure 2 — actual vs. frame-coherence-predicted pixel differences.
+
+The paper renders two consecutive frames of the glass-ball/brick-room
+animation and shows (a) the pixels that actually changed and (b) the pixels
+the coherence algorithm marks for recomputation.  (b) must cover (a) — the
+algorithm is conservative, the images exact — while staying far below the
+full frame.
+
+This bench regenerates both masks, writes them as PGM-style PPM images
+(``fig2a_actual.ppm`` / ``fig2b_predicted.ppm``) plus a coverage report,
+and validates conservativeness over a 20-frame run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coherence import CoherentRenderer
+from repro.imageio import difference_mask_image, mask_stats, pixel_set_image, write_ppm
+from repro.render import RayTracer
+
+from _bench_utils import write_result
+
+W, H = 160, 120
+
+
+def _figure2(brick_spec):
+    anim = brick_spec.build()
+    full0, _ = RayTracer(anim.scene_at(0)).render()
+    full1, _ = RayTracer(anim.scene_at(1)).render()
+    actual = difference_mask_image(full0.as_image(), full1.as_image())
+
+    renderer = CoherentRenderer(anim, grid_resolution=32)
+    renderer.render_next()
+    report = renderer.render_next()
+    predicted = pixel_set_image(report.computed_pixels, W, H)
+    return actual, predicted
+
+
+def test_figure2_masks(benchmark, brick_spec, results_dir):
+    actual, predicted = benchmark.pedantic(_figure2, args=(brick_spec,), rounds=1, iterations=1)
+    stats = mask_stats(actual, predicted)
+
+    write_ppm(results_dir / "fig2a_actual.ppm", np.repeat(actual[:, :, None], 3, axis=2))
+    write_ppm(results_dir / "fig2b_predicted.ppm", np.repeat(predicted[:, :, None], 3, axis=2))
+    lines = [
+        "Figure 2 — changed-pixel masks, brick-room frames 1 -> 2",
+        f"frame: {W}x{H} = {W * H} pixels",
+        f"(a) actually changed : {stats['actual']:6d} pixels",
+        f"(b) FC predicted     : {stats['predicted']:6d} pixels",
+        f"missed (must be 0)   : {stats['missed']:6d}",
+        f"overprediction ratio : {stats['overprediction']:.2f}x",
+        f"fraction of frame    : {stats['fraction_of_frame'] * 100:.1f}%",
+    ]
+    write_result(results_dir, "fig2_coherence.txt", "\n".join(lines))
+
+    assert stats["missed"] == 0  # conservative, like the paper's exact images
+    assert stats["actual"] > 0  # the ball moved
+    assert stats["predicted"] < 0.6 * W * H  # most pixels are copied forward
+
+
+def test_figure2_conservative_over_sequence(benchmark, brick_spec):
+    """Every frame of a 20-frame run: predicted superset of actual diff."""
+
+    def run():
+        anim = brick_spec.build()
+        renderer = CoherentRenderer(anim, grid_resolution=32)
+        renderer.render_next()
+        prev_img = None
+        worst = 0
+        for f in range(anim.n_frames):
+            if f > 0:
+                report = renderer.render_next()
+            full, _ = RayTracer(anim.scene_at(f)).render()
+            img = full.as_image()
+            if prev_img is not None:
+                mask = difference_mask_image(prev_img, img)
+                actual_ids = np.flatnonzero(mask.ravel())
+                missed = np.setdiff1d(actual_ids, report.computed_pixels)
+                worst = max(worst, missed.size)
+            prev_img = img
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert worst == 0

@@ -1,0 +1,53 @@
+"""Ablation — uniform-grid (voxel) resolution.
+
+The grid resolution is the knob of the coherence algorithm's precision:
+coarse voxels make the changed region dirty more pixel lists (loose,
+conservative over-prediction — more re-rendered pixels), fine voxels cost
+more DDA marking and memory.  This bench sweeps the resolution on a short
+Newton run and reports dirty fractions and coherent ray counts.
+"""
+
+from __future__ import annotations
+
+from repro.bench import cached_oracle
+from repro.runtime import AnimationSpec
+
+from _bench_utils import write_result
+
+SPEC = AnimationSpec.newton(n_frames=10, width=96, height=72)
+RESOLUTIONS = [4, 8, 16, 32, 48]
+
+
+def _sweep():
+    rows = []
+    for res in RESOLUTIONS:
+        oracle = cached_oracle(SPEC, grid_resolution=res)
+        rows.append(
+            (
+                res,
+                oracle.mean_dirty_fraction(),
+                oracle.total_coherent_rays(),
+                oracle.total_full_rays(),
+            )
+        )
+    return rows
+
+
+def test_grid_resolution_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [
+        "Voxel-grid resolution sweep — Newton, 10 frames, 96x72:",
+        "",
+        f"{'grid':>6s} {'dirty frac':>11s} {'coherent rays':>14s} {'reduction':>10s}",
+    ]
+    for res, frac, coh, full in rows:
+        lines.append(f"{res:>4d}^3 {frac:>11.3f} {coh:>14,d} {full / coh:>9.2f}x")
+    write_result(results_dir, "ablation_grid_resolution.txt", "\n".join(lines))
+
+    fracs = {res: frac for res, frac, _, _ in rows}
+    # Finer grids predict (weakly) tighter dirty sets.
+    assert fracs[32] <= fracs[8] <= fracs[4]
+    # Every resolution is conservative yet useful.
+    assert all(0 < frac < 1 for frac in fracs.values())
+    # Diminishing returns: 48^3 buys little over 32^3.
+    assert fracs[48] >= 0.5 * fracs[32]

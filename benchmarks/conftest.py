@@ -1,0 +1,61 @@
+"""Shared benchmark fixtures.
+
+The heavy artifact is the measured cost oracle of the 45-frame Newton
+animation at the paper's own 320x240 resolution.  It is built once
+(~70 s of analysis rendering) and cached on disk (``.oracle_cache/``), so
+repeated benchmark runs skip it.
+
+At full resolution the cluster model's ``pixel_scale`` is exactly 1 — no
+scaling between measured pixels and the modelled 1998 memory/message
+footprints.  The ablation benches that sweep many configurations use
+smaller oracles for turnaround.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import cached_oracle
+from repro.runtime import AnimationSpec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The Table-1 workload at the paper's scale.
+NEWTON_KW = dict(n_frames=45, width=320, height=240)
+GRID_RESOLUTION = 32
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def newton_spec() -> AnimationSpec:
+    return AnimationSpec.newton(**NEWTON_KW)
+
+
+@pytest.fixture(scope="session")
+def newton_oracle(newton_spec):
+    """Measured per-pixel costs + dirty sets of the Table-1 workload."""
+    return cached_oracle(newton_spec, grid_resolution=GRID_RESOLUTION)
+
+
+@pytest.fixture(scope="session")
+def brick_spec() -> AnimationSpec:
+    return AnimationSpec.brick_room(n_frames=20, width=160, height=120)
+
+
+@pytest.fixture(scope="session")
+def brick_oracle(brick_spec):
+    return cached_oracle(brick_spec, grid_resolution=GRID_RESOLUTION)
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated table/figure; EXPERIMENTS.md points at these."""
+    path = results_dir / name
+    path.write_text(text)
+    print(f"\n[{name}]\n{text}")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Checkpoint/restore of a coherent render mid-sequence.
+
+Renders the first half of the Newton animation, serializes the coherence
+state (framebuffer + voxel pixel lists + position) to disk, constructs a
+brand-new renderer from the checkpoint and finishes the sequence — then
+verifies the result is bit-identical to an uninterrupted run.  On a render
+farm this is the difference between losing a machine-night and losing
+one frame's worth of work.
+
+Run:  python examples/checkpoint_demo.py [--frames 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.coherence import CoherentRenderer, load_checkpoint, save_checkpoint
+from repro.scenes import newton_animation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=10)
+    parser.add_argument("--width", type=int, default=96)
+    parser.add_argument("--height", type=int, default=72)
+    args = parser.parse_args()
+
+    anim = newton_animation(n_frames=args.frames, width=args.width, height=args.height)
+    half = args.frames // 2
+
+    # Uninterrupted reference.
+    ref = CoherentRenderer(anim, grid_resolution=24)
+    ref_frames = []
+    for _ in range(args.frames):
+        ref.render_next()
+        ref_frames.append(ref.frame_image())
+
+    # Interrupted run.
+    first = CoherentRenderer(anim, grid_resolution=24)
+    for _ in range(half):
+        first.render_next()
+    with tempfile.TemporaryDirectory() as d:
+        ckpt = Path(d) / "render.ckpt.npz"
+        save_checkpoint(first, ckpt)
+        size_kb = ckpt.stat().st_size / 1024
+        print(f"checkpointed after frame {half - 1}: {size_kb:.0f} KiB "
+              f"({first.pixel_map.n_entries:,} pixel-list marks)")
+        del first
+
+        resumed = load_checkpoint(anim, ckpt)
+        print(f"restored; {resumed.frames_remaining} frames remaining")
+        for f in range(half, args.frames):
+            report = resumed.render_next()
+            identical = np.array_equal(resumed.frame_image(), ref_frames[f])
+            print(
+                f"frame {f}: {report.n_computed:5d} px recomputed "
+                f"(coherence chain intact), identical to reference: {identical}"
+            )
+            if not identical:
+                raise SystemExit("resumed render diverged!")
+    print("\nresume continued the coherence chain bit-exactly — no full-frame restart paid")
+
+
+if __name__ == "__main__":
+    main()

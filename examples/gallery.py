@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Feature gallery: CSG, torus, soft shadows and adaptive antialiasing.
+
+Builds a still-life exercising the renderer features beyond the paper's
+core workload — a CSG lens and carved die, a chrome torus, an area light
+with penumbrae — and renders it twice: flat (1 sample) and with POV-style
+adaptive antialiasing, reporting how few pixels needed refinement.
+
+Run:  python examples/gallery.py [--width 240] [--height 180]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry import Box, CSGDifference, CSGIntersection, Plane, Sphere, Torus
+from repro.imageio import write_targa
+from repro.lighting import PointLight
+from repro.materials import Checker, Finish, Marble, Material
+from repro.render import render_adaptive
+from repro.scene import Camera, Scene
+
+
+def build_gallery(width: int, height: int) -> Scene:
+    floor = Plane.from_normal(
+        (0, 1, 0),
+        0.0,
+        material=Material.textured(
+            Checker((0.88, 0.86, 0.8), (0.25, 0.28, 0.33)),
+            Finish(ambient=0.12, diffuse=0.75, reflection=0.07),
+        ),
+        name="floor",
+    )
+    lens = CSGIntersection(
+        [Sphere.at((-1.6, 1.0, -0.6), 1.0), Sphere.at((-1.6, 1.0, 0.6), 1.0)],
+        material=Material.glass(tint=(0.93, 0.98, 0.95)),
+        name="lens",
+    )
+    die = CSGDifference(
+        Box.from_corners((0.4, 0.0, -0.5), (1.6, 1.2, 0.7)),
+        Sphere.at((1.6, 1.2, 0.7), 0.55),
+        material=Material.textured(
+            Marble((0.9, 0.88, 0.92), (0.35, 0.3, 0.45)).scaled(0.6),
+            Finish(ambient=0.1, diffuse=0.7, specular=0.4, phong_size=70),
+        ),
+        name="die",
+    )
+    ring = Torus.at(
+        (2.9, 0.35, -1.3), (0.3, 1.0, 0.2), major=0.9, minor=0.28,
+        material=Material.chrome(), name="ring",
+    )
+    camera = Camera(
+        position=(0.3, 2.4, -6.5), look_at=(0.3, 0.9, 0), fov_degrees=52,
+        width=width, height=height,
+    )
+    return Scene(
+        camera=camera,
+        objects=[floor, lens, die, ring],
+        lights=[
+            # A soft (area) key light: penumbrae on the floor.
+            PointLight(
+                np.array([-4.0, 7.5, -5.0]), np.array([0.95, 0.93, 0.88]),
+                radius=0.8, n_samples=12,
+            ),
+            PointLight(np.array([5.0, 4.0, -2.0]), np.array([0.3, 0.32, 0.4])),
+        ],
+        background=np.array([0.07, 0.09, 0.16]),
+        max_depth=6,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--width", type=int, default=240)
+    parser.add_argument("--height", type=int, default=180)
+    parser.add_argument("--threshold", type=float, default=0.12)
+    parser.add_argument("--out", type=Path, default=Path("gallery.tga"))
+    args = parser.parse_args()
+
+    scene = build_gallery(args.width, args.height)
+    print(f"gallery scene: {len(scene.objects)} objects, soft key light")
+
+    t0 = time.perf_counter()
+    result = render_adaptive(scene, threshold=args.threshold, samples_per_axis=3)
+    dt = time.perf_counter() - t0
+    n_px = args.width * args.height
+    print(
+        f"adaptive AA: refined {result.n_refined}/{n_px} pixels "
+        f"({result.n_refined / n_px:.1%}) in {dt:.1f}s — {result.stats}"
+    )
+    write_targa(args.out, result.framebuffer.to_uint8())
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""repro — Rendering Computer Animations on a Network of Workstations.
+
+A from-scratch reproduction of Davis & Davis (IPPS 1998): a frame-coherent
+ray tracer (the paper's extension of POV-Ray 3.0) combined with distributed
+rendering on a (simulated) network of workstations coordinated by a
+PVM-style master/slave protocol.
+
+Layered public API:
+
+* :mod:`repro.rmath` — batched vector math, AABBs, transforms, noise.
+* :mod:`repro.geometry` — ray batches and vectorized primitives.
+* :mod:`repro.materials` / :mod:`repro.lighting` — POV-style shading inputs.
+* :mod:`repro.scene` — camera, scene, animation, scene-description language.
+* :mod:`repro.accel` — uniform voxel grid + 3-D DDA traversal.
+* :mod:`repro.render` — the wavefront Whitted tracer.
+* :mod:`repro.coherence` — the paper's frame-coherence algorithm.
+* :mod:`repro.cluster` — discrete-event NOW simulator with a PVM-like API.
+* :mod:`repro.parallel` — partitioning schemes and Table-1 strategies.
+* :mod:`repro.runtime` — real multiprocessing master/worker execution.
+* :mod:`repro.imageio` — Targa/PPM output and Figure-2 diff masks.
+* :mod:`repro.scenes` — the Newton and brick-room workloads.
+* :mod:`repro.bench` — Table-1 regeneration harness.
+
+Quickstart::
+
+    from repro.scenes import newton_animation
+    from repro.coherence import CoherentRenderer
+    from repro.imageio import write_targa
+
+    anim = newton_animation(n_frames=10, width=160, height=120)
+    renderer = CoherentRenderer(anim)
+    for f in range(anim.n_frames):
+        report = renderer.render_next()
+        write_targa(f"newton{f:03d}.tga", renderer.frame_image())
+        print(f"frame {f}: recomputed {report.n_computed} pixels")
+"""
+
+from .coherence import CoherentRenderer, ShadowCoherentRenderer, validate_sequence
+from .pipeline import AnimationRender, render_animation
+from .geometry import Box, Cylinder, Disc, Plane, RayBatch, RayKind, Sphere, Triangle, TriangleMesh
+from .lighting import PointLight
+from .materials import Brick, Checker, Finish, Marble, Material, SolidColor
+from .render import Framebuffer, RayStats, RayTracer
+from .rmath import AABB, Transform, vec3
+from .scene import (
+    Animation,
+    Camera,
+    FunctionAnimation,
+    Scene,
+    StaticAnimation,
+    load_scene,
+    parse_scene,
+    split_coherent_sequences,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AABB",
+    "Animation",
+    "AnimationRender",
+    "ShadowCoherentRenderer",
+    "render_animation",
+    "Box",
+    "Brick",
+    "Camera",
+    "Checker",
+    "CoherentRenderer",
+    "Cylinder",
+    "Disc",
+    "Finish",
+    "Framebuffer",
+    "FunctionAnimation",
+    "Marble",
+    "Material",
+    "Plane",
+    "PointLight",
+    "RayBatch",
+    "RayKind",
+    "RayStats",
+    "RayTracer",
+    "Scene",
+    "SolidColor",
+    "Sphere",
+    "StaticAnimation",
+    "Transform",
+    "Triangle",
+    "TriangleMesh",
+    "load_scene",
+    "parse_scene",
+    "split_coherent_sequences",
+    "validate_sequence",
+    "vec3",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Spatial acceleration: uniform grid and 3-D DDA traversal."""
+
+from .dda import traverse
+from .grid import UniformGrid
+
+__all__ = ["UniformGrid", "traverse"]

@@ -1,0 +1,103 @@
+"""Coherence analytics over a measured cost oracle.
+
+Given an :class:`~repro.parallel.AnimationCostOracle`, these helpers answer
+the questions the paper's Section 4 discussion raises quantitatively:
+
+* how much of each frame changes (:func:`dirty_fraction_series`);
+* where the expensive pixels live (:func:`cost_image` — the paper's
+  observation that "those pixels that did not change were not easily
+  calculated to begin with" is this image, compared to the dirty mask);
+* how expensive dirty pixels are relative to the average
+  (:func:`dirty_cost_bias`);
+* at what dirty fraction frame coherence stops paying
+  (:func:`coherence_breakeven`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .parallel import AnimationCostOracle
+
+__all__ = [
+    "dirty_fraction_series",
+    "dirty_ray_fraction_series",
+    "cost_image",
+    "dirty_cost_bias",
+    "coherence_breakeven",
+    "summarize_oracle",
+]
+
+
+def dirty_fraction_series(oracle: AnimationCostOracle) -> np.ndarray:
+    """Fraction of pixels recomputed per frame (frame 0 is 1.0 by definition)."""
+    out = np.empty(oracle.n_frames)
+    out[0] = 1.0
+    for f in range(1, oracle.n_frames):
+        out[f] = oracle.dirty_sets[f].size / oracle.n_pixels
+    return out
+
+
+def dirty_ray_fraction_series(oracle: AnimationCostOracle) -> np.ndarray:
+    """Fraction of each frame's full-render *rays* spent on dirty pixels."""
+    out = np.empty(oracle.n_frames)
+    out[0] = 1.0
+    for f in range(1, oracle.n_frames):
+        full = oracle.full_rays(f)
+        out[f] = (oracle.coherent_rays(f)[0] / full) if full else 0.0
+    return out
+
+
+def cost_image(oracle: AnimationCostOracle, frame: int) -> np.ndarray:
+    """Per-pixel ray cost of one frame as an ``(H, W)`` array."""
+    if not (0 <= frame < oracle.n_frames):
+        raise IndexError("frame out of range")
+    return oracle.full_cost[frame].reshape(oracle.height, oracle.width).astype(np.float64)
+
+
+def dirty_cost_bias(oracle: AnimationCostOracle, frame: int) -> float:
+    """Mean ray cost of dirty pixels over the frame-wide mean cost.
+
+    > 1 means the changing region is *more* expensive than average; < 1
+    matches the paper's Newton observation that the static pixels (chrome
+    reflections, layered shadows) carry the expensive ray trees.
+    """
+    if frame < 1:
+        raise ValueError("bias is defined for incremental frames (>= 1)")
+    d = oracle.dirty_sets[frame]
+    if d.size == 0:
+        return 0.0
+    row = oracle.full_cost[frame]
+    overall = row.mean()
+    return float(row[d].mean() / overall) if overall else 0.0
+
+
+def coherence_breakeven(fc_overhead: float = 0.12) -> float:
+    """The dirty-ray fraction above which frame coherence stops paying.
+
+    With marking overhead ``o`` charged on every traced ray, a coherent
+    step costs ``(1 + o) * q`` of a full frame, where ``q`` is the dirty
+    ray fraction; it beats re-rendering while ``q < 1 / (1 + o)``.
+    """
+    if fc_overhead < 0:
+        raise ValueError("fc_overhead must be >= 0")
+    return 1.0 / (1.0 + fc_overhead)
+
+
+def summarize_oracle(oracle: AnimationCostOracle, fc_overhead: float = 0.12) -> dict[str, float]:
+    """Headline coherence statistics of one workload."""
+    dirty = dirty_fraction_series(oracle)[1:]
+    dirty_rays = dirty_ray_fraction_series(oracle)[1:]
+    biases = [dirty_cost_bias(oracle, f) for f in range(1, oracle.n_frames)]
+    breakeven = coherence_breakeven(fc_overhead)
+    return {
+        "n_frames": float(oracle.n_frames),
+        "n_pixels": float(oracle.n_pixels),
+        "mean_dirty_fraction": float(dirty.mean()) if dirty.size else 0.0,
+        "max_dirty_fraction": float(dirty.max()) if dirty.size else 0.0,
+        "mean_dirty_ray_fraction": float(np.mean(dirty_rays)) if dirty_rays.size else 0.0,
+        "mean_dirty_cost_bias": float(np.mean(biases)) if biases else 0.0,
+        "ray_reduction": oracle.total_full_rays() / oracle.total_coherent_rays(),
+        "breakeven_dirty_ray_fraction": breakeven,
+        "frames_beyond_breakeven": float(np.sum(dirty_rays > breakeven)),
+    }

@@ -1,0 +1,24 @@
+"""Benchmark harness: Table-1 regeneration, calibration and caching."""
+
+from .cache import cached_oracle, default_cache_dir
+from .report import (
+    frame_completion_csv,
+    frame_latency_stats,
+    outcomes_csv,
+    outcomes_markdown,
+)
+from .table1 import PAPER_TABLE1, Table1Result, Table1Settings, format_table1, run_table1
+
+__all__ = [
+    "PAPER_TABLE1",
+    "Table1Result",
+    "Table1Settings",
+    "cached_oracle",
+    "default_cache_dir",
+    "format_table1",
+    "frame_completion_csv",
+    "frame_latency_stats",
+    "outcomes_csv",
+    "outcomes_markdown",
+    "run_table1",
+]

@@ -1,0 +1,115 @@
+"""Outcome reporting: markdown/CSV exports of simulated runs.
+
+The Table-1 text formatter lives in :mod:`repro.bench.table1`; this module
+adds machine-readable exports (CSV) and generic side-by-side comparisons
+(markdown) for arbitrary sets of strategy outcomes — what you paste into a
+lab notebook after trying a new scheduler.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..parallel import SimulationOutcome, format_hms
+
+__all__ = ["outcomes_markdown", "outcomes_csv", "frame_completion_csv", "frame_latency_stats"]
+
+
+def outcomes_markdown(outcomes: list[SimulationOutcome], baseline: SimulationOutcome | None = None) -> str:
+    """A markdown comparison table of strategy outcomes.
+
+    ``baseline`` (default: the first outcome) anchors the speedup column.
+    """
+    if not outcomes:
+        raise ValueError("need at least one outcome")
+    base = baseline if baseline is not None else outcomes[0]
+    header = (
+        "| strategy | total | avg frame | speedup | rays | messages | imbalance |\n"
+        "|---|---|---|---|---|---|---|"
+    )
+    rows = []
+    for o in outcomes:
+        rows.append(
+            f"| {o.strategy} | {format_hms(o.total_time)} | {format_hms(o.avg_frame_time)} "
+            f"| {o.speedup_vs(base):.2f}x | {o.total_rays:,} | {o.n_messages} "
+            f"| {o.load_imbalance:.3f} |"
+        )
+    return "\n".join([header, *rows])
+
+
+def outcomes_csv(outcomes: list[SimulationOutcome], path: str | Path | None = None) -> str:
+    """CSV of the headline metrics; optionally written to ``path``."""
+    if not outcomes:
+        raise ValueError("need at least one outcome")
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        [
+            "strategy",
+            "total_seconds",
+            "avg_frame_seconds",
+            "total_rays",
+            "total_units",
+            "messages",
+            "bytes_on_wire",
+            "ethernet_busy_seconds",
+            "chain_starts",
+            "steals",
+            "load_imbalance",
+        ]
+    )
+    for o in outcomes:
+        writer.writerow(
+            [
+                o.strategy,
+                f"{o.total_time:.6f}",
+                f"{o.avg_frame_time:.6f}",
+                o.total_rays,
+                f"{o.total_units:.1f}",
+                o.n_messages,
+                o.bytes_on_wire,
+                f"{o.ethernet_busy_seconds:.6f}",
+                o.n_chain_starts,
+                o.n_steals,
+                f"{o.load_imbalance:.6f}",
+            ]
+        )
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def frame_completion_csv(outcome: SimulationOutcome, path: str | Path | None = None) -> str:
+    """Per-frame completion timestamps as CSV (frame, virtual_seconds)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["frame", "completed_at_seconds"])
+    for frame in sorted(outcome.frame_completion_times):
+        writer.writerow([frame, f"{outcome.frame_completion_times[frame]:.6f}"])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def frame_latency_stats(outcome: SimulationOutcome) -> dict[str, float]:
+    """Distribution of inter-frame completion gaps (the delivery cadence).
+
+    Frames may complete out of order under frame division; gaps are taken
+    over completion times sorted by frame index, clipped at zero.
+    """
+    times = [outcome.frame_completion_times[f] for f in sorted(outcome.frame_completion_times)]
+    if len(times) < 2:
+        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "max": 0.0}
+    gaps = np.maximum(np.diff(np.sort(times)), 0.0)
+    return {
+        "mean": float(gaps.mean()),
+        "p50": float(np.percentile(gaps, 50)),
+        "p90": float(np.percentile(gaps, 90)),
+        "max": float(gaps.max()),
+    }

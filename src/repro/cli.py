@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+::
+
+    python -m repro render scene.sdl -o out.tga
+    python -m repro animate newton --frames 12 --out frames/
+    python -m repro validate brick --frames 4
+    python -m repro table1 --width 96 --height 72 --frames 10
+    python -m repro farm newton --workers 4 --mode frame
+
+The subcommands mirror the workflow of the paper's system: render scene
+descriptions, render animations with frame coherence, check the algorithm's
+exactness, regenerate the headline table, and run the real master/worker
+farm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = ("newton", "brick", "spheres")
+
+
+def _make_animation(name: str, frames: int, width: int, height: int):
+    if name == "newton":
+        from .scenes import newton_animation
+
+        return newton_animation(n_frames=frames, width=width, height=height)
+    if name == "brick":
+        from .scenes import brick_room_animation
+
+        return brick_room_animation(n_frames=frames, width=width, height=height)
+    if name == "spheres":
+        from .scenes import random_spheres_animation
+
+        return random_spheres_animation(n_frames=frames, width=width, height=height)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def _add_size_args(p: argparse.ArgumentParser, frames: int = 8) -> None:
+    p.add_argument("--frames", type=int, default=frames)
+    p.add_argument("--width", type=int, default=160)
+    p.add_argument("--height", type=int, default=120)
+    p.add_argument("--grid", type=int, default=24, help="voxel grid resolution")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Frame-coherent ray tracing on a (simulated) network of workstations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_render = sub.add_parser("render", help="render a scene description file")
+    p_render.add_argument("scene", type=Path)
+    p_render.add_argument("-o", "--output", type=Path, default=Path("render.tga"))
+    p_render.add_argument("--supersample", type=int, default=1, metavar="N", help="N x N samples per pixel")
+
+    p_anim = sub.add_parser("animate", help="render a built-in animation with frame coherence")
+    p_anim.add_argument("workload", choices=_WORKLOADS)
+    _add_size_args(p_anim)
+    p_anim.add_argument("--out", type=Path, default=Path("frames"))
+    p_anim.add_argument("--shadow-coherence", action="store_true")
+
+    p_val = sub.add_parser("validate", help="check exactness/conservativeness of the algorithm")
+    p_val.add_argument("workload", choices=_WORKLOADS)
+    _add_size_args(p_val, frames=4)
+
+    p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    _add_size_args(p_t1, frames=45)
+
+    p_farm = sub.add_parser("farm", help="real parallel rendering on this machine")
+    p_farm.add_argument("workload", choices=("newton", "brick"))
+    _add_size_args(p_farm)
+    p_farm.add_argument("--workers", type=int, default=4)
+    p_farm.add_argument("--mode", choices=("frame", "sequence", "hybrid"), default="frame")
+
+    p_oracle = sub.add_parser(
+        "oracle", help="measure per-pixel costs and print coherence analytics"
+    )
+    p_oracle.add_argument("workload", choices=_WORKLOADS)
+    _add_size_args(p_oracle)
+    p_oracle.add_argument("--save", type=Path, help="also save the oracle as .npz")
+    return parser
+
+
+def _cmd_render(args) -> int:
+    from .imageio import write_targa
+    from .render import RayTracer
+    from .scene import load_scene
+
+    scene = load_scene(args.scene)
+    print(f"parsed {len(scene.objects)} objects, {len(scene.lights)} lights")
+    t0 = time.perf_counter()
+    fb, res = RayTracer(scene).render(samples_per_axis=args.supersample)
+    print(f"rendered in {time.perf_counter() - t0:.1f}s: {res.stats}")
+    write_targa(args.output, fb.to_uint8())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_animate(args) -> int:
+    from .imageio import write_targa
+    from .pipeline import render_animation
+
+    anim = _make_animation(args.workload, args.frames, args.width, args.height)
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    def on_frame(f, report, image):
+        write_targa(args.out / f"{args.workload}{f:04d}.tga", image)
+        print(
+            f"frame {f:4d}: {report.n_computed:6d} px computed, "
+            f"{report.stats.total:8d} rays"
+        )
+
+    t0 = time.perf_counter()
+    result = render_animation(
+        anim,
+        grid_resolution=args.grid,
+        shadow_coherence=args.shadow_coherence,
+        on_frame=on_frame,
+    )
+    print(
+        f"\n{result.n_frames} frames in {time.perf_counter() - t0:.1f}s, "
+        f"{result.stats.total:,} rays, "
+        f"{result.total_copied_pixels():,} pixel-renders avoided"
+    )
+    if args.shadow_coherence:
+        print(f"shadow rays saved by the extension: {result.shadow_rays_saved:,}")
+    print(f"frames in {args.out}/")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .coherence import validate_sequence
+
+    anim = _make_animation(args.workload, args.frames, args.width, args.height)
+    report = validate_sequence(anim, grid_resolution=args.grid)
+    for fv in report.frames:
+        print(
+            f"frame {fv.frame:3d}: exact={fv.exact} actual_changed={fv.n_actual_changed:6d} "
+            f"predicted={fv.n_predicted:6d} missed={fv.missed_pixels.size}"
+        )
+    ok = report.all_exact and report.all_conservative
+    print(
+        f"\nexact: {report.all_exact}  conservative: {report.all_conservative}  "
+        f"mean overprediction: {report.mean_overprediction():.2f}x"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_table1(args) -> int:
+    from .bench import Table1Settings, format_table1, run_table1
+    from .parallel import build_oracle
+    from .scenes import newton_animation
+
+    print("measuring per-pixel costs (renders the animation twice)...")
+    anim = newton_animation(n_frames=args.frames, width=args.width, height=args.height)
+    oracle = build_oracle(anim, grid_resolution=args.grid, verbose=False)
+    print(format_table1(run_table1(oracle, Table1Settings())))
+    return 0
+
+
+def _cmd_farm(args) -> int:
+    from .runtime import AnimationSpec, LocalRenderFarm
+
+    spec = (
+        AnimationSpec.newton(n_frames=args.frames, width=args.width, height=args.height)
+        if args.workload == "newton"
+        else AnimationSpec.brick_room(n_frames=args.frames, width=args.width, height=args.height)
+    )
+    farm = LocalRenderFarm(
+        spec, n_workers=args.workers, mode=args.mode, executor="process", grid_resolution=args.grid
+    )
+    t0 = time.perf_counter()
+    result = farm.render()
+    dt = time.perf_counter() - t0
+    reference = farm.render_reference()
+    identical = np.array_equal(result.frames, reference.frames)
+    print(
+        f"{args.mode} division: {result.n_tasks} tasks on {args.workers} workers in {dt:.1f}s, "
+        f"{result.stats.total:,} rays"
+    )
+    print(f"bit-identical to single-renderer reference: {identical}")
+    return 0 if identical else 1
+
+
+def _cmd_oracle(args) -> int:
+    from .analysis import summarize_oracle
+    from .parallel import build_oracle
+
+    anim = _make_animation(args.workload, args.frames, args.width, args.height)
+    print("measuring per-pixel costs (renders the animation twice)...")
+    oracle = build_oracle(anim, grid_resolution=args.grid)
+    if args.save is not None:
+        oracle.save(args.save)
+        print(f"saved oracle to {args.save}")
+    for key, value in summarize_oracle(oracle).items():
+        print(f"{key:32s} {value:.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse ``argv`` (default ``sys.argv``) and dispatch."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "render": _cmd_render,
+        "animate": _cmd_animate,
+        "validate": _cmd_validate,
+        "table1": _cmd_table1,
+        "farm": _cmd_farm,
+        "oracle": _cmd_oracle,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

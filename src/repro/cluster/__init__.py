@@ -1,0 +1,38 @@
+"""NOW substrate: discrete-event cluster simulation with a PVM-like API."""
+
+from .event import FifoResource, Simulator
+from .machine import Machine, ThrashModel, homogeneous_cluster, ncsu_testbed
+from .network import Ethernet
+from .pvm import (
+    Compute,
+    DeadlockError,
+    Message,
+    Recv,
+    Send,
+    Sleep,
+    TaskContext,
+    VirtualPVM,
+    WriteFile,
+)
+from .timeline import machine_busy_intervals, render_timeline
+
+__all__ = [
+    "Compute",
+    "DeadlockError",
+    "Ethernet",
+    "FifoResource",
+    "Machine",
+    "Message",
+    "Recv",
+    "Send",
+    "Simulator",
+    "Sleep",
+    "TaskContext",
+    "ThrashModel",
+    "VirtualPVM",
+    "WriteFile",
+    "homogeneous_cluster",
+    "machine_busy_intervals",
+    "ncsu_testbed",
+    "render_timeline",
+]

@@ -1,0 +1,70 @@
+"""Shared-medium Ethernet model.
+
+The paper's cluster is connected by "the ethernet network, which is
+relatively slow compared to interconnection networks found on
+multiprocessor machines" — classic 10 Mbit/s shared (hubbed) Ethernet, on
+which at most one frame is on the wire at a time.  We model the segment as
+a FIFO resource: a transfer occupies the medium for ``latency +
+bytes/bandwidth`` seconds, and concurrent transfers serialize.
+"""
+
+from __future__ import annotations
+
+from .event import FifoResource, Simulator
+
+__all__ = ["Ethernet"]
+
+
+class Ethernet:
+    """A shared Ethernet segment.
+
+    Parameters
+    ----------
+    bandwidth_bits_per_s:
+        Raw signalling rate; default 10 Mbit/s (1998 lab Ethernet).
+    latency_s:
+        Fixed per-message cost: protocol stack + PVM packing + propagation.
+    efficiency:
+        Fraction of raw bandwidth achievable by a user process (CSMA/CD,
+        IP + PVM header overhead); 0.7 is a conventional figure for TCP on
+        10BASE-T.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bits_per_s: float = 10e6,
+        latency_s: float = 1.5e-3,
+        efficiency: float = 0.7,
+    ):
+        if bandwidth_bits_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if not (0 < efficiency <= 1):
+            raise ValueError("efficiency must be in (0, 1]")
+        self.sim = sim
+        self.bandwidth_bytes_per_s = bandwidth_bits_per_s * efficiency / 8.0
+        self.latency_s = latency_s
+        self._medium = FifoResource(sim, "ethernet")
+        self.bytes_carried = 0
+        self.n_messages = 0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Wire time of one message of ``nbytes`` payload."""
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def transmit(self, nbytes: int, on_delivered) -> None:
+        """Queue a message; ``on_delivered()`` fires when it leaves the wire."""
+        self.bytes_carried += int(nbytes)
+        self.n_messages += 1
+        self._medium.acquire(self.transfer_time(nbytes), lambda s, e: on_delivered())
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._medium.total_busy
+
+    def utilization(self, horizon: float) -> float:
+        return self._medium.utilization(horizon)

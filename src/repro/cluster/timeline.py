@@ -1,0 +1,79 @@
+"""Text timelines (Gantt charts) of simulated cluster runs.
+
+Enable ``pvm.tracing = True`` before ``pvm.run()`` and feed the finished
+virtual machine to :func:`render_timeline`:
+
+::
+
+    indigo2-200 |################# ##########################| 93% busy
+    indigo2-100 |#######  ########################  #########| 87% busy
+    indigo-100  |######## #######################  ##########| 86% busy
+    ethernet    |  . .   .    .  .    . .   .  .    .  .     | 41 msgs
+
+One character is one time bucket; ``#`` marks CPU-busy buckets, ``.``
+marks buckets with wire traffic.  This is the picture behind the load-
+balance claims of the paper's Section 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pvm import VirtualPVM
+
+__all__ = ["render_timeline", "machine_busy_intervals"]
+
+
+def machine_busy_intervals(pvm: VirtualPVM) -> dict[str, list[tuple[float, float]]]:
+    """Per-machine CPU-busy intervals from a traced run."""
+    out: dict[str, list[tuple[float, float]]] = {name: [] for name in pvm.machines}
+    for ev in pvm.events:
+        if ev[0] == "compute":
+            _, machine, _task, start, end = ev
+            out[machine].append((start, end))
+    return out
+
+
+def _bucket_fill(intervals: list[tuple[float, float]], horizon: float, width: int) -> np.ndarray:
+    """Fraction of each of ``width`` buckets covered by the intervals."""
+    fill = np.zeros(width)
+    if horizon <= 0:
+        return fill
+    scale = width / horizon
+    for start, end in intervals:
+        a = max(0.0, start * scale)
+        b = min(float(width), end * scale)
+        if b <= a:
+            continue
+        i0, i1 = int(a), min(int(np.ceil(b)), width)
+        for i in range(i0, i1):
+            lo = max(a, i)
+            hi = min(b, i + 1)
+            fill[i] += max(0.0, hi - lo)
+    return np.clip(fill, 0.0, 1.0)
+
+
+def render_timeline(pvm: VirtualPVM, width: int = 64) -> str:
+    """Render the traced run as a per-machine text Gantt chart."""
+    if not pvm.events:
+        raise ValueError(
+            "no events recorded — set pvm.tracing = True before running"
+        )
+    if width < 8:
+        raise ValueError("width must be >= 8")
+    horizon = pvm.sim.now
+    lines = [f"virtual time 0 .. {horizon:.2f}s ({width} buckets)"]
+    name_w = max(len(n) for n in pvm.machines) if pvm.machines else 8
+
+    busy = machine_busy_intervals(pvm)
+    for name in pvm.machines:
+        fill = _bucket_fill(busy[name], horizon, width)
+        chars = np.where(fill > 0.66, "#", np.where(fill > 0.05, "+", " "))
+        pct = sum(e - s for s, e in busy[name]) / horizon if horizon else 0.0
+        lines.append(f"{name:>{name_w}s} |{''.join(chars)}| {pct:4.0%} busy")
+
+    wire = [(ev[5], ev[6]) for ev in pvm.events if ev[0] == "send"]
+    fill = _bucket_fill(wire, horizon, width)
+    chars = np.where(fill > 0.66, "#", np.where(fill > 0.01, ".", " "))
+    lines.append(f"{'ethernet':>{name_w}s} |{''.join(chars)}| {len(wire)} msgs")
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Frame coherence for shadow generation (the paper's extension).
+
+"Second, we are also exploring the use of frame coherence in the
+generation of shadows." / future work: "development of frame coherence
+algorithms with shadow generation".
+
+:class:`ShadowCoherentRenderer` extends the base incremental renderer with
+primary-shadow reuse.  It keeps *three* voxel->pixel maps instead of one,
+segregated by ray class (camera segments, primary shadow segments, and all
+secondary paths), and a per-(pixel, light) attenuation cache:
+
+* a pixel is **dirty** when changed voxels intersect *any* of its marks
+  (exactly the base algorithm);
+* a dirty pixel is additionally **shadow-reusable** when neither its
+  camera segment nor its primary shadow segments crossed a changed voxel —
+  it is dirty purely through reflection/refraction paths.  Its primary hit
+  point is provably unchanged, so the cached shadow attenuation toward
+  every light is still exact and those shadow rays are skipped.
+
+On the Newton workload this triggers constantly: pixels on *static* chrome
+marbles that mirror the swinging end marble are dirty (their reflected
+path crosses the moving region) but keep their own hit point and shadows.
+
+Images remain bit-identical to full re-rendering; only the number of
+shadow rays drops.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..accel import UniformGrid
+from ..render import Framebuffer, RayStats, RayTracer, ShadowCache
+from ..scene import Animation
+from .change_detection import changed_voxels
+from .engine import FrameReport, grid_for_animation
+from .voxel_pixel_map import VoxelPixelMap
+
+__all__ = ["ShadowCoherentRenderer", "ShadowFrameReport"]
+
+
+class ShadowFrameReport(FrameReport):
+    """FrameReport plus shadow-reuse accounting."""
+
+    def __init__(self, *args, n_shadow_reusable: int = 0, shadow_rays_saved: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.n_shadow_reusable = n_shadow_reusable
+        self.shadow_rays_saved = shadow_rays_saved
+
+
+class ShadowCoherentRenderer:
+    """Incremental renderer with primary-shadow coherence.
+
+    Parameters mirror :class:`~repro.coherence.CoherentRenderer`; see the
+    module docstring for the algorithm.
+    """
+
+    def __init__(
+        self,
+        animation: Animation,
+        region: np.ndarray | None = None,
+        grid: UniformGrid | None = None,
+        grid_resolution: int | tuple[int, int, int] = 16,
+        chunk_size: int = 32768,
+        first_frame: int = 0,
+        last_frame: int | None = None,
+    ):
+        self.animation = animation
+        self.grid = grid if grid is not None else grid_for_animation(animation, grid_resolution)
+        self.chunk_size = int(chunk_size)
+        self.first_frame = int(first_frame)
+        self.last_frame = animation.n_frames if last_frame is None else int(last_frame)
+        if not (0 <= self.first_frame < self.last_frame <= animation.n_frames):
+            raise ValueError("invalid frame range")
+
+        cam0 = animation.camera_at(self.first_frame)
+        self.width, self.height = cam0.width, cam0.height
+        n_pixels = cam0.n_pixels
+        if region is None:
+            region = np.arange(n_pixels, dtype=np.int64)
+        self.region = np.unique(np.asarray(region, dtype=np.int64))
+        if self.region.size and (self.region.min() < 0 or self.region.max() >= n_pixels):
+            raise ValueError("region pixel index out of range")
+
+        n_lights = len(animation.scene_at(self.first_frame).lights)
+        self.framebuffer = Framebuffer(self.width, self.height)
+        self.map_camera = VoxelPixelMap(self.grid.n_voxels, n_pixels)
+        self.map_pshadow = VoxelPixelMap(self.grid.n_voxels, n_pixels)
+        self.map_secondary = VoxelPixelMap(self.grid.n_voxels, n_pixels)
+        self.shadow_cache = ShadowCache(n_pixels, n_lights)
+        self.reports: list[ShadowFrameReport] = []
+        self._prev_scene = None
+        self._next_frame = self.first_frame
+
+    @property
+    def frames_remaining(self) -> int:
+        return self.last_frame - self._next_frame
+
+    # -- prediction ------------------------------------------------------------
+    def predict(self, prev_scene, curr_scene) -> tuple[np.ndarray, np.ndarray, int]:
+        """(dirty, shadow_reusable, n_changed_voxels) for prev -> curr."""
+        vox = changed_voxels(self.grid, prev_scene, curr_scene)
+        if vox.size == self.grid.n_voxels:
+            # Full invalidation: everything recomputes, nothing is reusable
+            # (a light may have moved, so cached attenuations are dead).
+            return self.region, np.empty(0, dtype=np.int64), int(vox.size)
+        primary_dirty = np.union1d(
+            self.map_camera.pixels_for_voxels(vox),
+            self.map_pshadow.pixels_for_voxels(vox),
+        )
+        dirty = np.union1d(primary_dirty, self.map_secondary.pixels_for_voxels(vox))
+        if dirty.size:
+            dirty = dirty[np.isin(dirty, self.region, assume_unique=True)]
+        reusable = np.setdiff1d(dirty, primary_dirty, assume_unique=True)
+        return dirty, reusable, int(vox.size)
+
+    # -- the algorithm ------------------------------------------------------------
+    def render_next(self) -> ShadowFrameReport:
+        frame = self._next_frame
+        if frame >= self.last_frame:
+            raise StopIteration("sequence exhausted")
+        scene = self.animation.scene_at(frame)
+        cam = scene.camera
+        if (cam.width, cam.height) != (self.width, self.height):
+            raise ValueError("camera resolution changed mid-sequence")
+        if self._prev_scene is not None and not np.allclose(
+            cam.position, self._prev_scene.camera.position
+        ):
+            raise ValueError(
+                "camera moved mid-sequence: frame coherence requires a stationary camera"
+            )
+        if len(scene.lights) != self.shadow_cache.n_lights:
+            raise ValueError("light count changed mid-sequence")
+
+        t0 = time.perf_counter()
+        if self._prev_scene is None:
+            to_compute = self.region
+            reusable = np.empty(0, dtype=np.int64)
+            n_changed_vox = self.grid.n_voxels
+        else:
+            to_compute, reusable, n_changed_vox = self.predict(self._prev_scene, scene)
+
+        saved_before = self.shadow_cache.rays_saved
+        if to_compute.size:
+            self.shadow_cache.set_reusable(reusable)
+            tracer = RayTracer(
+                scene,
+                grid=self.grid,
+                track_paths=True,
+                chunk_size=self.chunk_size,
+                shadow_cache=self.shadow_cache,
+            )
+            result = tracer.trace_pixels(to_compute)
+            self.framebuffer.scatter(result.pixel_ids, result.colors)
+
+            cam_v, cam_p = result.marks_by_class["camera"]
+            sec_v, sec_p = result.marks_by_class["secondary"]
+            psh_v, psh_p = result.marks_by_class["pshadow"]
+            self.map_camera.replace_pixel_marks(result.pixel_ids, cam_v, cam_p)
+            self.map_secondary.replace_pixel_marks(result.pixel_ids, sec_v, sec_p)
+            # Primary-shadow marks: pixels that reused the cache did not
+            # re-fire their shadow rays — their old marks are still the
+            # truth and must survive; only re-fired pixels are replaced.
+            fired = np.setdiff1d(result.pixel_ids, reusable, assume_unique=True)
+            self.map_pshadow.remove_pixels(fired)
+            self.map_pshadow.add_marks(psh_v, psh_p)
+
+            stats = result.stats
+            rays_pp = result.rays_per_pixel
+            computed = result.pixel_ids
+        else:
+            stats = RayStats()
+            rays_pp = np.empty(0, dtype=np.int64)
+            computed = np.empty(0, dtype=np.int64)
+
+        report = ShadowFrameReport(
+            frame=frame,
+            n_computed=int(computed.size),
+            n_copied=int(self.region.size - computed.size),
+            stats=stats,
+            computed_pixels=computed,
+            rays_per_pixel=rays_pp,
+            n_changed_voxels=n_changed_vox,
+            wall_time=time.perf_counter() - t0,
+            map_entries=self.map_camera.n_entries
+            + self.map_pshadow.n_entries
+            + self.map_secondary.n_entries,
+            n_shadow_reusable=int(reusable.size),
+            shadow_rays_saved=self.shadow_cache.rays_saved - saved_before,
+        )
+        self.reports.append(report)
+        self._prev_scene = scene
+        self._next_frame = frame + 1
+        return report
+
+    def run(self) -> list[ShadowFrameReport]:
+        while self.frames_remaining:
+            self.render_next()
+        return self.reports
+
+    def frame_image(self) -> np.ndarray:
+        return self.framebuffer.as_image()
+
+    @property
+    def total_shadow_rays_saved(self) -> int:
+        return self.shadow_cache.rays_saved

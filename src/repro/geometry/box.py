@@ -1,0 +1,64 @@
+"""Axis-aligned box primitive (POV-Ray ``box``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rmath import AABB, Transform, vec3
+from .base import MISS, Primitive
+
+__all__ = ["Box"]
+
+
+class Box(Primitive):
+    """Canonical box: the unit cube ``[0, 1]^3``.
+
+    Use :meth:`from_corners` for POV's ``box { lo, hi }`` form.  Under a
+    rotating transform the world-space shape is an arbitrary parallelepiped.
+    """
+
+    def local_intersect(self, origins: np.ndarray, dirs: np.ndarray):
+        eps = 1e-9
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / dirs
+        t0 = (0.0 - origins) * inv
+        t1 = (1.0 - origins) * inv
+        t_small = np.fmin(t0, t1)
+        t_big = np.fmax(t0, t1)
+        t_enter = np.max(t_small, axis=-1)
+        t_exit = np.min(t_big, axis=-1)
+        hit = (t_enter <= t_exit) & (t_exit > eps)
+        t = np.where(hit, np.where(t_enter > eps, t_enter, t_exit), MISS)
+
+        # Normal: the axis whose slab bounded the chosen t.
+        n = np.zeros(origins.shape, dtype=np.float64)
+        entering = hit & (t_enter > eps)
+        # For entering hits the active axis maximizes t_small; for exiting
+        # hits (ray started inside) it minimizes t_big.
+        axis_in = np.argmax(t_small, axis=-1)
+        axis_out = np.argmin(t_big, axis=-1)
+        axis = np.where(entering, axis_in, axis_out)
+        rows = np.arange(origins.shape[0])
+        sign = np.where(
+            entering,
+            -np.sign(dirs[rows, axis]),
+            np.sign(dirs[rows, axis]),
+        )
+        n[rows, axis] = np.where(hit, np.where(sign == 0.0, 1.0, sign), 0.0)
+        return t, n
+
+    def local_bounds(self) -> AABB:
+        return AABB(vec3(0, 0, 0), vec3(1, 1, 1))
+
+    @staticmethod
+    def from_corners(lo, hi, material=None, name: str | None = None) -> "Box":
+        """A box spanning ``[lo, hi]`` (corners may be given in any order)."""
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        a = np.minimum(lo, hi)
+        b = np.maximum(lo, hi)
+        size = b - a
+        if np.any(size <= 0):
+            raise ValueError("box must have positive extent on every axis")
+        tf = Transform.translate(*a) @ Transform.scale(*size)
+        return Box(material=material, transform=tf, name=name)

@@ -1,0 +1,301 @@
+"""Constructive solid geometry for convex primitives.
+
+POV-Ray scenes lean heavily on ``intersection { }`` and ``difference { }``
+of quadrics.  For *convex* operands the ray/solid intersection is a single
+parametric interval, which keeps CSG fully vectorizable:
+
+* intersection of convex solids — the intersection of their intervals
+  (still one interval);
+* difference ``A - B`` with convex ``B`` — at most two intervals, of which
+  the nearest positive boundary is the hit.
+
+Supported operands: :class:`Sphere`, :class:`Box`, :class:`Cylinder`
+(each convex), and nested :class:`CSGIntersection` (an intersection of
+convex solids is convex).  :class:`CSGDifference` is not convex and can be
+an operand of nothing — a documented limitation.
+
+Operands are built with their own world placements and combined under a
+CSG node with identity transform (the usual POV authoring style); the node
+itself can also carry a transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rmath import AABB, vec3
+from .base import MISS, Primitive, solve_quadratic
+from .box import Box
+from .cylinder import Cylinder
+from .sphere import Sphere
+
+__all__ = ["CSGIntersection", "CSGDifference", "convex_interval", "local_normal_at"]
+
+_EPS = 1e-9
+
+
+# -- per-primitive interval + boundary-normal helpers ---------------------------
+def _sphere_interval(origins, dirs):
+    a = np.einsum("ni,ni->n", dirs, dirs)
+    b = 2.0 * np.einsum("ni,ni->n", origins, dirs)
+    c = np.einsum("ni,ni->n", origins, origins) - 1.0
+    valid, t0, t1 = solve_quadratic(a, b, c)
+    return np.where(valid, t0, np.inf), np.where(valid, t1, -np.inf), valid
+
+
+def _box_interval(origins, dirs):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = 1.0 / dirs
+        t0 = (0.0 - origins) * inv
+        t1 = (1.0 - origins) * inv
+    lo = np.fmin(t0, t1)
+    hi = np.fmax(t0, t1)
+    # Rays parallel to a slab: inside -> +-inf from division, fmin/fmax keep
+    # the finite bounds; outside -> empty via the NaN/inf comparisons below.
+    parallel = dirs == 0.0
+    outside = parallel & ((origins < 0.0) | (origins > 1.0))
+    enter = np.max(np.where(np.isnan(lo), -np.inf, lo), axis=1)
+    exit_ = np.min(np.where(np.isnan(hi), np.inf, hi), axis=1)
+    valid = (enter <= exit_) & ~np.any(outside, axis=1)
+    return np.where(valid, enter, np.inf), np.where(valid, exit_, -np.inf), valid
+
+
+def _cylinder_interval(origins, dirs):
+    # Infinite lateral surface interval intersected with the 0<=y<=1 slab.
+    ox, oy, oz = origins[:, 0], origins[:, 1], origins[:, 2]
+    dx, dy, dz = dirs[:, 0], dirs[:, 1], dirs[:, 2]
+    a = dx * dx + dz * dz
+    b = 2.0 * (ox * dx + oz * dz)
+    c = ox * ox + oz * oz - 1.0
+    q_valid, q0, q1 = solve_quadratic(a, b, c)
+    # Rays parallel to the axis (a == 0): inside the circle -> infinite
+    # lateral interval; outside -> miss.
+    axis_parallel = np.abs(a) <= 1e-300
+    inside_circle = c <= 0.0
+    lat_enter = np.where(q_valid, q0, np.where(axis_parallel & inside_circle, -np.inf, np.inf))
+    lat_exit = np.where(q_valid, q1, np.where(axis_parallel & inside_circle, np.inf, -np.inf))
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        s0 = (0.0 - oy) / dy
+        s1 = (1.0 - oy) / dy
+    slab_enter = np.fmin(s0, s1)
+    slab_exit = np.fmax(s0, s1)
+    flat = dy == 0.0
+    slab_enter = np.where(flat, np.where((oy >= 0.0) & (oy <= 1.0), -np.inf, np.inf), slab_enter)
+    slab_exit = np.where(flat, np.where((oy >= 0.0) & (oy <= 1.0), np.inf, -np.inf), slab_exit)
+
+    enter = np.maximum(lat_enter, slab_enter)
+    exit_ = np.minimum(lat_exit, slab_exit)
+    valid = enter <= exit_
+    return np.where(valid, enter, np.inf), np.where(valid, exit_, -np.inf), valid
+
+
+def local_normal_at(prim: Primitive, points: np.ndarray) -> np.ndarray:
+    """Outward local-frame normals of a convex primitive at surface points."""
+    p = np.asarray(points, dtype=np.float64)
+    if isinstance(prim, Sphere):
+        return p.copy()
+    if isinstance(prim, Box):
+        # The face whose coordinate is nearest 0 or 1 wins.
+        d_lo = np.abs(p)
+        d_hi = np.abs(p - 1.0)
+        nearest = np.minimum(d_lo, d_hi)
+        axis = np.argmin(nearest, axis=1)
+        rows = np.arange(p.shape[0])
+        sign = np.where(d_lo[rows, axis] < d_hi[rows, axis], -1.0, 1.0)
+        n = np.zeros_like(p)
+        n[rows, axis] = sign
+        return n
+    if isinstance(prim, Cylinder):
+        n = np.zeros_like(p)
+        d_bottom = np.abs(p[:, 1])
+        d_top = np.abs(p[:, 1] - 1.0)
+        r = np.sqrt(p[:, 0] ** 2 + p[:, 2] ** 2)
+        d_side = np.abs(r - 1.0)
+        on_cap = (np.minimum(d_bottom, d_top) < d_side)
+        n[on_cap, 1] = np.where(d_top[on_cap] < d_bottom[on_cap], 1.0, -1.0)
+        side = ~on_cap
+        n[side, 0] = p[side, 0]
+        n[side, 2] = p[side, 2]
+        return n
+    raise TypeError(f"{type(prim).__name__} has no convex normal rule")
+
+
+def convex_interval(prim: Primitive, origins: np.ndarray, dirs: np.ndarray):
+    """World-frame ray/solid interval of a convex primitive.
+
+    Returns ``(t_enter, t_exit, valid)``; invalid rows carry
+    ``(+inf, -inf)`` so min/max interval algebra degrades gracefully.
+    """
+    if isinstance(prim, CSGIntersection):
+        return prim.interval(origins, dirs)
+    tf = prim.transform
+    lo = tf.inv_points(origins)
+    ld = tf.inv_vectors(dirs)
+    if isinstance(prim, Sphere):
+        return _sphere_interval(lo, ld)
+    if isinstance(prim, Box):
+        return _box_interval(lo, ld)
+    if isinstance(prim, Cylinder):
+        return _cylinder_interval(lo, ld)
+    raise TypeError(
+        f"{type(prim).__name__} is not a supported convex CSG operand "
+        "(use Sphere, Box, Cylinder or CSGIntersection)"
+    )
+
+
+def _boundary_normal(prim: Primitive, origins: np.ndarray, dirs: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """World normals on ``prim``'s surface at parametric ``t`` along the rays."""
+    if isinstance(prim, CSGIntersection):
+        return prim.boundary_normal(origins, dirs, t)
+    tf = prim.transform
+    lo = tf.inv_points(origins)
+    ld = tf.inv_vectors(dirs)
+    pts = lo + t[:, None] * ld
+    n_local = local_normal_at(prim, pts)
+    return tf.apply_normals(n_local)
+
+
+def _check_operand(prim: Primitive) -> None:
+    if not isinstance(prim, (Sphere, Box, Cylinder, CSGIntersection)):
+        raise TypeError(
+            f"CSG operand must be convex (Sphere/Box/Cylinder/CSGIntersection), "
+            f"got {type(prim).__name__}"
+        )
+
+
+class CSGIntersection(Primitive):
+    """The solid common to all (convex) children — itself convex."""
+
+    def __init__(self, children: list[Primitive], material=None, transform=None, name=None):
+        if len(children) < 2:
+            raise ValueError("intersection needs at least two children")
+        for c in children:
+            _check_operand(c)
+        super().__init__(material=material, transform=transform, name=name)
+        self.children = list(children)
+
+    # Interval algebra runs in the node's LOCAL frame (children are placed
+    # within it); Primitive.intersect handles the node's own transform.
+    def interval(self, origins: np.ndarray, dirs: np.ndarray):
+        n = origins.shape[0]
+        enter = np.full(n, -np.inf)
+        exit_ = np.full(n, np.inf)
+        valid = np.ones(n, dtype=bool)
+        for child in self.children:
+            c0, c1, cv = convex_interval(child, origins, dirs)
+            enter = np.maximum(enter, c0)
+            exit_ = np.minimum(exit_, c1)
+            valid &= cv
+        valid &= enter <= exit_
+        return np.where(valid, enter, np.inf), np.where(valid, exit_, -np.inf), valid
+
+    def boundary_normal(self, origins: np.ndarray, dirs: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Normal at points known to lie on this solid's surface: the child
+        surface passing through each point provides it."""
+        n_rays = origins.shape[0]
+        out = np.zeros((n_rays, 3))
+        pts = origins + t[:, None] * dirs
+        best = np.full(n_rays, np.inf)
+        for child in self.children:
+            c0, c1, cv = convex_interval(child, origins, dirs)
+            for tc in (c0, c1):
+                d = np.abs(tc - t)
+                closer = cv & (d < best)
+                if np.any(closer):
+                    nrm = _boundary_normal(child, origins[closer], dirs[closer], t[closer])
+                    out[closer] = nrm
+                    best = np.where(closer, d, best)
+        return out
+
+    def local_intersect(self, origins: np.ndarray, dirs: np.ndarray):
+        enter, exit_, valid = self.interval(origins, dirs)
+        t = np.where(
+            valid & (enter > _EPS),
+            enter,
+            np.where(valid & (exit_ > _EPS), exit_, MISS),
+        )
+        n = np.zeros_like(origins)
+        hit = np.isfinite(t)
+        if np.any(hit):
+            n[hit] = self.boundary_normal(origins[hit], dirs[hit], t[hit])
+        return t, n
+
+    def local_bounds(self) -> AABB:
+        lo = np.full(3, -np.inf)
+        hi = np.full(3, np.inf)
+        for child in self.children:
+            b = child.bounds()
+            lo = np.maximum(lo, b.lo)
+            hi = np.minimum(hi, b.hi)
+        if np.any(lo > hi):
+            # Disjoint children: an empty solid.  Use a degenerate point box.
+            return AABB(vec3(0, 0, 0), vec3(0, 0, 0)).expanded(1e-9)
+        return AABB(lo, hi)
+
+    @property
+    def intersect_cost_hint(self) -> float:
+        return 2.0 * len(self.children)
+
+
+class CSGDifference(Primitive):
+    """``minuend - subtrahend`` with a convex subtrahend.
+
+    The result is generally *not* convex, so a difference cannot itself be
+    a CSG operand (at most two disjoint intervals along any line, which is
+    exactly what this class handles).
+    """
+
+    def __init__(self, minuend: Primitive, subtrahend: Primitive, material=None, transform=None, name=None):
+        _check_operand(minuend)
+        _check_operand(subtrahend)
+        super().__init__(material=material, transform=transform, name=name)
+        self.minuend = minuend
+        self.subtrahend = subtrahend
+
+    def local_intersect(self, origins: np.ndarray, dirs: np.ndarray):
+        a0, a1, av = convex_interval(self.minuend, origins, dirs)
+        b0, b1, bv = convex_interval(self.subtrahend, origins, dirs)
+        # A \ B along a line: [a0, min(a1, b0)] and [max(a0, b1), a1].
+        no_b = ~bv
+        b0 = np.where(no_b, np.inf, b0)
+        b1 = np.where(no_b, -np.inf, b1)
+
+        i1_lo, i1_hi = a0, np.minimum(a1, b0)
+        i2_lo, i2_hi = np.maximum(a0, b1), a1
+
+        def first_positive(lo, hi):
+            ok = av & (lo <= hi) & (hi > _EPS)
+            return np.where(ok, np.where(lo > _EPS, lo, np.where(lo >= -1e30, hi, MISS)), MISS), ok
+
+        # Candidate boundary from each interval: its entry if positive, else
+        # its exit (ray starts inside that piece).
+        c1, ok1 = first_positive(i1_lo, i1_hi)
+        c2, ok2 = first_positive(i2_lo, i2_hi)
+        t = np.minimum(np.where(ok1, c1, MISS), np.where(ok2, c2, MISS))
+
+        n = np.zeros_like(origins)
+        hit = np.isfinite(t)
+        if np.any(hit):
+            oh, dh, th = origins[hit], dirs[hit], t[hit]
+            # Which solid's surface bounds the chosen t?
+            from_a = (
+                np.minimum(np.abs(a0[hit] - th), np.abs(a1[hit] - th))
+                <= np.minimum(np.abs(b0[hit] - th), np.abs(b1[hit] - th))
+            )
+            nrm = np.zeros((th.size, 3))
+            if np.any(from_a):
+                nrm[from_a] = _boundary_normal(self.minuend, oh[from_a], dh[from_a], th[from_a])
+            inv = ~from_a
+            if np.any(inv):
+                # Carved surface: the subtrahend's normal, flipped outward.
+                nrm[inv] = -_boundary_normal(self.subtrahend, oh[inv], dh[inv], th[inv])
+            n[hit] = nrm
+        return t, n
+
+    def local_bounds(self) -> AABB:
+        return self.minuend.bounds()
+
+    @property
+    def intersect_cost_hint(self) -> float:
+        return 4.0

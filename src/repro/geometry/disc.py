@@ -1,0 +1,69 @@
+"""Flat disc/annulus primitive (POV-Ray ``disc``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rmath import AABB, Transform, normalize, vec3
+from .base import MISS, Primitive
+
+__all__ = ["Disc"]
+
+
+class Disc(Primitive):
+    """Canonical disc: the unit circle in the ``y = 0`` plane, normal ``+Y``.
+
+    An optional ``inner_radius`` (canonical units) makes it an annulus, like
+    POV's fourth disc argument.
+    """
+
+    def __init__(self, inner_radius: float = 0.0, material=None, transform=None, name=None):
+        if not (0.0 <= inner_radius < 1.0):
+            raise ValueError("inner_radius must be in [0, 1)")
+        super().__init__(material=material, transform=transform, name=name)
+        self.inner_radius = float(inner_radius)
+
+    def local_intersect(self, origins: np.ndarray, dirs: np.ndarray):
+        eps = 1e-9
+        oy = origins[..., 1]
+        dy = dirs[..., 1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = -oy / dy
+            x = origins[..., 0] + t * dirs[..., 0]
+            z = origins[..., 2] + t * dirs[..., 2]
+            r2 = np.where(np.isfinite(t), x * x + z * z, np.inf)
+        hit = (
+            np.isfinite(t)
+            & (t > eps)
+            & (np.abs(dy) > 1e-300)
+            & (r2 <= 1.0)
+            & (r2 >= self.inner_radius * self.inner_radius)
+        )
+        t = np.where(hit, t, MISS)
+        n = np.zeros(origins.shape, dtype=np.float64)
+        n[..., 1] = 1.0
+        return t, n
+
+    def local_bounds(self) -> AABB:
+        return AABB(vec3(-1, -1e-6, -1), vec3(1, 1e-6, 1))
+
+    @staticmethod
+    def at(center, normal, radius: float, inner_radius: float = 0.0, material=None, name=None) -> "Disc":
+        """A disc with explicit center, normal and radii (POV convention)."""
+        if radius <= 0:
+            raise ValueError("disc radius must be positive")
+        if not (0.0 <= inner_radius < radius):
+            raise ValueError("inner radius must be in [0, radius)")
+        n = normalize(np.asarray(normal, dtype=np.float64))
+        y = vec3(0.0, 1.0, 0.0)
+        c = float(np.dot(y, n))
+        if c > 1.0 - 1e-12:
+            rot = Transform.identity()
+        elif c < -1.0 + 1e-12:
+            rot = Transform.rotate_x(np.pi)
+        else:
+            rot = Transform.rotate_axis(np.cross(y, n), np.arccos(np.clip(c, -1.0, 1.0)))
+        tf = Transform.translate(*np.asarray(center, dtype=np.float64)) @ rot @ Transform.scale(radius)
+        return Disc(
+            inner_radius=inner_radius / radius, material=material, transform=tf, name=name
+        )

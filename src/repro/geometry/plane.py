@@ -1,0 +1,59 @@
+"""Infinite plane primitive (POV-Ray ``plane``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rmath import AABB, Transform, normalize, vec3
+from .base import MISS, Primitive
+
+__all__ = ["Plane"]
+
+
+class Plane(Primitive):
+    """Canonical plane: ``y = 0`` with normal ``+Y``.
+
+    Use :meth:`from_normal` for POV's ``plane { <n>, d }`` form (points ``p``
+    with ``n . p = d``).  Bounds are infinite; the uniform grid clips infinite
+    primitives to the scene's voxelized region.
+    """
+
+    def local_intersect(self, origins: np.ndarray, dirs: np.ndarray):
+        oy = origins[..., 1]
+        dy = dirs[..., 1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = -oy / dy
+        eps = 1e-9
+        hit = np.isfinite(t) & (t > eps) & (np.abs(dy) > 1e-300)
+        t = np.where(hit, t, MISS)
+        n = np.zeros(origins.shape, dtype=np.float64)
+        n[..., 1] = 1.0
+        return t, n
+
+    def local_bounds(self) -> AABB:
+        # Infinite in the plane; consumers (grid builder, change detection)
+        # clip infinite extents to the voxelized region.
+        return AABB(vec3(-np.inf, -1e-6, -np.inf), vec3(np.inf, 1e-6, np.inf))
+
+    @staticmethod
+    def from_normal(normal, d: float = 0.0, material=None, name: str | None = None) -> "Plane":
+        """The plane of points ``p`` with ``normal . p == d`` (POV convention).
+
+        ``normal`` need not be unit length; ``d`` is measured against the
+        *normalized* normal, matching POV-Ray when the normal is unit.
+        """
+        n = normalize(np.asarray(normal, dtype=np.float64))
+        if not np.all(np.isfinite(n)) or np.allclose(n, 0.0):
+            raise ValueError("plane normal must be a non-zero vector")
+        # Rotate +Y onto n, then translate by d along n.
+        y = vec3(0.0, 1.0, 0.0)
+        c = float(np.dot(y, n))
+        if c > 1.0 - 1e-12:
+            rot = Transform.identity()
+        elif c < -1.0 + 1e-12:
+            rot = Transform.rotate_x(np.pi)
+        else:
+            axis = np.cross(y, n)
+            rot = Transform.rotate_axis(axis, np.arccos(np.clip(c, -1.0, 1.0)))
+        tf = Transform.translate(*(d * n)) @ rot
+        return Plane(material=material, transform=tf, name=name)

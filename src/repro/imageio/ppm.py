@@ -1,0 +1,55 @@
+"""PPM output — a human-toolable secondary format for examples and docs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_ppm", "read_ppm"]
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> int:
+    """Write an ``(H, W, 3)`` uint8/float image as binary PPM (P6)."""
+    img = np.asarray(image)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise ValueError("image must be (H, W, 3)")
+    if img.dtype != np.uint8:
+        img = (np.clip(img.astype(np.float64), 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    h, w, _ = img.shape
+    header = f"P6\n{w} {h}\n255\n".encode("ascii")
+    data = header + img.tobytes()
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary PPM (P6) as ``(H, W, 3)`` uint8."""
+    data = Path(path).read_bytes()
+    # Parse header tokens: magic, width, height, maxval (comments allowed).
+    tokens: list[bytes] = []
+    i = 0
+    while len(tokens) < 4:
+        if i >= len(data):
+            raise ValueError("truncated PPM header")
+        if data[i : i + 1] == b"#":
+            while i < len(data) and data[i : i + 1] != b"\n":
+                i += 1
+            i += 1
+            continue
+        if data[i : i + 1].isspace():
+            i += 1
+            continue
+        j = i
+        while j < len(data) and not data[j : j + 1].isspace():
+            j += 1
+        tokens.append(data[i:j])
+        i = j
+    if tokens[0] != b"P6":
+        raise ValueError("not a binary PPM (P6) file")
+    w, h, maxval = int(tokens[1]), int(tokens[2]), int(tokens[3])
+    if maxval != 255:
+        raise ValueError("only maxval 255 supported")
+    i += 1  # single whitespace after maxval
+    body = np.frombuffer(data, dtype=np.uint8, count=w * h * 3, offset=i)
+    return body.reshape(h, w, 3).copy()

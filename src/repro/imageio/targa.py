@@ -1,0 +1,81 @@
+"""Targa (TGA) image output.
+
+"The POV-Ray renderer generated animation frames with [320x240] resolution
+in targa format with 24-bit color."  We implement the uncompressed 24-bit
+true-color TGA type 2 format (and read it back for tests).  TGA stores
+pixels bottom-up, BGR.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_targa", "read_targa", "targa_nbytes"]
+
+_HEADER = struct.Struct("<BBBHHBHHHHBB")
+
+
+def targa_nbytes(width: int, height: int) -> int:
+    """On-disk size of a 24-bit uncompressed TGA — the file-write cost the
+    cluster simulator charges the master per frame."""
+    return _HEADER.size + width * height * 3
+
+
+def write_targa(path: str | Path, image: np.ndarray) -> int:
+    """Write an ``(H, W, 3)`` image to ``path``.
+
+    ``image`` may be uint8 or float in [0, 1] (converted).  Returns the
+    number of bytes written.
+    """
+    img = np.asarray(image)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise ValueError("image must be (H, W, 3)")
+    if img.dtype != np.uint8:
+        img = (np.clip(img.astype(np.float64), 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    h, w, _ = img.shape
+    header = _HEADER.pack(
+        0,  # id length
+        0,  # no color map
+        2,  # uncompressed true color
+        0, 0, 0,  # color map spec
+        0, 0,  # origin
+        w, h,
+        24,  # bits per pixel
+        0,  # descriptor: bottom-up, no alpha
+    )
+    # Bottom-up scanline order, BGR channel order.
+    body = img[::-1, :, ::-1].tobytes()
+    data = header + body
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_targa(path: str | Path) -> np.ndarray:
+    """Read a 24-bit uncompressed TGA back as an ``(H, W, 3)`` uint8 array."""
+    data = Path(path).read_bytes()
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated TGA header")
+    (
+        id_len,
+        cmap_type,
+        img_type,
+        _cm0, _cm1, _cm2,
+        _x0, _y0,
+        w, h,
+        bpp,
+        desc,
+    ) = _HEADER.unpack_from(data)
+    if img_type != 2 or cmap_type != 0 or bpp != 24:
+        raise ValueError("only uncompressed 24-bit true-color TGA is supported")
+    offset = _HEADER.size + id_len
+    need = offset + w * h * 3
+    if len(data) < need:
+        raise ValueError("truncated TGA body")
+    body = np.frombuffer(data, dtype=np.uint8, count=w * h * 3, offset=offset)
+    img = body.reshape(h, w, 3)[:, :, ::-1]  # BGR -> RGB
+    if not (desc & 0x20):  # bottom-up unless top-origin bit set
+        img = img[::-1]
+    return np.ascontiguousarray(img)

@@ -1,0 +1,106 @@
+"""Light sources.
+
+The paper's renderer (POV-Ray 3.0) uses point lights with shadow tests; we
+implement point lights with optional distance attenuation plus an ambient
+term carried by the scene.  Each light can answer, for a batch of shading
+points, the direction/distance of its shadow rays — the renderer fires those
+as first-class rays so they are counted in the statistics and marked in the
+coherence voxel map, exactly as the paper describes ("for a given pixel,
+numerous rays may be generated, including ... shadow rays").
+
+POV 3.0's ``area_light`` soft shadows are supported as spherical emitters:
+a light with ``radius > 0`` and ``n_samples > 1`` fires one shadow ray per
+deterministic sample point on the emitter surface and averages the
+attenuations — penumbrae at ``n_samples`` times the shadow-ray cost, with
+all rays counted and voxel-marked as usual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PointLight", "fibonacci_sphere"]
+
+
+def fibonacci_sphere(n: int) -> np.ndarray:
+    """``n`` deterministic, roughly uniform unit vectors (golden spiral)."""
+    if n < 1:
+        raise ValueError("need at least one sample")
+    i = np.arange(n, dtype=np.float64)
+    phi = np.pi * (3.0 - np.sqrt(5.0)) * i
+    y = 1.0 - 2.0 * (i + 0.5) / n
+    r = np.sqrt(np.maximum(0.0, 1.0 - y * y))
+    return np.stack([r * np.cos(phi), y, r * np.sin(phi)], axis=-1)
+
+
+@dataclass
+class PointLight:
+    """An isotropic emitter: a point, or a sphere for soft shadows.
+
+    Attributes
+    ----------
+    position : (3,) world position
+    color : (3,) RGB intensity
+    fade_distance, fade_power:
+        POV-style attenuation: at distance d the intensity is scaled by
+        ``2 / (1 + (d / fade_distance)**fade_power)`` when enabled
+        (``fade_distance > 0``); no attenuation otherwise.
+    radius, n_samples:
+        Soft-shadow emitter size and shadow-sample count; a light is *soft*
+        when both ``radius > 0`` and ``n_samples > 1``.
+    """
+
+    position: np.ndarray
+    color: np.ndarray
+    fade_distance: float = 0.0
+    fade_power: float = 2.0
+    radius: float = 0.0
+    n_samples: int = 1
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=np.float64).reshape(3)
+        self.color = np.asarray(self.color, dtype=np.float64).reshape(3)
+        if np.any(self.color < 0):
+            raise ValueError("light color must be non-negative")
+        if self.fade_distance < 0:
+            raise ValueError("fade_distance must be >= 0")
+        if self.radius < 0:
+            raise ValueError("radius must be >= 0")
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+
+    @property
+    def is_soft(self) -> bool:
+        return self.radius > 0.0 and self.n_samples > 1
+
+    def sample_positions(self) -> np.ndarray:
+        """Emitter sample points, ``(n_samples, 3)`` (one point if hard)."""
+        if not self.is_soft:
+            return self.position[None, :]
+        return self.position + self.radius * fibonacci_sphere(self.n_samples)
+
+    def shadow_rays(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Directions (unit) and distances from shading points to the light
+        center (the central ray used for the diffuse/specular geometry)."""
+        to_light = self.position - np.asarray(points, dtype=np.float64)
+        dist = np.linalg.norm(to_light, axis=-1)
+        safe = np.where(dist > 0, dist, 1.0)
+        return to_light / safe[..., None], dist
+
+    def shadow_rays_to(self, points: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Directions and distances toward one emitter sample point."""
+        to_light = np.asarray(target, dtype=np.float64) - np.asarray(points, dtype=np.float64)
+        dist = np.linalg.norm(to_light, axis=-1)
+        safe = np.where(dist > 0, dist, 1.0)
+        return to_light / safe[..., None], dist
+
+    def intensity_at(self, dist: np.ndarray) -> np.ndarray:
+        """Per-point RGB intensity after attenuation, shape ``(N, 3)``."""
+        dist = np.asarray(dist, dtype=np.float64)
+        if self.fade_distance <= 0.0:
+            return np.broadcast_to(self.color, dist.shape + (3,)).copy()
+        f = 2.0 / (1.0 + (dist / self.fade_distance) ** self.fade_power)
+        return np.clip(f, 0.0, 1.0)[..., None] * self.color

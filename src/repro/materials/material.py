@@ -1,0 +1,124 @@
+"""Surface materials: pigment + finish, following POV-Ray's model.
+
+The shading equation is the paper's:
+
+    I = I_local + k_rg * I_reflected + k_tg * I_transmitted
+
+where ``I_local`` is ambient + diffuse + Phong specular over the visible
+lights, ``k_rg`` (``reflection``) and ``k_tg`` (``transmission``) are
+wavelength-independent constants, and refraction follows Snell's law with
+the finish's index of refraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .texture import SolidColor, Texture
+
+__all__ = ["Finish", "Material"]
+
+
+@dataclass(frozen=True)
+class Finish:
+    """POV-style finish parameters.
+
+    Attributes
+    ----------
+    ambient, diffuse:
+        Coefficients of the local illumination term.
+    specular, phong_size:
+        Phong highlight amplitude and exponent.
+    reflection:
+        ``k_rg`` — fraction of the reflected ray's color added.
+    transmission:
+        ``k_tg`` — fraction of the transmitted (refracted) ray's color added.
+    ior:
+        Index of refraction used when ``transmission > 0``.
+    """
+
+    ambient: float = 0.1
+    diffuse: float = 0.7
+    specular: float = 0.0
+    phong_size: float = 40.0
+    reflection: float = 0.0
+    transmission: float = 0.0
+    ior: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in ("ambient", "diffuse", "specular", "reflection", "transmission"):
+            v = getattr(self, name)
+            if v < 0.0:
+                raise ValueError(f"finish.{name} must be non-negative")
+        if self.reflection > 1.0 or self.transmission > 1.0:
+            raise ValueError("reflection/transmission must be <= 1")
+        if self.phong_size <= 0.0:
+            raise ValueError("phong_size must be positive")
+        if self.ior <= 0.0:
+            raise ValueError("ior must be positive")
+
+    @property
+    def is_reflective(self) -> bool:
+        return self.reflection > 0.0
+
+    @property
+    def is_transmissive(self) -> bool:
+        return self.transmission > 0.0
+
+
+@dataclass
+class Material:
+    """Pigment (texture) + finish."""
+
+    pigment: Texture = field(default_factory=lambda: SolidColor((1.0, 1.0, 1.0)))
+    finish: Finish = field(default_factory=Finish)
+    name: str | None = None
+
+    def color_at(self, points: np.ndarray) -> np.ndarray:
+        """Surface base color at world points ``(N, 3)``."""
+        return self.pigment.color_at(points)
+
+    # -- convenience factories (the looks used by the reproduction scenes) --
+    @staticmethod
+    def matte(color, ambient: float = 0.1, diffuse: float = 0.8, name: str | None = None) -> "Material":
+        return Material(SolidColor(color), Finish(ambient=ambient, diffuse=diffuse), name=name)
+
+    @staticmethod
+    def chrome(tint=(0.9, 0.9, 0.9), reflection: float = 0.75, name: str | None = None) -> "Material":
+        """Polished metal: low diffuse, strong highlight, high reflection."""
+        return Material(
+            SolidColor(tint),
+            Finish(ambient=0.05, diffuse=0.2, specular=0.8, phong_size=120.0, reflection=reflection),
+            name=name,
+        )
+
+    @staticmethod
+    def glass(tint=(0.95, 0.95, 0.95), ior: float = 1.5, name: str | None = None) -> "Material":
+        """Transparent dielectric: reflection + transmission."""
+        return Material(
+            SolidColor(tint),
+            Finish(
+                ambient=0.02,
+                diffuse=0.05,
+                specular=0.9,
+                phong_size=200.0,
+                reflection=0.12,
+                transmission=0.85,
+                ior=ior,
+            ),
+            name=name,
+        )
+
+    @staticmethod
+    def mirror(name: str | None = None) -> "Material":
+        return Material(
+            SolidColor((1.0, 1.0, 1.0)),
+            Finish(ambient=0.0, diffuse=0.02, specular=0.5, phong_size=300.0, reflection=0.95),
+            name=name,
+        )
+
+    @staticmethod
+    def textured(texture: Texture, finish: Finish | None = None, name: str | None = None) -> "Material":
+        return Material(texture, finish if finish is not None else Finish(), name=name)

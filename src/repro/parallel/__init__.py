@@ -1,0 +1,52 @@
+"""Parallel rendering: partitioning, cost oracle, simulated strategies."""
+
+from .config import RenderFarmConfig
+from .fault_tolerance import (
+    default_worker_timeout,
+    simulate_frame_division_fc_fault_tolerant,
+)
+from .oracle import AnimationCostOracle, build_oracle
+from .outcome import SimulationOutcome, format_hms, load_imbalance
+from .partition import (
+    PixelRegion,
+    block_regions,
+    hybrid_tasks,
+    pixel_regions,
+    region_grid_shape,
+    sequence_ranges,
+    strip_regions,
+)
+from .strategies import (
+    default_blocks,
+    simulate_frame_division_fc,
+    simulate_frame_division_nofc,
+    simulate_hybrid_fc,
+    simulate_sequence_division_fc,
+    simulate_sequence_division_nofc,
+    simulate_single_processor,
+)
+
+__all__ = [
+    "AnimationCostOracle",
+    "PixelRegion",
+    "RenderFarmConfig",
+    "SimulationOutcome",
+    "block_regions",
+    "build_oracle",
+    "default_blocks",
+    "default_worker_timeout",
+    "format_hms",
+    "simulate_frame_division_fc_fault_tolerant",
+    "hybrid_tasks",
+    "load_imbalance",
+    "pixel_regions",
+    "region_grid_shape",
+    "sequence_ranges",
+    "simulate_frame_division_fc",
+    "simulate_frame_division_nofc",
+    "simulate_hybrid_fc",
+    "simulate_sequence_division_fc",
+    "simulate_sequence_division_nofc",
+    "simulate_single_processor",
+    "strip_regions",
+]

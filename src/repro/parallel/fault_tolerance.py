@@ -1,0 +1,233 @@
+"""Fault-tolerant distributed rendering (an extension beyond the paper).
+
+A NOW is built from workstations that people reboot, unplug and crash; a
+render that loses a night's frames to one dead slave is not "an extremely
+powerful rendering environment".  This module hardens the frame-division
+coherence strategy against machine failures:
+
+* the master hands out per-frame steps with a **deadline** and waits with
+  a Recv timeout instead of blocking forever;
+* an assignment that misses its deadline declares the worker dead; the
+  orphaned block chain is re-queued with ``fresh=True`` (its coherence
+  state died with the machine — the paper's chain-restart cost, paid only
+  on failure) and handed to the next live worker;
+* duplicate completions (a worker that was merely slow, not dead) are
+  detected by a completed-(block, frame) set and ignored.
+
+Every frame of every block completes exactly once as long as at least one
+worker survives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..cluster import Machine, Recv, Send, ThrashModel, WriteFile
+from ..imageio import targa_nbytes
+from .config import RenderFarmConfig
+from .oracle import AnimationCostOracle
+from .outcome import SimulationOutcome
+from .partition import PixelRegion
+from .strategies import _Chain, _outcome, _RunAccounting, _spawn_farm, default_blocks
+
+__all__ = ["simulate_frame_division_fc_fault_tolerant", "default_worker_timeout"]
+
+
+def default_worker_timeout(
+    oracle: AnimationCostOracle,
+    machines: list[Machine],
+    cfg: RenderFarmConfig,
+    sec_per_work_unit: float,
+    thrash: ThrashModel | None,
+    regions: list[PixelRegion],
+) -> float:
+    """A deadline safely above the slowest legitimate task.
+
+    Worst case: a fresh chain start of the most expensive block on the
+    slowest (and most memory-pressured) machine, tripled for scheduling
+    slack.
+    """
+    th = thrash if thrash is not None else ThrashModel(alpha=0.0)
+    worst_units = 0.0
+    for r in regions:
+        pixels = r.pixels
+        for f in range(oracle.n_frames):
+            rays = oracle.full_rays(f, pixels)
+            units = cfg.task_units(rays, True, chain_start=True, region_pixels=r.n_pixels)
+            worst_units = max(worst_units, units)
+    worst_rate = min(
+        m.speed / th.slowdown(cfg.fc_working_set_mb(max(r.n_pixels for r in regions)), m.memory_mb)
+        for m in machines
+    )
+    return 3.0 * worst_units * sec_per_work_unit / worst_rate + 1.0
+
+
+def simulate_frame_division_fc_fault_tolerant(
+    oracle: AnimationCostOracle,
+    machines: list[Machine],
+    cfg: RenderFarmConfig | None = None,
+    regions: list[PixelRegion] | None = None,
+    sec_per_work_unit: float = 1e-4,
+    thrash: ThrashModel | None = None,
+    failures: list[tuple[str, float]] | None = None,
+    worker_timeout: float | None = None,
+    trace: bool = False,
+    **ethernet_kwargs,
+) -> SimulationOutcome:
+    """Frame division + FC with deadline-based failure recovery.
+
+    ``failures`` is a list of ``(machine_name, virtual_time)`` crashes to
+    inject.  The master must still complete every (block, frame) exactly
+    once; the returned outcome's ``n_steals`` counts adaptive events of
+    both kinds (deadline recoveries and tail steals) and every fresh chain
+    restart shows up in ``n_chain_starts`` and the ray total.
+    """
+    cfg = cfg or RenderFarmConfig()
+    regions = regions if regions is not None else default_blocks(oracle)
+    region_pixels = [r.pixels for r in regions]
+    failures = list(failures or [])
+    frame_bytes = targa_nbytes(oracle.width, oracle.height)
+
+    def master_factory(pvm, worker_tids, acct: _RunAccounting):
+        timeout = worker_timeout
+        if timeout is None:
+            timeout = default_worker_timeout(
+                oracle, machines, cfg, sec_per_work_unit, thrash, regions
+            )
+        supply = deque(_Chain(ri, 0, oracle.n_frames, True) for ri in range(len(regions)))
+        assigned: dict[int, tuple[_Chain, int, float]] = {}
+        dead: set[int] = set()
+        idle: set[int] = set()
+        completed: set[tuple[int, int]] = set()
+        blocks_done_of_frame = {f: 0 for f in range(oracle.n_frames)}
+        n_total = len(regions) * oracle.n_frames
+
+        def dispatch_payload(chain: _Chain) -> dict:
+            f = chain.next_frame
+            reg = region_pixels[chain.region_index]
+            if chain.fresh:
+                rays = oracle.full_rays(f, reg)
+                n_computed = regions[chain.region_index].n_pixels
+                acct.n_chain_starts += 1
+            else:
+                rays, n_computed = oracle.coherent_rays(f, reg)
+            units = cfg.task_units(
+                rays, True, chain_start=chain.fresh,
+                region_pixels=regions[chain.region_index].n_pixels,
+            )
+            acct.total_rays += rays
+            acct.total_units += units
+            payload = {
+                "frame": f,
+                "region": chain.region_index,
+                "units": units,
+                "ws_mb": cfg.fc_working_set_mb(regions[chain.region_index].n_pixels),
+                "reply_bytes": cfg.result_bytes(max(n_computed, 1)),
+            }
+            chain.next_frame += 1
+            chain.fresh = False
+            return payload
+
+        def next_chain_for(tid: int) -> _Chain | None:
+            c_info = assigned.get(tid)
+            if c_info is not None and c_info[0].remaining > 0:
+                return c_info[0]
+            if supply:
+                return supply.popleft()
+            return None
+
+        def steal_tail() -> _Chain | None:
+            """Split the largest not-yet-dispatched chain tail (the base
+            strategy's adaptive subdivision, applied to live assignments)."""
+            victim_tid, victim = None, None
+            for tid, (chain, _f, _dl) in assigned.items():
+                if tid in dead or chain.remaining < cfg.min_steal_frames:
+                    continue
+                if victim is None or chain.remaining > victim.remaining:
+                    victim_tid, victim = tid, chain
+            if victim is None:
+                return None
+            keep = max(1, victim.remaining // 2)
+            mid = victim.next_frame + keep
+            stolen = _Chain(victim.region_index, mid, victim.end_frame, True)
+            victim.end_frame = mid
+            acct.n_steals += 1
+            return stolen
+
+        def sweep_deadlines(now: float):
+            for tid in list(assigned):
+                chain, frame, deadline = assigned[tid]
+                if now >= deadline and tid not in dead:
+                    # Presumed dead: orphan the chain, restart it fresh at
+                    # the frame that was in flight.
+                    dead.add(tid)
+                    acct.n_steals += 1  # recorded as recovery events
+                    chain.fresh = True
+                    chain.next_frame = frame
+                    supply.append(chain)
+                    del assigned[tid]
+
+        # -- prime every worker ------------------------------------------------
+        for tid in worker_tids:
+            c = next_chain_for(tid)
+            if c is None:
+                idle.add(tid)
+                continue
+            frame = c.next_frame
+            yield Send(tid, cfg.request_bytes, dispatch_payload(c), tag="task")
+            assigned[tid] = (c, frame, pvm.sim.now + timeout)
+
+        while len(completed) < n_total:
+            msg = yield Recv(tag="done", timeout=timeout / 2.0)
+            now = pvm.sim.now
+            if msg is not None and msg.src not in dead:
+                key = (msg.payload["region"], msg.payload["frame"])
+                if key not in completed:
+                    completed.add(key)
+                    f = msg.payload["frame"]
+                    blocks_done_of_frame[f] += 1
+                    if blocks_done_of_frame[f] == len(regions):
+                        if cfg.write_frames:
+                            yield WriteFile(frame_bytes)
+                        acct.frame_done_at[f] = pvm.sim.now
+                # The sender is alive and hungry regardless of duplication.
+                info = assigned.pop(msg.src, None)
+                c = info[0] if info is not None and info[0].remaining > 0 else None
+                if c is None and supply:
+                    c = supply.popleft()
+                if c is not None:
+                    frame = c.next_frame
+                    yield Send(msg.src, cfg.request_bytes, dispatch_payload(c), tag="task")
+                    assigned[msg.src] = (c, frame, pvm.sim.now + timeout)
+                else:
+                    idle.add(msg.src)
+            sweep_deadlines(now)
+            # Re-dispatch recovered chains to idle live workers; when the
+            # supply is dry, steal tail halves from loaded chains instead.
+            while idle:
+                tid = idle.pop()
+                if tid in dead:
+                    continue
+                c = supply.popleft() if supply else steal_tail()
+                if c is None:
+                    idle.add(tid)
+                    break
+                frame = c.next_frame
+                yield Send(tid, cfg.request_bytes, dispatch_payload(c), tag="task")
+                assigned[tid] = (c, frame, pvm.sim.now + timeout)
+            if not assigned and not supply and len(completed) < n_total:
+                raise RuntimeError("all workers dead with work remaining")
+
+        # Stop every worker, including ones we *declared* dead: a worker
+        # that was merely slow (false positive) must not deadlock the
+        # simulation, and messages to truly crashed tasks are dropped.
+        for tid in worker_tids:
+            yield Send(tid, cfg.msg_overhead_bytes, None, tag="stop")
+
+    pvm, acct = _spawn_farm(
+        machines, sec_per_work_unit, thrash, master_factory, trace=trace, **ethernet_kwargs
+    )
+    for machine_name, at in failures:
+        pvm.fail_machine(machine_name, at)
+    end = pvm.run()
+    return _outcome("frame-division+fc+ft", oracle, pvm, acct, end)

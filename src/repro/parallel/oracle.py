@@ -1,0 +1,164 @@
+"""The animation cost oracle: measured per-pixel work for strategy replay.
+
+The cluster simulator must charge each render task its true cost.  Because a
+pixel's ray tree is an intrinsic property of (scene, pixel) — independent of
+which processor renders it or which other pixels render alongside — one
+instrumented analysis of the animation yields everything any partitioning
+strategy can ask:
+
+* ``full_cost[f, p]`` — rays fired to render pixel ``p`` of frame ``f`` from
+  scratch;
+* ``dirty[f]`` — the frame-coherence recompute set for the transition
+  ``f-1 -> f`` (well-defined independent of where a coherence chain started,
+  because an un-recomputed pixel's ray paths — and hence its voxel marks —
+  are unchanged).
+
+A strategy replay then reads: a chain start at frame ``k`` over region ``R``
+costs ``full_cost[k, R].sum()``; each subsequent frame costs
+``full_cost[f, dirty[f] & R].sum()``.  Ray counts per strategy (Table 1's
+first row) fall out of the same arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..coherence import CoherentRenderer, grid_for_animation
+from ..render import RayTracer
+from ..scene import Animation
+
+__all__ = ["AnimationCostOracle", "build_oracle"]
+
+
+@dataclass
+class AnimationCostOracle:
+    """Measured per-pixel, per-frame rendering costs of one animation."""
+
+    width: int
+    height: int
+    n_frames: int
+    full_cost: np.ndarray  # (n_frames, n_pixels) int32, rays per pixel
+    dirty_sets: list[np.ndarray]  # dirty_sets[0] is empty; [f] = recompute set for f>=1
+    grid_resolution: int
+
+    def __post_init__(self) -> None:
+        self.full_cost = np.asarray(self.full_cost, dtype=np.int32)
+        if self.full_cost.shape != (self.n_frames, self.n_pixels):
+            raise ValueError("full_cost shape mismatch")
+        if len(self.dirty_sets) != self.n_frames:
+            raise ValueError("need one dirty set per frame")
+
+    @property
+    def n_pixels(self) -> int:
+        return self.width * self.height
+
+    # -- cost queries -----------------------------------------------------
+    def full_rays(self, frame: int, region: np.ndarray | None = None) -> int:
+        """Rays to render ``region`` (default: whole frame) of ``frame`` from scratch."""
+        row = self.full_cost[frame]
+        return int(row.sum()) if region is None else int(row[region].sum())
+
+    def dirty_pixels(self, frame: int, region: np.ndarray | None = None) -> np.ndarray:
+        """Recompute set of ``frame`` (transition f-1 -> f), clipped to ``region``."""
+        if frame == 0:
+            raise ValueError("frame 0 has no predecessor; it is a chain start")
+        d = self.dirty_sets[frame]
+        if region is None:
+            return d
+        return d[np.isin(d, region, assume_unique=True)]
+
+    def coherent_rays(self, frame: int, region: np.ndarray | None = None) -> tuple[int, int]:
+        """(rays, pixels_computed) for a coherent step onto ``frame``."""
+        d = self.dirty_pixels(frame, region)
+        return int(self.full_cost[frame][d].sum()), int(d.size)
+
+    def chain_rays(self, start: int, stop: int, region: np.ndarray | None = None) -> int:
+        """Total rays of a coherence chain over frames ``[start, stop)``."""
+        total = self.full_rays(start, region)
+        for f in range(start + 1, stop):
+            total += self.coherent_rays(f, region)[0]
+        return total
+
+    def total_full_rays(self) -> int:
+        """Rays when every frame is rendered from scratch (no coherence)."""
+        return int(self.full_cost.sum())
+
+    def total_coherent_rays(self) -> int:
+        """Rays of a single full-frame coherence chain over the animation."""
+        return self.chain_rays(0, self.n_frames)
+
+    def mean_dirty_fraction(self) -> float:
+        if self.n_frames < 2:
+            return 0.0
+        return float(
+            np.mean([self.dirty_sets[f].size / self.n_pixels for f in range(1, self.n_frames)])
+        )
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            path,
+            width=self.width,
+            height=self.height,
+            n_frames=self.n_frames,
+            full_cost=self.full_cost,
+            grid_resolution=self.grid_resolution,
+            **{f"dirty_{f}": self.dirty_sets[f] for f in range(self.n_frames)},
+        )
+
+    @staticmethod
+    def load(path: str | Path) -> "AnimationCostOracle":
+        with np.load(path) as z:
+            n_frames = int(z["n_frames"])
+            return AnimationCostOracle(
+                width=int(z["width"]),
+                height=int(z["height"]),
+                n_frames=n_frames,
+                full_cost=z["full_cost"],
+                dirty_sets=[z[f"dirty_{f}"].astype(np.int64) for f in range(n_frames)],
+                grid_resolution=int(z["grid_resolution"]),
+            )
+
+
+def build_oracle(
+    animation: Animation,
+    grid_resolution: int = 24,
+    chunk_size: int = 32768,
+    verbose: bool = False,
+) -> AnimationCostOracle:
+    """Instrument the animation: one coherent pass + one full pass per frame."""
+    cam = animation.camera_at(0)
+    n_pixels = cam.n_pixels
+    full_cost = np.zeros((animation.n_frames, n_pixels), dtype=np.int32)
+
+    grid = grid_for_animation(animation, grid_resolution)
+    coherent = CoherentRenderer(animation, grid=grid, chunk_size=chunk_size)
+    dirty_sets: list[np.ndarray] = [np.empty(0, dtype=np.int64)]
+
+    for f in range(animation.n_frames):
+        report = coherent.render_next()
+        if f > 0:
+            dirty_sets.append(report.computed_pixels)
+        # Full per-pixel cost (no path tracking needed).
+        scene = animation.scene_at(f)
+        tracer = RayTracer(scene, chunk_size=chunk_size)
+        result = tracer.trace_pixels(cam.pixel_grid())
+        full_cost[f] = result.rays_per_pixel
+        if verbose:  # pragma: no cover - console aid
+            print(
+                f"oracle frame {f}: dirty={report.n_computed} "
+                f"full_rays={int(full_cost[f].sum())}"
+            )
+
+    res = grid_resolution if isinstance(grid_resolution, int) else int(np.max(grid_resolution))
+    return AnimationCostOracle(
+        width=cam.width,
+        height=cam.height,
+        n_frames=animation.n_frames,
+        full_cost=full_cost,
+        dirty_sets=dirty_sets,
+        grid_resolution=res,
+    )

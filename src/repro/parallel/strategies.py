@@ -1,0 +1,543 @@
+"""The rendering strategies of Table 1, as simulated PVM programs.
+
+Each ``simulate_*`` function stands up a :class:`~repro.cluster.VirtualPVM`
+with a master task (which owns the strategy's scheduling policy and writes
+finished frames to disk) and one generic worker task per machine, replays
+the animation's measured costs (from the
+:class:`~repro.parallel.oracle.AnimationCostOracle`) through it, and
+returns a :class:`~repro.parallel.outcome.SimulationOutcome`.
+
+Strategies:
+
+* :func:`simulate_single_processor` — Table 1 columns (1)/(2);
+* :func:`simulate_frame_division_nofc` — columns (4)/(5): 80x80 blocks of
+  each frame, demand-driven, no coherence;
+* :func:`simulate_sequence_division_fc` — columns (6)/(7): contiguous
+  subsequences with coherence, adaptively subdivided;
+* :func:`simulate_frame_division_fc` — columns (8)/(9): 80x80 subareas for
+  the whole sequence with per-block coherence, demand-driven + adaptive;
+* :func:`simulate_sequence_division_nofc`, :func:`simulate_hybrid_fc` —
+  ablations.
+
+The master always runs on the first (fastest) machine and performs no
+compute, only scheduling and file output; a worker runs on *every* machine,
+including the master's — matching the paper's three-machine testbed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..cluster import Compute, Machine, Recv, Send, ThrashModel, VirtualPVM, WriteFile
+from ..imageio import targa_nbytes
+from .config import RenderFarmConfig
+from .oracle import AnimationCostOracle
+from .outcome import SimulationOutcome
+from .partition import PixelRegion, block_regions, sequence_ranges
+
+__all__ = [
+    "simulate_single_processor",
+    "simulate_frame_division_nofc",
+    "simulate_sequence_division_nofc",
+    "simulate_sequence_division_fc",
+    "simulate_frame_division_fc",
+    "simulate_hybrid_fc",
+    "default_blocks",
+]
+
+
+def default_blocks(oracle: AnimationCostOracle) -> list[PixelRegion]:
+    """The paper's 80x80-of-320x240 block layout, scaled to the oracle's
+    resolution: a 4x3 grid of equal blocks."""
+    return block_regions(
+        oracle.width,
+        oracle.height,
+        block_w=max(1, oracle.width // 4),
+        block_h=max(1, oracle.height // 3),
+    )
+
+
+# -- shared plumbing ----------------------------------------------------------
+@dataclass
+class _RunAccounting:
+    """Mutable counters the master updates while the simulation runs."""
+
+    total_rays: int = 0
+    total_units: float = 0.0
+    n_chain_starts: int = 0
+    n_steals: int = 0
+    frame_done_at: dict[int, float] = field(default_factory=dict)
+
+
+def _worker_program(master_tid: int) -> Iterator:
+    """The generic slave: receive a task, compute it, return the result.
+
+    The payload carries precomputed ``units`` (from the oracle) and the
+    modelled working-set size; the worker is strategy-agnostic, exactly like
+    the paper's slaves ("the slaves themselves do not need to communicate
+    with each other").
+    """
+    while True:
+        msg = yield Recv()
+        if msg.tag == "stop":
+            return
+        p = msg.payload
+        yield Compute(units=p["units"], working_set_mb=p["ws_mb"])
+        yield Send(master_tid, p["reply_bytes"], payload=p, tag="done")
+
+
+def _spawn_farm(
+    machines: list[Machine],
+    sec_per_work_unit: float,
+    thrash: ThrashModel | None,
+    master_factory,
+    trace: bool = False,
+    **ethernet_kwargs,
+) -> tuple[VirtualPVM, _RunAccounting]:
+    """Wire up master + one worker per machine; master_factory(pvm, worker_tids, acct)."""
+    pvm = VirtualPVM(
+        machines, sec_per_work_unit=sec_per_work_unit, thrash=thrash, **ethernet_kwargs
+    )
+    pvm.tracing = bool(trace)
+    acct = _RunAccounting()
+    # Reserve tid 1 for the master so workers can address it: spawn order
+    # matters, so create the master generator lazily after worker tids exist.
+    # Trick: master tid is allocated first by spawning a placeholder-free
+    # design — instead we spawn workers first and pass their tids in.
+    worker_tids: list[int] = []
+    master_tid_holder: list[int] = []
+
+    def late_master():
+        # Delegate to the strategy program once spawned.
+        yield from master_factory(pvm, worker_tids, acct)
+
+    # Workers address the master through its (future) tid; since tids are
+    # assigned sequentially we can predict it: workers take 1..n, master n+1.
+    predicted_master_tid = len(machines) + 1
+    for m in machines:
+        worker_tids.append(
+            pvm.spawn(_worker_program(predicted_master_tid), m.name, name=f"worker-{m.name}")
+        )
+    mtid = pvm.spawn(late_master(), machines[0].name, name="master")
+    master_tid_holder.append(mtid)
+    if mtid != predicted_master_tid:  # defensive: spawn order is the contract
+        raise RuntimeError("tid allocation changed; master address is stale")
+    return pvm, acct
+
+
+def _outcome(
+    strategy: str,
+    oracle: AnimationCostOracle,
+    pvm: VirtualPVM,
+    acct: _RunAccounting,
+    total_time: float,
+    first_frame_time: float | None = None,
+) -> SimulationOutcome:
+    timeline = None
+    if pvm.tracing and pvm.events:
+        from ..cluster import render_timeline
+
+        timeline = render_timeline(pvm)
+    return SimulationOutcome(
+        strategy=strategy,
+        n_frames=oracle.n_frames,
+        total_time=total_time,
+        first_frame_time=first_frame_time,
+        frame_completion_times=dict(acct.frame_done_at),
+        total_rays=acct.total_rays,
+        total_units=acct.total_units,
+        machine_busy_seconds=pvm.cpu_busy_seconds(),
+        ethernet_busy_seconds=pvm.ethernet.busy_seconds,
+        n_messages=pvm.ethernet.n_messages,
+        bytes_on_wire=pvm.ethernet.bytes_carried,
+        n_chain_starts=acct.n_chain_starts,
+        n_steals=acct.n_steals,
+        timeline=timeline,
+    )
+
+
+# -- Table 1 columns (1) and (2): single processor ------------------------------
+def simulate_single_processor(
+    oracle: AnimationCostOracle,
+    machine: Machine,
+    cfg: RenderFarmConfig | None = None,
+    use_coherence: bool = False,
+    sec_per_work_unit: float = 1e-4,
+    thrash: ThrashModel | None = None,
+) -> SimulationOutcome:
+    """One renderer process computing and writing every frame in order."""
+    cfg = cfg or RenderFarmConfig()
+    pvm = VirtualPVM([machine], sec_per_work_unit=sec_per_work_unit, thrash=thrash)
+    acct = _RunAccounting()
+    frame_bytes = targa_nbytes(oracle.width, oracle.height)
+
+    def renderer():
+        for f in range(oracle.n_frames):
+            if use_coherence:
+                chain_start = f == 0
+                rays = oracle.full_rays(f) if chain_start else oracle.coherent_rays(f)[0]
+                units = cfg.task_units(
+                    rays, True, chain_start=chain_start, region_pixels=oracle.n_pixels
+                )
+                ws = cfg.fc_working_set_mb(oracle.n_pixels)
+                if chain_start:
+                    acct.n_chain_starts += 1
+            else:
+                rays = oracle.full_rays(f)
+                units = cfg.task_units(rays, False)
+                ws = cfg.nofc_working_set_mb(oracle.n_pixels)
+            acct.total_rays += rays
+            acct.total_units += units
+            yield Compute(units=units, working_set_mb=ws)
+            if cfg.write_frames:
+                yield WriteFile(frame_bytes)
+            acct.frame_done_at[f] = pvm.sim.now
+
+    pvm.spawn(renderer(), machine.name, name="renderer")
+    end = pvm.run()
+    name = "single+fc" if use_coherence else "single"
+    return _outcome(name, oracle, pvm, acct, end, first_frame_time=acct.frame_done_at.get(0))
+
+
+# -- Table 1 columns (4)/(5): distributed, no coherence -------------------------
+def simulate_frame_division_nofc(
+    oracle: AnimationCostOracle,
+    machines: list[Machine],
+    cfg: RenderFarmConfig | None = None,
+    regions: list[PixelRegion] | None = None,
+    sec_per_work_unit: float = 1e-4,
+    thrash: ThrashModel | None = None,
+    trace: bool = False,
+    **ethernet_kwargs,
+) -> SimulationOutcome:
+    """Each frame subdivided into blocks "distributed to the machines as
+    they request them" — pure demand-driven, every task full cost."""
+    cfg = cfg or RenderFarmConfig()
+    regions = regions if regions is not None else default_blocks(oracle)
+    frame_bytes = targa_nbytes(oracle.width, oracle.height)
+    region_pixels = [r.pixels for r in regions]
+
+    def master_factory(pvm: VirtualPVM, worker_tids: list[int], acct: _RunAccounting):
+        tasks = deque((f, ri) for f in range(oracle.n_frames) for ri in range(len(regions)))
+        remaining = {f: len(regions) for f in range(oracle.n_frames)}
+        n_total = len(tasks)
+
+        def payload(f: int, ri: int) -> dict:
+            rays = oracle.full_rays(f, region_pixels[ri])
+            units = cfg.task_units(rays, False)
+            acct.total_rays += rays
+            acct.total_units += units
+            return {
+                "frame": f,
+                "region": ri,
+                "units": units,
+                "ws_mb": cfg.nofc_working_set_mb(regions[ri].n_pixels),
+                "reply_bytes": cfg.result_bytes(regions[ri].n_pixels),
+            }
+
+        n_done = 0
+        stopped = set()
+        for tid in worker_tids:
+            if tasks:
+                f, ri = tasks.popleft()
+                yield Send(tid, cfg.request_bytes, payload(f, ri), tag="task")
+            else:
+                stopped.add(tid)
+                yield Send(tid, cfg.msg_overhead_bytes, None, tag="stop")
+        while n_done < n_total:
+            msg = yield Recv(tag="done")
+            n_done += 1
+            f = msg.payload["frame"]
+            remaining[f] -= 1
+            if remaining[f] == 0:
+                if cfg.write_frames:
+                    yield WriteFile(frame_bytes)
+                acct.frame_done_at[f] = pvm.sim.now
+            if tasks:
+                nf, nri = tasks.popleft()
+                yield Send(msg.src, cfg.request_bytes, payload(nf, nri), tag="task")
+            else:
+                stopped.add(msg.src)
+                yield Send(msg.src, cfg.msg_overhead_bytes, None, tag="stop")
+        for tid in worker_tids:
+            if tid not in stopped:
+                yield Send(tid, cfg.msg_overhead_bytes, None, tag="stop")
+
+    pvm, acct = _spawn_farm(machines, sec_per_work_unit, thrash, master_factory, trace=trace, **ethernet_kwargs)
+    end = pvm.run()
+    return _outcome("frame-division", oracle, pvm, acct, end)
+
+
+# -- chained (coherence) strategies: shared master -----------------------------
+@dataclass
+class _Chain:
+    """A coherence chain: frames [next, end) over one region, owned by a worker."""
+
+    region_index: int  # index into the regions list (0 == whole frame)
+    next_frame: int
+    end_frame: int
+    fresh: bool  # next dispatch is a chain start (full render)
+
+    @property
+    def remaining(self) -> int:
+        return self.end_frame - self.next_frame
+
+
+def _chained_master_factory(
+    oracle: AnimationCostOracle,
+    cfg: RenderFarmConfig,
+    regions: list[PixelRegion] | None,
+    initial_chains: list[_Chain],
+    pending_chains: deque,
+    use_coherence: bool,
+    strategy_blocks_per_frame: int,
+):
+    """Master for chain-structured strategies (sequence/frame/hybrid division).
+
+    ``initial_chains`` are handed to workers in order; ``pending_chains``
+    supplies further chains on demand; when both run dry, idle workers
+    *steal* the tail half of the chain with the most remaining frames
+    (the paper's adaptive subdivision), paying a fresh chain start.
+    """
+    region_pixels = (
+        [r.pixels for r in regions] if regions is not None else None
+    )
+    frame_bytes_full = None  # bound in factory below
+
+    def factory(pvm: VirtualPVM, worker_tids: list[int], acct: _RunAccounting):
+        nonlocal frame_bytes_full
+        frame_bytes_full = targa_nbytes(oracle.width, oracle.height)
+        chains: dict[int, _Chain] = {}
+        blocks_done_of_frame: dict[int, int] = {f: 0 for f in range(oracle.n_frames)}
+        supply = deque(initial_chains)
+        supply.extend(pending_chains)
+
+        total_steps = sum(c.remaining for c in supply)
+        n_done = 0
+
+        def region_of(chain: _Chain) -> np.ndarray | None:
+            return None if region_pixels is None else region_pixels[chain.region_index]
+
+        def region_size(chain: _Chain) -> int:
+            return oracle.n_pixels if regions is None else regions[chain.region_index].n_pixels
+
+        def dispatch_payload(chain: _Chain) -> dict:
+            f = chain.next_frame
+            reg = region_of(chain)
+            if use_coherence:
+                if chain.fresh:
+                    rays = oracle.full_rays(f, reg)
+                    n_computed = region_size(chain)
+                    acct.n_chain_starts += 1
+                else:
+                    rays, n_computed = oracle.coherent_rays(f, reg)
+                units = cfg.task_units(
+                    rays, True, chain_start=chain.fresh, region_pixels=region_size(chain)
+                )
+                ws = cfg.fc_working_set_mb(region_size(chain))
+            else:
+                rays = oracle.full_rays(f, reg)
+                n_computed = region_size(chain)
+                units = cfg.task_units(rays, False)
+                ws = cfg.nofc_working_set_mb(region_size(chain))
+            acct.total_rays += rays
+            acct.total_units += units
+            p = {
+                "frame": f,
+                "region": chain.region_index,
+                "units": units,
+                "ws_mb": ws,
+                "reply_bytes": cfg.result_bytes(max(n_computed, 1)),
+            }
+            chain.next_frame += 1
+            chain.fresh = False
+            return p
+
+        def next_assignment(tid: int) -> _Chain | None:
+            """Continue the worker's chain, take a fresh one, or steal."""
+            c = chains.get(tid)
+            if c is not None and c.remaining > 0:
+                return c
+            if supply:
+                chains[tid] = supply.popleft()
+                return chains[tid]
+            # Adaptive subdivision: split the largest remaining chain.
+            victim_tid, victim = None, None
+            for otid, oc in chains.items():
+                if otid == tid or oc.remaining < cfg.min_steal_frames:
+                    continue
+                if victim is None or oc.remaining > victim.remaining:
+                    victim_tid, victim = otid, oc
+            if victim is None:
+                return None
+            keep = max(1, victim.remaining // 2)
+            mid = victim.next_frame + keep
+            stolen = _Chain(
+                region_index=victim.region_index,
+                next_frame=mid,
+                end_frame=victim.end_frame,
+                fresh=True,
+            )
+            victim.end_frame = mid
+            acct.n_steals += 1
+            chains[tid] = stolen
+            return stolen
+
+        stopped: set[int] = set()
+        for tid in worker_tids:
+            c = next_assignment(tid)
+            if c is None:
+                stopped.add(tid)
+                yield Send(tid, cfg.msg_overhead_bytes, None, tag="stop")
+            else:
+                yield Send(tid, cfg.request_bytes, dispatch_payload(c), tag="task")
+
+        while n_done < total_steps:
+            msg = yield Recv(tag="done")
+            n_done += 1
+            f = msg.payload["frame"]
+            blocks_done_of_frame[f] += 1
+            if blocks_done_of_frame[f] == strategy_blocks_per_frame:
+                if cfg.write_frames:
+                    yield WriteFile(frame_bytes_full)
+                acct.frame_done_at[f] = pvm.sim.now
+            c = next_assignment(msg.src)
+            if c is None:
+                stopped.add(msg.src)
+                yield Send(msg.src, cfg.msg_overhead_bytes, None, tag="stop")
+            else:
+                yield Send(msg.src, cfg.request_bytes, dispatch_payload(c), tag="task")
+        for tid in worker_tids:
+            if tid not in stopped:
+                yield Send(tid, cfg.msg_overhead_bytes, None, tag="stop")
+
+    return factory
+
+
+# -- Table 1 columns (6)/(7): sequence division + coherence ----------------------
+def simulate_sequence_division_fc(
+    oracle: AnimationCostOracle,
+    machines: list[Machine],
+    cfg: RenderFarmConfig | None = None,
+    sec_per_work_unit: float = 1e-4,
+    thrash: ThrashModel | None = None,
+    trace: bool = False,
+    **ethernet_kwargs,
+) -> SimulationOutcome:
+    """Whole-frame subsequences per processor, coherence inside each,
+    adaptively subdivided to keep all processors busy.
+
+    Initial ranges are weighted by *effective* speed — raw speed divided by
+    the expected thrash factor of a full-frame coherence chain — the paper's
+    "matching the computation of a subproblem to the most appropriate
+    processor" on a heterogeneous NOW.
+    """
+    cfg = cfg or RenderFarmConfig()
+    th = thrash if thrash is not None else ThrashModel(alpha=0.0)
+    ws = cfg.fc_working_set_mb(oracle.n_pixels)
+    weights = [m.speed / th.slowdown(ws, m.memory_mb) for m in machines]
+    ranges = sequence_ranges(oracle.n_frames, len(machines), weights=weights)
+    initial = [_Chain(0, a, b, True) for a, b in ranges]
+    factory = _chained_master_factory(
+        oracle, cfg, None, initial, deque(), use_coherence=True, strategy_blocks_per_frame=1
+    )
+    pvm, acct = _spawn_farm(machines, sec_per_work_unit, thrash, factory, trace=trace, **ethernet_kwargs)
+    end = pvm.run()
+    return _outcome("sequence-division+fc", oracle, pvm, acct, end)
+
+
+def simulate_sequence_division_nofc(
+    oracle: AnimationCostOracle,
+    machines: list[Machine],
+    cfg: RenderFarmConfig | None = None,
+    sec_per_work_unit: float = 1e-4,
+    thrash: ThrashModel | None = None,
+    trace: bool = False,
+    **ethernet_kwargs,
+) -> SimulationOutcome:
+    """Ablation: subsequence assignment without coherence."""
+    cfg = cfg or RenderFarmConfig()
+    ranges = sequence_ranges(
+        oracle.n_frames, len(machines), weights=[m.speed for m in machines]
+    )
+    initial = [_Chain(0, a, b, True) for a, b in ranges]
+    factory = _chained_master_factory(
+        oracle, cfg, None, initial, deque(), use_coherence=False, strategy_blocks_per_frame=1
+    )
+    pvm, acct = _spawn_farm(machines, sec_per_work_unit, thrash, factory, trace=trace, **ethernet_kwargs)
+    end = pvm.run()
+    return _outcome("sequence-division", oracle, pvm, acct, end)
+
+
+# -- Table 1 columns (8)/(9): frame division + coherence -------------------------
+def simulate_frame_division_fc(
+    oracle: AnimationCostOracle,
+    machines: list[Machine],
+    cfg: RenderFarmConfig | None = None,
+    regions: list[PixelRegion] | None = None,
+    sec_per_work_unit: float = 1e-4,
+    thrash: ThrashModel | None = None,
+    trace: bool = False,
+    **ethernet_kwargs,
+) -> SimulationOutcome:
+    """80x80 subareas computed "for the entire 45 frames, or until the
+    sequence was adaptively subdivided": per-block coherence chains,
+    demand-driven block assignment, time-axis stealing for stragglers."""
+    cfg = cfg or RenderFarmConfig()
+    regions = regions if regions is not None else default_blocks(oracle)
+    chains = deque(
+        _Chain(ri, 0, oracle.n_frames, True) for ri in range(len(regions))
+    )
+    factory = _chained_master_factory(
+        oracle,
+        cfg,
+        regions,
+        [],
+        chains,
+        use_coherence=True,
+        strategy_blocks_per_frame=len(regions),
+    )
+    pvm, acct = _spawn_farm(machines, sec_per_work_unit, thrash, factory, trace=trace, **ethernet_kwargs)
+    end = pvm.run()
+    return _outcome("frame-division+fc", oracle, pvm, acct, end)
+
+
+# -- ablation: hybrid (subarea x subsequence) -----------------------------------
+def simulate_hybrid_fc(
+    oracle: AnimationCostOracle,
+    machines: list[Machine],
+    cfg: RenderFarmConfig | None = None,
+    regions: list[PixelRegion] | None = None,
+    frames_per_chunk: int = 10,
+    sec_per_work_unit: float = 1e-4,
+    thrash: ThrashModel | None = None,
+    trace: bool = False,
+    **ethernet_kwargs,
+) -> SimulationOutcome:
+    """The paper's hybrid: "each processor computes pixels in a subarea of a
+    frame for a subsequence of the entire animation"."""
+    cfg = cfg or RenderFarmConfig()
+    if frames_per_chunk < 1:
+        raise ValueError("frames_per_chunk must be >= 1")
+    regions = regions if regions is not None else default_blocks(oracle)
+    chains = deque(
+        _Chain(ri, a, min(a + frames_per_chunk, oracle.n_frames), True)
+        for ri in range(len(regions))
+        for a in range(0, oracle.n_frames, frames_per_chunk)
+    )
+    factory = _chained_master_factory(
+        oracle,
+        cfg,
+        regions,
+        [],
+        chains,
+        use_coherence=True,
+        strategy_blocks_per_frame=len(regions),
+    )
+    pvm, acct = _spawn_farm(machines, sec_per_work_unit, thrash, factory, trace=trace, **ethernet_kwargs)
+    end = pvm.run()
+    return _outcome("hybrid+fc", oracle, pvm, acct, end)

@@ -1,0 +1,125 @@
+"""High-level rendering pipeline: whole animations, including camera cuts.
+
+The coherence algorithm "works only for sequences in which the camera is
+stationary; any camera movement logically separates one sequence from
+another.  These shorter sequences represent the computational tasks for
+which parallelization and frame coherence will be exploited."
+
+:func:`render_animation` is that sentence as code: it splits the animation
+at camera cuts (:func:`repro.scene.split_coherent_sequences`), renders each
+run with a fresh coherent (or shadow-coherent) renderer, and returns the
+assembled frames with merged statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .coherence import CoherentRenderer, FrameReport, ShadowCoherentRenderer, grid_for_animation
+from .render import RayStats
+from .scene import Animation, split_coherent_sequences
+
+__all__ = ["render_animation", "AnimationRender"]
+
+
+@dataclass
+class AnimationRender:
+    """Assembled output of :func:`render_animation`."""
+
+    frames: np.ndarray  # (n_frames, H, W, 3) float64
+    stats: RayStats
+    reports: list[FrameReport]
+    sequences: list[tuple[int, int]]
+    shadow_rays_saved: int = 0
+    per_sequence_stats: list[RayStats] = field(default_factory=list)
+
+    @property
+    def n_frames(self) -> int:
+        return self.frames.shape[0]
+
+    def total_computed_pixels(self) -> int:
+        return sum(r.n_computed for r in self.reports)
+
+    def total_copied_pixels(self) -> int:
+        return sum(r.n_copied for r in self.reports)
+
+
+def render_animation(
+    animation: Animation,
+    grid_resolution: int | tuple[int, int, int] = 24,
+    shadow_coherence: bool = False,
+    samples_per_axis: int = 1,
+    chunk_size: int = 32768,
+    on_frame: Callable[[int, FrameReport, np.ndarray], None] | None = None,
+) -> AnimationRender:
+    """Render every frame of ``animation`` with frame coherence.
+
+    Camera cuts are handled by splitting into stationary-camera runs; the
+    first frame of each run is rendered in full.
+
+    Parameters
+    ----------
+    shadow_coherence:
+        Use the :class:`ShadowCoherentRenderer` extension (requires
+        ``samples_per_axis == 1``).
+    on_frame:
+        Optional callback ``(frame_index, report, image)`` invoked as each
+        frame completes (for progress display or streaming output).
+    """
+    if shadow_coherence and samples_per_axis != 1:
+        raise ValueError("shadow coherence requires samples_per_axis == 1")
+
+    cam0 = animation.camera_at(0)
+    frames = np.empty((animation.n_frames, cam0.height, cam0.width, 3), dtype=np.float64)
+    stats = RayStats()
+    reports: list[FrameReport] = []
+    sequences = split_coherent_sequences(animation)
+    shadow_saved = 0
+    per_seq: list[RayStats] = []
+
+    for start, stop in sequences:
+        cam = animation.camera_at(start)
+        if (cam.width, cam.height) != (cam0.width, cam0.height):
+            raise ValueError("all shots must share one resolution")
+        if shadow_coherence:
+            renderer = ShadowCoherentRenderer(
+                animation,
+                grid_resolution=grid_resolution,
+                chunk_size=chunk_size,
+                first_frame=start,
+                last_frame=stop,
+            )
+        else:
+            renderer = CoherentRenderer(
+                animation,
+                grid_resolution=grid_resolution,
+                samples_per_axis=samples_per_axis,
+                chunk_size=chunk_size,
+                first_frame=start,
+                last_frame=stop,
+            )
+        seq_stats = RayStats()
+        for f in range(start, stop):
+            report = renderer.render_next()
+            image = renderer.frame_image()
+            frames[f] = image
+            stats += report.stats
+            seq_stats += report.stats
+            reports.append(report)
+            if on_frame is not None:
+                on_frame(f, report, image)
+        per_seq.append(seq_stats)
+        if shadow_coherence:
+            shadow_saved += renderer.total_shadow_rays_saved
+
+    return AnimationRender(
+        frames=frames,
+        stats=stats,
+        reports=reports,
+        sequences=sequences,
+        shadow_rays_saved=shadow_saved,
+        per_sequence_stats=per_seq,
+    )

@@ -1,0 +1,169 @@
+"""Nearest-hit and occlusion queries over a scene's object list.
+
+The intersector evaluates every primitive against the whole ray batch as a
+vectorized broadcast.  For the handful-of-quadrics scenes of the paper (the
+Newton scene has 22 objects) this does far less Python-level work than a
+per-ray grid walk would, which is the right trade-off in numpy; the uniform
+grid's job in this system is *coherence tracking*, not hit-finding.
+
+For larger scenes the intersector adds **bounds culling**: each object's
+world AABB is slab-tested against the batch first (a cheap fused kernel),
+the expensive primitive test runs only on the surviving rays, and the slab
+entry distance prunes objects that cannot beat the current best hit.
+Culling is enabled automatically above a small object count and never
+changes results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import MISS, Primitive, RayBatch
+from ..rmath import ray_aabb_intersect
+
+__all__ = ["SceneIntersector", "HitRecord"]
+
+#: A slab test costs roughly one sphere test, so only primitives at least
+#: this many times more expensive are worth pre-testing.
+_CULL_COST_THRESHOLD = 4.0
+
+
+class HitRecord:
+    """Result of a nearest-hit query over a batch.
+
+    Attributes
+    ----------
+    t : (N,) parametric hit distance (+inf for misses)
+    obj_index : (N,) index into the object list (-1 for misses)
+    normals : (N, 3) geometric unit normals (zero rows for misses)
+    hit : (N,) boolean mask
+    """
+
+    __slots__ = ("t", "obj_index", "normals", "hit")
+
+    def __init__(self, t: np.ndarray, obj_index: np.ndarray, normals: np.ndarray):
+        self.t = t
+        self.obj_index = obj_index
+        self.normals = normals
+        self.hit = np.isfinite(t)
+
+
+class SceneIntersector:
+    """Vectorized intersector over a fixed object list.
+
+    Parameters
+    ----------
+    objects:
+        The scene's primitives.
+    cull_bounds:
+        ``True`` forces AABB pre-tests on every finite object, ``False``
+        disables them entirely; ``None`` (default) pre-tests only objects
+        whose ``intersect_cost_hint`` says the primitive test is expensive
+        enough to be worth saving (meshes, mainly).
+    """
+
+    def __init__(self, objects: list[Primitive], cull_bounds: bool | None = None):
+        self.objects = list(objects)
+        self._box_lo: list[np.ndarray | None] = []
+        self._box_hi: list[np.ndarray | None] = []
+        self._cull: list[bool] = []
+        for obj in self.objects:
+            b = obj.bounds()
+            finite = bool(np.all(np.isfinite(b.lo)) and np.all(np.isfinite(b.hi)))
+            self._box_lo.append(b.lo if finite else None)
+            self._box_hi.append(b.hi if finite else None)
+            if cull_bounds is None:
+                cull = finite and obj.intersect_cost_hint >= _CULL_COST_THRESHOLD
+            else:
+                cull = finite and bool(cull_bounds)
+            self._cull.append(cull)
+        self.cull_bounds = any(self._cull)
+
+    def nearest(self, batch: RayBatch) -> HitRecord:
+        """Closest intersection per ray."""
+        n = len(batch)
+        best_t = np.full(n, MISS)
+        best_obj = np.full(n, -1, dtype=np.int64)
+        best_n = np.zeros((n, 3), dtype=np.float64)
+        inv = batch.inv_dirs if self.cull_bounds else None
+        rows = np.arange(n)
+        for idx, obj in enumerate(self.objects):
+            lo = self._box_lo[idx]
+            if self._cull[idx]:
+                box_hit, t_enter, _ = ray_aabb_intersect(
+                    batch.origins, inv, lo, self._box_hi[idx], t_max=best_t
+                )
+                sel = box_hit & (t_enter < best_t)
+                if not np.any(sel):
+                    continue
+                t_sub, n_sub = obj.intersect(batch.origins[sel], batch.dirs[sel])
+                sub_rows = rows[sel]
+                closer = t_sub < best_t[sub_rows]
+                if np.any(closer):
+                    upd = sub_rows[closer]
+                    best_t[upd] = t_sub[closer]
+                    best_obj[upd] = idx
+                    best_n[upd] = n_sub[closer]
+            else:
+                t, nrm = obj.intersect(batch.origins, batch.dirs)
+                closer = t < best_t
+                if np.any(closer):
+                    best_t = np.where(closer, t, best_t)
+                    best_obj = np.where(closer, idx, best_obj)
+                    best_n = np.where(closer[:, None], nrm, best_n)
+        return HitRecord(best_t, best_obj, best_n)
+
+    def shadow_attenuation(
+        self,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        max_dist: np.ndarray,
+        eps: float = 1e-6,
+    ) -> np.ndarray:
+        """Light transmission along shadow segments, in [0, 1] per ray.
+
+        Opaque occluders block completely (0); transmissive occluders filter
+        the light by their finish's ``transmission`` (one factor per occluding
+        object, the usual POV-style approximation of filtered shadows).
+        """
+        origins = np.asarray(origins, dtype=np.float64)
+        dirs = np.asarray(dirs, dtype=np.float64)
+        max_dist = np.asarray(max_dist, dtype=np.float64)
+        n = origins.shape[0]
+        atten = np.ones(n, dtype=np.float64)
+        if self.cull_bounds:
+            with np.errstate(divide="ignore"):
+                inv = 1.0 / dirs
+        rows = np.arange(n)
+        for idx, obj in enumerate(self.objects):
+            lo = self._box_lo[idx]
+            if self._cull[idx]:
+                # Fully shadowed rays cannot get darker; skip them too.
+                live = atten > 0.0
+                box_hit, _, _ = ray_aabb_intersect(
+                    origins, inv, lo, self._box_hi[idx], t_max=max_dist
+                )
+                sel = box_hit & live
+                if not np.any(sel):
+                    continue
+                t, _ = obj.intersect(origins[sel], dirs[sel])
+                blocking_sub = np.isfinite(t) & (t > eps) & (t < max_dist[sel] - eps)
+                if not np.any(blocking_sub):
+                    continue
+                target = rows[sel][blocking_sub]
+                if obj.material is not None and obj.material.finish.is_transmissive:
+                    atten[target] *= obj.material.finish.transmission
+                else:
+                    atten[target] = 0.0
+            else:
+                t, _ = obj.intersect(origins, dirs)
+                blocking = np.isfinite(t) & (t > eps) & (t < max_dist - eps)
+                if not np.any(blocking):
+                    continue
+                if obj.material is not None and obj.material.finish.is_transmissive:
+                    atten = np.where(
+                        blocking, atten * obj.material.finish.transmission, atten
+                    )
+                else:
+                    atten = np.where(blocking, 0.0, atten)
+        return atten

@@ -1,0 +1,338 @@
+"""The wavefront Whitted ray tracer.
+
+Rays are processed in batches (see :class:`~repro.geometry.RayBatch`): one
+pass intersects a whole batch, shades all hits, fires all shadow rays, and
+emits child reflected/refracted batches for the next depth level.  The
+recursion of a classical ray tracer becomes a queue of batches — the numpy
+way to keep per-ray Python overhead at zero.
+
+When *path tracking* is enabled, every batch additionally runs the
+vectorized 3-D DDA over the uniform grid and records ``(voxel, pixel)``
+visits — the raw material of the paper's frame-coherence pixel lists.
+Visits are segregated into three classes so the shadow-coherence extension
+can reason about them separately:
+
+* ``camera``    — the depth-0 camera segment of each pixel;
+* ``pshadow``   — shadow rays fired at the primary (depth-0) hit;
+* ``secondary`` — every reflected/refracted ray and their shadow rays.
+
+The shading model is the paper's:
+
+    I = I_local + k_rg * I_reflected + k_tg * I_transmitted
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..accel import UniformGrid, traverse
+from ..geometry import RayBatch, RayKind
+from ..rmath import dot, reflect, refract
+from ..scene import Scene
+from .framebuffer import Framebuffer
+from .intersect import SceneIntersector
+from .shading import shade_local
+from .shadow_cache import ShadowCache
+from .stats import RayStats
+
+__all__ = ["RayTracer", "TraceResult", "MARK_CLASSES"]
+
+#: Children whose maximum throughput falls below this add < 1/255 to the
+#: pixel and are culled (POV's adc_bailout).
+_ADC_BAILOUT = 1.0 / 255.0
+
+#: Path-mark classes, in reporting order.
+MARK_CLASSES = ("camera", "pshadow", "secondary")
+
+
+def _empty_marks() -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    e = np.empty(0, dtype=np.int64)
+    return {c: (e, e) for c in MARK_CLASSES}
+
+
+@dataclass
+class TraceResult:
+    """Output of tracing a set of pixels.
+
+    Attributes
+    ----------
+    pixel_ids : (K,) the pixels that were traced (flat indices)
+    colors : (K, 3) their final RGB values
+    stats : ray counts by kind
+    mark_voxels, mark_pixels : parallel arrays of ``(voxel, pixel)`` visits
+        across all classes (empty when path tracking is off; may contain
+        duplicates — the voxel-pixel map coalesces on insert)
+    marks_by_class : per-class ``(voxels, pixels)`` pairs (keys:
+        ``camera`` / ``pshadow`` / ``secondary``)
+    rays_per_pixel : (K,) total rays fired on behalf of each traced pixel
+        (the cost signal consumed by the cluster simulator's oracle)
+    """
+
+    pixel_ids: np.ndarray
+    colors: np.ndarray
+    stats: RayStats
+    mark_voxels: np.ndarray
+    mark_pixels: np.ndarray
+    rays_per_pixel: np.ndarray
+    marks_by_class: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=_empty_marks)
+
+
+class _MarkCollector:
+    """Accumulates (voxel, pixel) visit arrays per mark class."""
+
+    def __init__(self):
+        self.voxels: dict[str, list[np.ndarray]] = {c: [] for c in MARK_CLASSES}
+        self.pixels: dict[str, list[np.ndarray]] = {c: [] for c in MARK_CLASSES}
+
+    def add(self, cls: str, voxels: np.ndarray, pixels: np.ndarray) -> None:
+        if voxels.size:
+            self.voxels[cls].append(voxels)
+            self.pixels[cls].append(pixels)
+
+    def finalize(self) -> tuple[np.ndarray, np.ndarray, dict]:
+        by_class = {}
+        all_v, all_p = [], []
+        empty = np.empty(0, dtype=np.int64)
+        for c in MARK_CLASSES:
+            if self.voxels[c]:
+                v = np.concatenate(self.voxels[c])
+                p = np.concatenate(self.pixels[c])
+            else:
+                v, p = empty, empty
+            by_class[c] = (v, p)
+            all_v.append(v)
+            all_p.append(p)
+        return np.concatenate(all_v), np.concatenate(all_p), by_class
+
+
+class RayTracer:
+    """Renders pixels of one scene, optionally tracking ray paths.
+
+    Parameters
+    ----------
+    scene:
+        The scene to render.
+    grid:
+        Uniform grid for path tracking; built from the scene when omitted
+        and ``track_paths`` is on.
+    track_paths:
+        Record (voxel, pixel) visits for the coherence engine.
+    chunk_size:
+        Camera rays are traced in chunks of this many pixels to bound peak
+        memory (each chunk runs the full wavefront to completion).
+    shadow_cache:
+        Optional :class:`ShadowCache` enabling the shadow-coherence
+        extension at primary hits.  Incompatible with supersampling (the
+        cache is per pixel, not per sample).
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        grid: UniformGrid | None = None,
+        track_paths: bool = False,
+        chunk_size: int = 32768,
+        shadow_cache: ShadowCache | None = None,
+    ):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.scene = scene
+        self.track_paths = bool(track_paths)
+        if self.track_paths and grid is None:
+            grid = UniformGrid.for_scene(scene)
+        self.grid = grid
+        self.intersector = SceneIntersector(scene.objects)
+        self.chunk_size = int(chunk_size)
+        self.shadow_cache = shadow_cache
+        if shadow_cache is not None:
+            if shadow_cache.n_pixels != scene.camera.n_pixels:
+                raise ValueError("shadow cache sized for a different resolution")
+            if shadow_cache.n_lights != len(scene.lights):
+                raise ValueError("shadow cache sized for a different light count")
+
+    # -- public API ---------------------------------------------------------
+    def trace_pixels(self, pixel_ids: np.ndarray, samples_per_axis: int = 1) -> TraceResult:
+        """Trace the given flat pixel indices and return their colors.
+
+        ``samples_per_axis`` > 1 enables stratified supersampling with a
+        deterministic sub-pixel grid (``n^2`` camera rays per pixel).
+        """
+        if samples_per_axis > 1 and self.shadow_cache is not None:
+            raise ValueError("shadow coherence requires samples_per_axis == 1")
+        pixel_ids = np.unique(np.asarray(pixel_ids, dtype=np.int64))
+        cam = self.scene.camera
+        n_pixels_total = cam.n_pixels
+
+        acc = np.zeros((n_pixels_total, 3), dtype=np.float64)
+        rays_pp = np.zeros(n_pixels_total, dtype=np.int64)
+        stats = RayStats()
+        marks = _MarkCollector()
+
+        for start in range(0, pixel_ids.size, self.chunk_size):
+            chunk = pixel_ids[start : start + self.chunk_size]
+            batch = self._camera_batch(chunk, samples_per_axis)
+            self._trace_wavefront(batch, acc, rays_pp, stats, marks)
+
+        all_v, all_p, by_class = marks.finalize()
+        return TraceResult(
+            pixel_ids=pixel_ids,
+            colors=acc[pixel_ids],
+            stats=stats,
+            mark_voxels=all_v,
+            mark_pixels=all_p,
+            rays_per_pixel=rays_pp[pixel_ids],
+            marks_by_class=by_class,
+        )
+
+    def render(self, samples_per_axis: int = 1) -> tuple[Framebuffer, TraceResult]:
+        """Trace the full frame into a framebuffer."""
+        cam = self.scene.camera
+        result = self.trace_pixels(cam.pixel_grid(), samples_per_axis)
+        fb = Framebuffer(cam.width, cam.height)
+        fb.scatter(result.pixel_ids, result.colors)
+        return fb, result
+
+    # -- internals ------------------------------------------------------------
+    def _camera_batch(self, pixel_ids: np.ndarray, samples_per_axis: int) -> RayBatch:
+        cam = self.scene.camera
+        if samples_per_axis <= 1:
+            return cam.rays_for_pixels(pixel_ids)
+        n = samples_per_axis
+        # Deterministic stratified sub-pixel offsets in [-0.5, 0.5).
+        cell = (np.arange(n, dtype=np.float64) + 0.5) / n - 0.5
+        ox, oy = np.meshgrid(cell, cell, indexing="ij")
+        offsets = np.stack([ox.ravel(), oy.ravel()], axis=-1)  # (n^2, 2)
+        rep_pixels = np.repeat(pixel_ids, n * n)
+        rep_jitter = np.tile(offsets, (pixel_ids.size, 1))
+        batch = cam.rays_for_pixels(rep_pixels, jitter=rep_jitter)
+        batch.weight /= float(n * n)
+        return batch
+
+    @staticmethod
+    def _mark_class(batch: RayBatch) -> str:
+        if batch.depth == 0 and batch.kind == RayKind.CAMERA:
+            return "camera"
+        return "secondary"
+
+    def _mark(self, batch: RayBatch, t_max: np.ndarray, marks: _MarkCollector) -> None:
+        if not self.track_paths:
+            return
+        ray_idx, voxel_id = traverse(self.grid, batch.origins, batch.dirs, t_max)
+        if ray_idx.size:
+            marks.add(self._mark_class(batch), voxel_id, batch.pixel[ray_idx])
+
+    def _trace_wavefront(self, first: RayBatch, acc, rays_pp, stats, marks: _MarkCollector) -> None:
+        queue: deque[RayBatch] = deque([first])
+        max_depth = self.scene.max_depth
+        background = self.scene.background
+
+        while queue:
+            batch = queue.popleft()
+            if len(batch) == 0:
+                continue
+            stats.record(batch.kind, len(batch))
+            np.add.at(rays_pp, batch.pixel, 1)
+
+            rec = self.intersector.nearest(batch)
+            self._mark(batch, rec.t, marks)
+
+            miss = ~rec.hit
+            if np.any(miss):
+                np.add.at(acc, batch.pixel[miss], batch.weight[miss] * background)
+            if not np.any(rec.hit):
+                continue
+
+            hits = batch.select(rec.hit)
+            t = rec.t[rec.hit]
+            obj_index = rec.obj_index[rec.hit]
+            geo_n = rec.normals[rec.hit]
+            points = hits.points_at(t)
+            # Orient normals against the incoming ray.
+            facing = dot(geo_n, hits.dirs) < 0.0
+            normals = np.where(facing[:, None], geo_n, -geo_n)
+
+            is_primary = batch.depth == 0 and batch.kind == RayKind.CAMERA
+            shadow_class = "pshadow" if is_primary else "secondary"
+
+            # --- I_local (fires shadow rays through the hook) -------------
+            def shadow_hook(origins, dirs, dists, _mask, _hits=hits, _cls=shadow_class):
+                stats.record(RayKind.SHADOW, origins.shape[0])
+                np.add.at(rays_pp, _hits.pixel[_mask], 1)
+                if self.track_paths and origins.shape[0]:
+                    ray_idx, voxel_id = traverse(self.grid, origins, dirs, dists)
+                    if ray_idx.size:
+                        marks.add(_cls, voxel_id, _hits.pixel[_mask][ray_idx])
+
+            local = shade_local(
+                self.scene,
+                self.intersector,
+                points,
+                normals,
+                hits.dirs,
+                obj_index,
+                shadow_hook=shadow_hook,
+                pixel_ids=hits.pixel if is_primary else None,
+                shadow_cache=self.shadow_cache if is_primary else None,
+            )
+            np.add.at(acc, hits.pixel, hits.weight * local)
+
+            # --- children: k_rg * I_reflected + k_tg * I_transmitted -------
+            if batch.depth + 1 >= max_depth:
+                continue
+
+            reflection = np.zeros(len(hits), dtype=np.float64)
+            transmission = np.zeros(len(hits), dtype=np.float64)
+            ior = np.ones(len(hits), dtype=np.float64)
+            for idx in np.unique(obj_index):
+                sel = obj_index == idx
+                fin = self.scene.objects[idx].material.finish
+                reflection[sel] = fin.reflection
+                transmission[sel] = fin.transmission
+                ior[sel] = fin.ior
+
+            refl_weight = hits.weight * reflection[:, None]
+            want_refl = refl_weight.max(axis=1) > _ADC_BAILOUT
+
+            # Refraction first (it can convert to reflection on TIR).
+            trans_weight = hits.weight * transmission[:, None]
+            want_trans = trans_weight.max(axis=1) > _ADC_BAILOUT
+            tir_mask = np.zeros(len(hits), dtype=bool)
+            if np.any(want_trans):
+                eta = np.where(hits.inside, ior, 1.0 / ior)
+                refr_dirs, tir = refract(hits.dirs, normals, eta)
+                tir_mask = want_trans & tir
+                ok = want_trans & ~tir
+                if np.any(ok):
+                    queue.append(
+                        RayBatch(
+                            origins=points[ok] - normals[ok] * 1e-6,
+                            dirs=refr_dirs[ok],
+                            pixel=hits.pixel[ok],
+                            weight=trans_weight[ok],
+                            kind=RayKind.REFRACTED,
+                            depth=batch.depth + 1,
+                            inside=~hits.inside[ok],
+                        )
+                    )
+
+            # Reflected batch: regular mirror reflection plus TIR energy.
+            spawn_refl = want_refl | tir_mask
+            if np.any(spawn_refl):
+                w = np.where(
+                    tir_mask[:, None], refl_weight + trans_weight, refl_weight
+                )[spawn_refl]
+                refl_dirs = reflect(hits.dirs, normals)[spawn_refl]
+                queue.append(
+                    RayBatch(
+                        origins=points[spawn_refl] + normals[spawn_refl] * 1e-6,
+                        dirs=refl_dirs,
+                        pixel=hits.pixel[spawn_refl],
+                        weight=w,
+                        kind=RayKind.REFLECTED,
+                        depth=batch.depth + 1,
+                        inside=hits.inside[spawn_refl],
+                    )
+                )

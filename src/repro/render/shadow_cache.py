@@ -1,0 +1,66 @@
+"""Per-pixel primary-hit shadow cache (the shadow-coherence extension).
+
+The paper lists "development of frame coherence algorithms with shadow
+generation" as future work and notes "we are also exploring the use of
+frame coherence in the generation of shadows".  This module implements the
+data structure that makes it sound:
+
+For every pixel and light, the attenuation measured along the *primary*
+shadow segment (hit point -> light) is cached.  When a pixel must be
+re-rendered but change detection can prove that neither its camera segment
+nor any of its primary shadow segments crossed a changed voxel — i.e. the
+pixel is dirty only through reflection/refraction paths — the cached
+attenuation is provably still exact and the primary shadow rays need not
+be re-fired.
+
+The cache is *only* consulted for pixels in ``reusable``; the tracer
+refreshes entries for every other pixel it shades.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ShadowCache"]
+
+
+class ShadowCache:
+    """Cached primary-hit shadow attenuation per (pixel, light).
+
+    Attributes
+    ----------
+    atten : (n_pixels, n_lights) float64
+        Last measured attenuation (1 = fully lit, 0 = fully shadowed).
+    reusable : (n_pixels,) bool
+        Pixels whose cached rows are proven valid for the frame being
+        rendered.  Set by the shadow-coherent engine before each frame.
+    hits_saved : int
+        Number of shadow rays skipped thanks to the cache (statistics).
+    """
+
+    def __init__(self, n_pixels: int, n_lights: int):
+        if n_pixels < 1 or n_lights < 0:
+            raise ValueError("need n_pixels >= 1 and n_lights >= 0")
+        self.n_pixels = int(n_pixels)
+        self.n_lights = int(n_lights)
+        self.atten = np.zeros((n_pixels, max(n_lights, 1)), dtype=np.float64)
+        self.reusable = np.zeros(n_pixels, dtype=bool)
+        self.rays_saved = 0
+
+    def set_reusable(self, pixel_ids: np.ndarray) -> None:
+        """Mark exactly the given pixels as cache-valid for the next frame."""
+        self.reusable[:] = False
+        ids = np.asarray(pixel_ids, dtype=np.int64)
+        if ids.size:
+            self.reusable[ids] = True
+
+    def lookup(self, pixel_ids: np.ndarray, light_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """(cached values, reuse mask) for a batch of pixels."""
+        ids = np.asarray(pixel_ids, dtype=np.int64)
+        reuse = self.reusable[ids]
+        return self.atten[ids, light_index], reuse
+
+    def store(self, pixel_ids: np.ndarray, light_index: int, values: np.ndarray) -> None:
+        """Refresh cache rows after firing real shadow rays."""
+        ids = np.asarray(pixel_ids, dtype=np.int64)
+        self.atten[ids, light_index] = values

@@ -1,0 +1,49 @@
+"""Math substrate: batched vectors, AABBs, affine transforms and noise."""
+
+from .vec import (
+    EPS,
+    angle_between,
+    clamp01,
+    cross,
+    dot,
+    lerp,
+    norm,
+    norm_sq,
+    normalize,
+    orthonormal_basis,
+    project,
+    reflect,
+    refract,
+    reject,
+    vec3,
+    vec3s,
+)
+from .aabb import AABB, ray_aabb_intersect, union
+from .transform import Transform
+from .noise import fbm, turbulence, value_noise
+
+__all__ = [
+    "EPS",
+    "AABB",
+    "Transform",
+    "angle_between",
+    "clamp01",
+    "cross",
+    "dot",
+    "fbm",
+    "lerp",
+    "norm",
+    "norm_sq",
+    "normalize",
+    "orthonormal_basis",
+    "project",
+    "ray_aabb_intersect",
+    "reflect",
+    "refract",
+    "reject",
+    "turbulence",
+    "union",
+    "value_noise",
+    "vec3",
+    "vec3s",
+]

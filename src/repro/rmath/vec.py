@@ -1,0 +1,157 @@
+"""Batched 3-vector operations.
+
+Every function operates on arrays of shape ``(..., 3)`` so the renderer can
+process whole wavefronts of rays with single numpy calls (structure-of-arrays
+style).  Scalars broadcast per the usual numpy rules; the trailing axis is
+always the spatial axis.
+
+The module is deliberately free of classes: a "vector" is just an ndarray,
+which keeps the hot path allocation-light and lets callers use views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "vec3",
+    "vec3s",
+    "dot",
+    "norm",
+    "norm_sq",
+    "normalize",
+    "cross",
+    "reflect",
+    "refract",
+    "lerp",
+    "clamp01",
+    "project",
+    "reject",
+    "angle_between",
+    "orthonormal_basis",
+    "EPS",
+]
+
+#: Geometric epsilon used across the tracer for self-intersection offsets.
+EPS = 1e-9
+
+
+def vec3(x: float, y: float, z: float, dtype=np.float64) -> np.ndarray:
+    """Build a single 3-vector as a ``(3,)`` float array."""
+    return np.array([x, y, z], dtype=dtype)
+
+
+def vec3s(n: int, fill: float = 0.0, dtype=np.float64) -> np.ndarray:
+    """Allocate an ``(n, 3)`` array filled with ``fill``."""
+    return np.full((n, 3), fill, dtype=dtype)
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise dot product of ``(..., 3)`` arrays; returns shape ``(...,)``."""
+    return np.einsum("...i,...i->...", a, b)
+
+
+def norm_sq(a: np.ndarray) -> np.ndarray:
+    """Squared Euclidean length along the last axis."""
+    return dot(a, a)
+
+
+def norm(a: np.ndarray) -> np.ndarray:
+    """Euclidean length along the last axis."""
+    return np.sqrt(norm_sq(a))
+
+
+def normalize(a: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Return unit vectors; zero vectors are returned unchanged (length 0).
+
+    ``out`` may alias ``a`` for in-place normalization.
+    """
+    n = norm(a)
+    safe = np.where(n > 0.0, n, 1.0)
+    if out is None:
+        return a / safe[..., None]
+    np.divide(a, safe[..., None], out=out)
+    return out
+
+
+def cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise cross product of ``(..., 3)`` arrays."""
+    return np.cross(a, b)
+
+
+def reflect(d: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """Reflect incident directions ``d`` about unit normals ``n``.
+
+    ``d`` points *toward* the surface.  Result has the same shape as ``d``.
+    """
+    return d - 2.0 * dot(d, n)[..., None] * n
+
+
+def refract(
+    d: np.ndarray, n: np.ndarray, eta: np.ndarray | float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Refract unit incident directions ``d`` through unit normals ``n``.
+
+    ``eta`` is the ratio n_incident / n_transmitted.  Returns ``(t, tir)``
+    where ``t`` are the transmitted directions and ``tir`` is a boolean mask
+    of rays that suffered total internal reflection (their ``t`` rows are
+    zero-filled and must not be used).
+    """
+    d = np.asarray(d, dtype=np.float64)
+    n = np.asarray(n, dtype=np.float64)
+    eta = np.asarray(eta, dtype=np.float64)
+    cos_i = -dot(d, n)
+    sin2_t = eta * eta * np.maximum(0.0, 1.0 - cos_i * cos_i)
+    tir = sin2_t > 1.0
+    cos_t = np.sqrt(np.maximum(0.0, 1.0 - sin2_t))
+    t = eta[..., None] * d + (eta * cos_i - cos_t)[..., None] * n
+    t = np.where(tir[..., None], 0.0, t)
+    return t, tir
+
+
+def lerp(a: np.ndarray, b: np.ndarray, t: np.ndarray | float) -> np.ndarray:
+    """Linear interpolation ``a + t*(b-a)`` with broadcasting."""
+    t = np.asarray(t)
+    return a + t[..., None] * (b - a) if np.ndim(t) and np.ndim(a) > np.ndim(t) else a + t * (b - a)
+
+
+def clamp01(a: np.ndarray) -> np.ndarray:
+    """Clamp values into [0, 1]."""
+    return np.clip(a, 0.0, 1.0)
+
+
+def project(a: np.ndarray, onto: np.ndarray) -> np.ndarray:
+    """Project ``a`` onto vector(s) ``onto`` (not necessarily unit)."""
+    denom = np.maximum(norm_sq(onto), EPS)
+    return (dot(a, onto) / denom)[..., None] * onto
+
+
+def reject(a: np.ndarray, frm: np.ndarray) -> np.ndarray:
+    """Component of ``a`` orthogonal to ``frm``."""
+    return a - project(a, frm)
+
+
+def angle_between(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Angle in radians between vector pairs, numerically clamped."""
+    c = dot(normalize(a), normalize(b))
+    return np.arccos(np.clip(c, -1.0, 1.0))
+
+
+def orthonormal_basis(n: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Build tangent/bitangent pairs for unit normals ``n`` (``(..., 3)``).
+
+    Uses the branchless Frisvad-style construction, vectorized.
+    """
+    n = np.asarray(n, dtype=np.float64)
+    single = n.ndim == 1
+    nn = np.atleast_2d(n)
+    sign = np.where(nn[:, 2] >= 0.0, 1.0, -1.0)
+    a = -1.0 / (sign + nn[:, 2])
+    b = nn[:, 0] * nn[:, 1] * a
+    t = np.stack(
+        [1.0 + sign * nn[:, 0] * nn[:, 0] * a, sign * b, -sign * nn[:, 0]], axis=-1
+    )
+    bt = np.stack([b, sign + nn[:, 1] * nn[:, 1] * a, -nn[:, 1]], axis=-1)
+    if single:
+        return t[0], bt[0]
+    return t, bt

@@ -1,0 +1,6 @@
+"""Real local parallel execution of the paper's master/worker decompositions."""
+
+from .local import FarmResult, LocalRenderFarm
+from .spec import AnimationSpec
+
+__all__ = ["AnimationSpec", "FarmResult", "LocalRenderFarm"]

@@ -1,0 +1,64 @@
+"""Animation specs: how real worker processes receive their scene.
+
+The paper's PVM slaves did not receive live C data structures — each slave
+ran POV-Ray and re-parsed the scene description locally.  We do the same:
+a :class:`AnimationSpec` names a factory function (module-qualified) plus
+keyword arguments; every worker process rebuilds the animation from it.
+This also sidesteps pickling of scene closures and keeps messages small.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+from ..scene import Animation
+
+__all__ = ["AnimationSpec"]
+
+
+@dataclass(frozen=True)
+class AnimationSpec:
+    """A recipe for building an :class:`~repro.scene.Animation`.
+
+    Attributes
+    ----------
+    factory:
+        Dotted path ``package.module:function`` (or ``package.module.function``)
+        of a zero-side-effect callable returning an Animation.
+    kwargs:
+        Keyword arguments for the factory.  Must be picklable.
+    """
+
+    factory: str
+    kwargs: dict = field(default_factory=dict)
+
+    def resolve(self):
+        path = self.factory
+        if ":" in path:
+            mod_name, fn_name = path.split(":", 1)
+        else:
+            mod_name, _, fn_name = path.rpartition(".")
+        if not mod_name or not fn_name:
+            raise ValueError(f"malformed factory path {self.factory!r}")
+        mod = importlib.import_module(mod_name)
+        try:
+            return getattr(mod, fn_name)
+        except AttributeError as exc:
+            raise ValueError(f"no function {fn_name!r} in module {mod_name!r}") from exc
+
+    def build(self) -> Animation:
+        anim = self.resolve()(**self.kwargs)
+        if not isinstance(anim, Animation):
+            raise TypeError(f"factory {self.factory!r} did not return an Animation")
+        return anim
+
+    @staticmethod
+    def newton(**kwargs) -> "AnimationSpec":
+        """Convenience spec for the Table-1 workload."""
+        return AnimationSpec("repro.scenes.newton:newton_animation", dict(kwargs))
+
+    @staticmethod
+    def brick_room(**kwargs) -> "AnimationSpec":
+        """Convenience spec for the Figures 1/2 workload."""
+        return AnimationSpec("repro.scenes.brick_room:brick_room_animation", dict(kwargs))

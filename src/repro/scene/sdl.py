@@ -1,0 +1,579 @@
+"""A POV-Ray-flavoured scene description language.
+
+The paper's renderer is an extension of POV-Ray 3.0, whose scenes are plain
+text files; the PVM slaves each re-parse the scene locally.  This module
+provides a compact POV-like dialect covering everything the reproduction's
+primitives and materials support, so example scenes can live in files:
+
+::
+
+    camera { location <0, 2, -7>  look_at <0, 1.8, 0>  angle 55  width 320 height 240 }
+    background { rgb <0.05, 0.06, 0.1> }
+    light_source { <0, 4.5, -3>  rgb <0.95, 0.95, 0.9> }
+
+    plane { <0, 1, 0>, 0
+        texture { pigment { checker rgb <1,1,1> rgb <0.1,0.1,0.1> }
+                  finish { diffuse 0.8 reflection 0.05 } } }
+
+    sphere { <0, 1, 0>, 0.7  name "ball"
+        texture { pigment { rgb <0.9, 0.97, 0.9> }
+                  finish { transmission 0.85 ior 1.5 specular 0.9 } } }
+
+Grammar (informal): a scene is a sequence of top-level blocks —
+``camera``, ``background``, ``global_settings``, ``light_source``,
+``sphere``, ``plane``, ``cylinder``, ``box``, ``disc``.  Vectors are
+``<x, y, z>``; commas are optional separators; ``//`` and ``#`` start
+line comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..geometry import (
+    Box,
+    CSGDifference,
+    CSGIntersection,
+    Cylinder,
+    Disc,
+    Plane,
+    Sphere,
+    Torus,
+)
+from ..lighting import PointLight
+from ..materials import Agate, Brick, Checker, Finish, Gradient, Marble, Material, SolidColor
+from ..rmath import Transform, vec3
+from .camera import Camera
+from .scene import Scene
+
+__all__ = ["parse_scene", "load_scene", "SceneParseError"]
+
+
+class SceneParseError(ValueError):
+    """Raised with a line number when the scene text is malformed."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|\#(?!declare\b)[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?)
+  | (?P<ident>\#?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct><|>|\{|\}|,|=)
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class _Token:
+    kind: str
+    value: str
+    line: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    for m in _TOKEN_RE.finditer(text):
+        kind = m.lastgroup
+        val = m.group()
+        if kind in ("ws", "comment"):
+            line += val.count("\n")
+            continue
+        if kind == "bad":
+            raise SceneParseError(f"unexpected character {val!r}", line)
+        tokens.append(_Token(kind, val, line))
+        line += val.count("\n")
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.pos = 0
+        # ``#declare`` environments, by kind.
+        self.declared_colors: dict[str, np.ndarray] = {}
+        self.declared_textures: dict[str, Material] = {}
+        self.declared_finishes: dict[str, Finish] = {}
+
+    # -- primitives of parsing -------------------------------------------
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _line(self) -> int:
+        t = self._peek()
+        return t.line if t else (self.tokens[-1].line if self.tokens else 1)
+
+    def _next(self) -> _Token:
+        t = self._peek()
+        if t is None:
+            raise SceneParseError("unexpected end of input", self._line())
+        self.pos += 1
+        return t
+
+    def _expect(self, value: str) -> _Token:
+        t = self._next()
+        if t.value != value:
+            raise SceneParseError(f"expected {value!r}, got {t.value!r}", t.line)
+        return t
+
+    def _maybe(self, value: str) -> bool:
+        t = self._peek()
+        if t is not None and t.value == value:
+            self.pos += 1
+            return True
+        return False
+
+    def _skip_commas(self) -> None:
+        while self._maybe(","):
+            pass
+
+    def number(self) -> float:
+        t = self._next()
+        if t.kind != "number":
+            raise SceneParseError(f"expected a number, got {t.value!r}", t.line)
+        return float(t.value)
+
+    def vector(self) -> np.ndarray:
+        self._expect("<")
+        x = self.number()
+        self._skip_commas()
+        y = self.number()
+        self._skip_commas()
+        z = self.number()
+        self._expect(">")
+        return vec3(x, y, z)
+
+    def string(self) -> str:
+        t = self._next()
+        if t.kind != "string":
+            raise SceneParseError(f"expected a string, got {t.value!r}", t.line)
+        return t.value[1:-1].replace('\\"', '"')
+
+    # -- color / pigment / finish / texture ---------------------------------
+    def color(self) -> np.ndarray:
+        # accepts: rgb <r,g,b>, bare <r,g,b>, or a #declared color name
+        t = self._peek()
+        if t is not None and t.value == "rgb":
+            self._next()
+            t = self._peek()
+        if t is not None and t.kind == "ident":
+            if t.value in self.declared_colors:
+                self._next()
+                return self.declared_colors[t.value].copy()
+            raise SceneParseError(f"unknown color name {t.value!r}", t.line)
+        return self.vector()
+
+    def pigment(self):
+        self._expect("{")
+        t = self._peek()
+        if t is None:
+            raise SceneParseError("unterminated pigment", self._line())
+        if t.value in ("rgb", "<"):
+            tex = SolidColor(self.color())
+        elif t.value == "checker":
+            self._next()
+            a = self.color()
+            self._skip_commas()
+            b = self.color()
+            tex = Checker(a, b)
+        elif t.value == "brick":
+            self._next()
+            kwargs = {}
+            while self._peek() and self._peek().value != "}" and self._peek().value != "scale":
+                key = self._next()
+                if key.value == "color":
+                    kwargs["brick_color"] = self.color()
+                elif key.value == "mortar":
+                    kwargs["mortar_color"] = self.color()
+                elif key.value == "size":
+                    kwargs["brick_size"] = tuple(self.vector())
+                elif key.value == "thickness":
+                    kwargs["mortar"] = self.number()
+                else:
+                    raise SceneParseError(f"unknown brick attribute {key.value!r}", key.line)
+            tex = Brick(**kwargs)
+        elif t.value == "marble":
+            self._next()
+            a = self.color()
+            self._skip_commas()
+            b = self.color()
+            tex = Marble(a, b)
+        elif t.value == "agate":
+            self._next()
+            a = self.color()
+            self._skip_commas()
+            b = self.color()
+            tex = Agate(a, b)
+        elif t.value == "gradient":
+            self._next()
+            axis = self.vector()
+            a = self.color()
+            self._skip_commas()
+            b = self.color()
+            tex = Gradient(axis, a, b)
+        else:
+            raise SceneParseError(f"unknown pigment type {t.value!r}", t.line)
+        if self._peek() and self._peek().value == "scale":
+            self._next()
+            tex = tex.scaled(self.number())
+        self._expect("}")
+        return tex
+
+    def finish(self) -> Finish:
+        self._expect("{")
+        kwargs: dict[str, float] = {}
+        mapping = {
+            "ambient": "ambient",
+            "diffuse": "diffuse",
+            "specular": "specular",
+            "phong_size": "phong_size",
+            "reflection": "reflection",
+            "transmission": "transmission",
+            "ior": "ior",
+        }
+        while not self._maybe("}"):
+            t = self._next()
+            if t.value not in mapping:
+                raise SceneParseError(f"unknown finish attribute {t.value!r}", t.line)
+            kwargs[mapping[t.value]] = self.number()
+        return Finish(**kwargs)
+
+    def texture(self) -> Material:
+        # Either a reference to a #declared texture ("texture Name" or
+        # "texture { Name }") or an inline definition.
+        t = self._peek()
+        if t is not None and t.kind == "ident" and t.value in self.declared_textures:
+            self._next()
+            return self.declared_textures[t.value]
+        self._expect("{")
+        t = self._peek()
+        if t is not None and t.kind == "ident" and t.value in self.declared_textures:
+            self._next()
+            self._expect("}")
+            return self.declared_textures[t.value]
+        pigment = None
+        finish = None
+        while not self._maybe("}"):
+            t = self._next()
+            if t.value == "pigment":
+                pigment = self.pigment()
+            elif t.value == "finish":
+                nxt = self._peek()
+                if nxt is not None and nxt.kind == "ident" and nxt.value in self.declared_finishes:
+                    self._next()
+                    finish = self.declared_finishes[nxt.value]
+                else:
+                    finish = self.finish()
+            else:
+                raise SceneParseError(f"unknown texture element {t.value!r}", t.line)
+        return Material(
+            pigment=pigment if pigment is not None else SolidColor((1.0, 1.0, 1.0)),
+            finish=finish if finish is not None else Finish(),
+        )
+
+    # -- object trailer: texture / name / transform clauses -----------------
+    def object_trailer(self) -> tuple[Material | None, str | None, Transform | None]:
+        material = None
+        name = None
+        transform = None
+        while True:
+            t = self._peek()
+            if t is None:
+                raise SceneParseError("unterminated object", self._line())
+            if t.value == "}":
+                self._next()
+                return material, name, transform
+            if t.value == "texture":
+                self._next()
+                material = self.texture()
+            elif t.value == "name":
+                self._next()
+                name = self.string()
+            elif t.value == "translate":
+                self._next()
+                v = self.vector()
+                extra = Transform.translate(*v)
+                transform = extra if transform is None else extra @ transform
+            elif t.value == "rotate_y":
+                self._next()
+                extra = Transform.rotate_y(np.radians(self.number()))
+                transform = extra if transform is None else extra @ transform
+            elif t.value == "rotate":
+                # POV convention: degrees applied about x, then y, then z.
+                self._next()
+                rx, ry, rz = np.radians(self.vector())
+                extra = (
+                    Transform.rotate_z(rz)
+                    @ Transform.rotate_y(ry)
+                    @ Transform.rotate_x(rx)
+                )
+                transform = extra if transform is None else extra @ transform
+            elif t.value == "scale":
+                self._next()
+                nxt = self._peek()
+                if nxt is not None and nxt.value == "<":
+                    sx, sy, sz = self.vector()
+                    extra = Transform.scale(sx, sy, sz)
+                else:
+                    extra = Transform.scale(self.number())
+                transform = extra if transform is None else extra @ transform
+            elif t.value == ",":
+                self._next()
+            else:
+                raise SceneParseError(f"unexpected token {t.value!r} in object", t.line)
+
+    # -- CSG ----------------------------------------------------------------
+    def csg_operand(self) -> "Primitive":
+        """One convex operand inside intersection/difference: the geometric
+        body only (per-operand textures are not supported; the node's
+        texture applies to the whole solid, as in this dialect)."""
+        t = self._next()
+        if t.value == "sphere":
+            self._expect("{")
+            center = self.vector()
+            self._skip_commas()
+            radius = self.number()
+            _, _, extra = self.object_trailer()
+            obj = Sphere.at(center, radius)
+        elif t.value == "box":
+            self._expect("{")
+            lo = self.vector()
+            self._skip_commas()
+            hi = self.vector()
+            _, _, extra = self.object_trailer()
+            obj = Box.from_corners(lo, hi)
+        elif t.value == "cylinder":
+            self._expect("{")
+            p0 = self.vector()
+            self._skip_commas()
+            p1 = self.vector()
+            self._skip_commas()
+            r = self.number()
+            _, _, extra = self.object_trailer()
+            obj = Cylinder.from_endpoints(p0, p1, r)
+        elif t.value == "intersection":
+            obj, extra = self.csg_intersection_body()
+        else:
+            raise SceneParseError(
+                f"CSG operands must be sphere/box/cylinder/intersection, got {t.value!r}",
+                t.line,
+            )
+        return obj if extra is None else obj.moved_by(extra)
+
+    def csg_intersection_body(self):
+        """Parse ``{ operand operand ... [trailer] }`` after 'intersection'."""
+        self._expect("{")
+        children = []
+        while True:
+            t = self._peek()
+            if t is None:
+                raise SceneParseError("unterminated intersection", self._line())
+            if t.value in ("sphere", "box", "cylinder", "intersection"):
+                children.append(self.csg_operand())
+            else:
+                break
+        mat, name, extra = self.object_trailer()
+        node = CSGIntersection(children, material=mat)
+        if name is not None:
+            node.name = name
+        return node, extra
+
+    # -- top-level blocks ---------------------------------------------------
+    def parse(self) -> Scene:
+        camera = None
+        objects = []
+        lights = []
+        background = vec3(0.0, 0.0, 0.0)
+        ambient = vec3(1.0, 1.0, 1.0)
+        max_depth = 5
+        default_mat = Material.matte((0.8, 0.8, 0.8))
+
+        while self._peek() is not None:
+            t = self._next()
+            if t.kind != "ident":
+                raise SceneParseError(f"expected a block name, got {t.value!r}", t.line)
+            if t.value == "camera":
+                camera = self._camera_block()
+            elif t.value == "background":
+                self._expect("{")
+                background = self.color()
+                self._expect("}")
+            elif t.value == "global_settings":
+                self._expect("{")
+                while not self._maybe("}"):
+                    k = self._next()
+                    if k.value == "ambient_light":
+                        ambient = self.color()
+                    elif k.value == "max_trace_level":
+                        max_depth = int(self.number())
+                    else:
+                        raise SceneParseError(f"unknown global setting {k.value!r}", k.line)
+            elif t.value == "light_source":
+                self._expect("{")
+                pos = self.vector()
+                self._skip_commas()
+                col = self.color()
+                extras: dict[str, float] = {}
+                while not self._maybe("}"):
+                    k = self._next()
+                    if k.value in ("radius", "fade_distance", "fade_power"):
+                        extras[k.value] = self.number()
+                    elif k.value == "samples":
+                        extras["n_samples"] = int(self.number())
+                    elif k.value == ",":
+                        continue
+                    else:
+                        raise SceneParseError(
+                            f"unknown light attribute {k.value!r}", k.line
+                        )
+                lights.append(PointLight(pos, col, **extras))
+            elif t.value == "#declare":
+                name_tok = self._next()
+                if name_tok.kind != "ident" or name_tok.value.startswith("#"):
+                    raise SceneParseError("expected a name after #declare", name_tok.line)
+                self._expect("=")
+                what = self._peek()
+                if what is None:
+                    raise SceneParseError("unterminated #declare", name_tok.line)
+                if what.value == "texture":
+                    self._next()
+                    self.declared_textures[name_tok.value] = self.texture()
+                elif what.value == "finish":
+                    self._next()
+                    self.declared_finishes[name_tok.value] = self.finish()
+                elif what.value in ("rgb", "color", "<"):
+                    if what.value == "color":
+                        self._next()
+                    self.declared_colors[name_tok.value] = self.color()
+                else:
+                    raise SceneParseError(
+                        f"#declare supports texture/finish/color, not {what.value!r}",
+                        what.line,
+                    )
+            elif t.value == "sphere":
+                self._expect("{")
+                center = self.vector()
+                self._skip_commas()
+                radius = self.number()
+                mat, name, extra = self.object_trailer()
+                obj = Sphere.at(center, radius, material=mat or default_mat, name=name)
+                objects.append(obj if extra is None else obj.moved_by(extra))
+            elif t.value == "plane":
+                self._expect("{")
+                normal = self.vector()
+                self._skip_commas()
+                d = self.number()
+                mat, name, extra = self.object_trailer()
+                obj = Plane.from_normal(normal, d, material=mat or default_mat, name=name)
+                objects.append(obj if extra is None else obj.moved_by(extra))
+            elif t.value == "cylinder":
+                self._expect("{")
+                p0 = self.vector()
+                self._skip_commas()
+                p1 = self.vector()
+                self._skip_commas()
+                r = self.number()
+                mat, name, extra = self.object_trailer()
+                obj = Cylinder.from_endpoints(p0, p1, r, material=mat or default_mat, name=name)
+                objects.append(obj if extra is None else obj.moved_by(extra))
+            elif t.value == "box":
+                self._expect("{")
+                lo = self.vector()
+                self._skip_commas()
+                hi = self.vector()
+                mat, name, extra = self.object_trailer()
+                obj = Box.from_corners(lo, hi, material=mat or default_mat, name=name)
+                objects.append(obj if extra is None else obj.moved_by(extra))
+            elif t.value == "disc":
+                self._expect("{")
+                center = self.vector()
+                self._skip_commas()
+                normal = self.vector()
+                self._skip_commas()
+                r = self.number()
+                mat, name, extra = self.object_trailer()
+                obj = Disc.at(center, normal, r, material=mat or default_mat, name=name)
+                objects.append(obj if extra is None else obj.moved_by(extra))
+            elif t.value == "torus":
+                self._expect("{")
+                major = self.number()
+                self._skip_commas()
+                minor = self.number()
+                mat, name, extra = self.object_trailer()
+                obj = Torus.at(
+                    (0.0, 0.0, 0.0), (0.0, 1.0, 0.0), major, minor,
+                    material=mat or default_mat, name=name,
+                )
+                objects.append(obj if extra is None else obj.moved_by(extra))
+            elif t.value == "intersection":
+                node, extra = self.csg_intersection_body()
+                if node.material is None:
+                    node.material = default_mat
+                objects.append(node if extra is None else node.moved_by(extra))
+            elif t.value == "difference":
+                self._expect("{")
+                minuend = self.csg_operand()
+                subtrahend = self.csg_operand()
+                mat, name, extra = self.object_trailer()
+                node = CSGDifference(minuend, subtrahend, material=mat or default_mat)
+                if name is not None:
+                    node.name = name
+                objects.append(node if extra is None else node.moved_by(extra))
+            else:
+                raise SceneParseError(f"unknown block {t.value!r}", t.line)
+
+        if camera is None:
+            raise SceneParseError("scene has no camera block", self._line())
+        return Scene(
+            camera=camera,
+            objects=objects,
+            lights=lights,
+            background=background,
+            ambient_light=ambient,
+            max_depth=max_depth,
+        )
+
+    def _camera_block(self) -> Camera:
+        self._expect("{")
+        kwargs: dict[str, object] = {}
+        while not self._maybe("}"):
+            t = self._next()
+            if t.value == "location":
+                kwargs["position"] = self.vector()
+            elif t.value == "look_at":
+                kwargs["look_at"] = self.vector()
+            elif t.value == "up":
+                kwargs["up"] = self.vector()
+            elif t.value == "angle":
+                kwargs["fov_degrees"] = self.number()
+            elif t.value == "width":
+                kwargs["width"] = int(self.number())
+            elif t.value == "height":
+                kwargs["height"] = int(self.number())
+            else:
+                raise SceneParseError(f"unknown camera attribute {t.value!r}", t.line)
+        if "position" not in kwargs or "look_at" not in kwargs:
+            raise SceneParseError("camera needs location and look_at", self._line())
+        return Camera(**kwargs)
+
+
+def parse_scene(text: str) -> Scene:
+    """Parse scene-description text into a :class:`Scene`."""
+    return _Parser(_tokenize(text)).parse()
+
+
+def load_scene(path: str | Path) -> Scene:
+    """Parse a scene file."""
+    return parse_scene(Path(path).read_text())

@@ -1,0 +1,18 @@
+"""Built-in workloads: the paper's two animations plus stress scenes."""
+
+from .brick_room import bounce_position, brick_room_animation, brick_room_scene
+from .newton import CradleRig, cradle_angles, newton_animation, newton_scene
+from .stress import random_spheres_animation, random_spheres_scene, two_shot_animation
+
+__all__ = [
+    "CradleRig",
+    "bounce_position",
+    "brick_room_animation",
+    "brick_room_scene",
+    "cradle_angles",
+    "newton_animation",
+    "newton_scene",
+    "random_spheres_animation",
+    "random_spheres_scene",
+    "two_shot_animation",
+]

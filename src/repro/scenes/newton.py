@@ -1,0 +1,247 @@
+"""The Newton animation (Figure 5 / Table 1 workload).
+
+"The Newton animation, designed by Chris Gulka, consists of a set of
+suspended chrome marbles, which when set into motion by raising the marble
+on either end, illustrates the law of the conservation of energy ...
+consisting of one plane, five spheres, and sixteen cylinders."
+
+Object inventory (matching the paper's counts exactly):
+
+* 1 plane — the floor;
+* 5 spheres — the chrome marbles;
+* 16 cylinders — 4 legs + 2 top rails of the frame, plus 2 suspension
+  strings per marble (10 strings).
+
+Motion: an analytic Newton's-cradle cycle.  The left end marble is raised
+and released; it swings down (quarter pendulum period), the impulse
+transfers through the middle marbles, and the right marble swings out and
+back (half period); then the left marble swings out again, completing the
+cycle.  Only the two end marbles and their four strings ever move — a small
+changing region per frame, which is precisely why this workload shows frame
+coherence at its best, while the chrome reflections make the *static*
+pixels expensive ("those pixels that did not change were not easily
+calculated to begin with").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import Cylinder, Plane, Sphere
+from ..lighting import PointLight
+from ..materials import Checker, Finish, Material
+from ..rmath import Transform, vec3
+from ..scene import Camera, FunctionAnimation, Scene
+
+__all__ = ["CradleRig", "newton_scene", "newton_animation", "cradle_angles"]
+
+
+@dataclass(frozen=True)
+class CradleRig:
+    """Geometry parameters of the cradle."""
+
+    n_marbles: int = 5
+    marble_radius: float = 0.4
+    string_radius: float = 0.02
+    frame_post_radius: float = 0.08
+    rail_height: float = 3.2
+    rail_half_sep: float = 0.9  # rails at z = +/- this
+    marble_height: float = 1.0  # rest height of marble centers
+    floor_y: float = 0.0
+
+    @property
+    def spacing(self) -> float:
+        """Center-to-center distance of adjacent marbles (touching)."""
+        return 2.0 * self.marble_radius
+
+    def marble_rest_x(self, i: int) -> float:
+        """Rest x of marble ``i`` (row centered on the origin)."""
+        return (i - (self.n_marbles - 1) / 2.0) * self.spacing
+
+    @property
+    def pendulum_length(self) -> float:
+        return self.rail_height - self.marble_height
+
+    @property
+    def frame_half_width(self) -> float:
+        """X half-extent of the frame, with clearance for the swing."""
+        return self.marble_rest_x(self.n_marbles - 1) + self.pendulum_length * 0.9
+
+
+def cradle_angles(t: float, theta0: float, omega: float) -> tuple[float, float]:
+    """Swing angles ``(theta_left, theta_right)`` at time ``t`` (radians).
+
+    The cycle has period ``2*pi/omega`` split into four quarter-periods:
+    left falls (theta0 -> 0), right rises and returns (0 -> theta0 -> 0),
+    left rises (0 -> theta0).  Angles are magnitudes; each end marble swings
+    *outward* from the row.
+    """
+    if theta0 < 0:
+        raise ValueError("theta0 must be non-negative")
+    if omega <= 0:
+        raise ValueError("omega must be positive")
+    quarter = (np.pi / 2.0) / omega
+    phase = t % (4.0 * quarter)
+    if phase < quarter:  # left swinging down
+        return theta0 * np.cos(omega * phase), 0.0
+    if phase < 3.0 * quarter:  # right swinging out and back
+        return 0.0, theta0 * np.sin(omega * (phase - quarter))
+    # left swinging back out
+    return theta0 * np.sin(omega * (phase - 3.0 * quarter)), 0.0
+
+
+def _string_endpoints(rig: CradleRig, i: int, z_sign: float) -> tuple[np.ndarray, np.ndarray]:
+    """Rest endpoints of one suspension string of marble ``i``."""
+    x = rig.marble_rest_x(i)
+    top = vec3(x, rig.rail_height, z_sign * rig.rail_half_sep)
+    bottom = vec3(x, rig.marble_height, 0.0)
+    return top, bottom
+
+
+def newton_scene(rig: CradleRig | None = None, width: int = 320, height: int = 240) -> Scene:
+    """The cradle at rest (marble and string names carry their indices)."""
+    rig = rig or CradleRig()
+    chrome = Material.chrome(tint=(0.92, 0.92, 0.95), reflection=0.7)
+    steel = Material(
+        pigment=Material.matte((0.35, 0.35, 0.4)).pigment,
+        finish=Finish(ambient=0.08, diffuse=0.5, specular=0.4, phong_size=60.0, reflection=0.15),
+    )
+    string_mat = Material.matte((0.75, 0.72, 0.65), ambient=0.15, diffuse=0.7)
+    floor_mat = Material.textured(
+        Checker((0.85, 0.85, 0.85), (0.25, 0.3, 0.35)).scaled(1.2),
+        Finish(ambient=0.12, diffuse=0.75, reflection=0.08),
+    )
+
+    objects = [
+        Plane.from_normal((0.0, 1.0, 0.0), rig.floor_y, material=floor_mat, name="floor"),
+    ]
+
+    # 5 marbles
+    for i in range(rig.n_marbles):
+        objects.append(
+            Sphere.at(
+                (rig.marble_rest_x(i), rig.marble_height, 0.0),
+                rig.marble_radius,
+                material=chrome,
+                name=f"marble{i}",
+            )
+        )
+
+    # 10 strings (2 per marble, to the two rails)
+    for i in range(rig.n_marbles):
+        for z_sign, side in ((1.0, "a"), (-1.0, "b")):
+            top, bottom = _string_endpoints(rig, i, z_sign)
+            objects.append(
+                Cylinder.from_endpoints(
+                    top, bottom, rig.string_radius, material=string_mat, name=f"string{i}{side}"
+                )
+            )
+
+    # 4 legs + 2 rails
+    hw = rig.frame_half_width
+    hs = rig.rail_half_sep
+    for lx, leg_x in ((0, -hw), (1, hw)):
+        for lz, leg_z in ((0, -hs), (1, hs)):
+            objects.append(
+                Cylinder.from_endpoints(
+                    vec3(leg_x, rig.floor_y, leg_z),
+                    vec3(leg_x, rig.rail_height, leg_z),
+                    rig.frame_post_radius,
+                    material=steel,
+                    name=f"leg{lx}{lz}",
+                )
+            )
+    for rz, rail_z in ((0, -hs), (1, hs)):
+        objects.append(
+            Cylinder.from_endpoints(
+                vec3(-hw, rig.rail_height, rail_z),
+                vec3(hw, rig.rail_height, rail_z),
+                rig.frame_post_radius,
+                material=steel,
+                name=f"rail{rz}",
+            )
+        )
+
+    assert sum(isinstance(o, Plane) for o in objects) == 1
+    assert sum(isinstance(o, Sphere) for o in objects) == 5
+    assert sum(isinstance(o, Cylinder) for o in objects) == 16
+
+    camera = Camera(
+        position=(0.0, 2.2, -7.5),
+        look_at=(0.0, 1.8, 0.0),
+        fov_degrees=48.0,
+        width=width,
+        height=height,
+    )
+    scene = Scene(
+        camera=camera,
+        objects=objects,
+        lights=[
+            PointLight(vec3(-6.0, 8.0, -6.0), vec3(0.9, 0.9, 0.9)),
+            PointLight(vec3(5.0, 6.0, -4.0), vec3(0.45, 0.45, 0.5)),
+        ],
+        background=vec3(0.05, 0.06, 0.1),
+        max_depth=5,
+    )
+    return scene
+
+
+def newton_animation(
+    n_frames: int = 45,
+    width: int = 320,
+    height: int = 240,
+    rig: CradleRig | None = None,
+    swing_degrees: float = 35.0,
+    cycles: float = 1.25,
+) -> FunctionAnimation:
+    """The Table-1 animation: ``n_frames`` of the cradle cycle.
+
+    ``cycles`` controls how many full cradle periods the sequence spans.
+    The camera is stationary throughout, as the coherence algorithm
+    requires.
+    """
+    rig = rig or CradleRig()
+    scene = newton_scene(rig, width=width, height=height)
+    theta0 = np.radians(swing_degrees)
+    # Choose omega so that n_frames covers `cycles` full periods.
+    omega = 2.0 * np.pi * cycles / max(n_frames - 1, 1)
+
+    left_i = 0
+    right_i = rig.n_marbles - 1
+    pivot_left = vec3(rig.marble_rest_x(left_i), rig.rail_height, 0.0)
+    pivot_right = vec3(rig.marble_rest_x(right_i), rig.rail_height, 0.0)
+
+    def swing_about(pivot: np.ndarray, signed_angle_fn):
+        def motion(frame: int) -> Transform:
+            angle = signed_angle_fn(float(frame))
+            return (
+                Transform.translate(*pivot)
+                @ Transform.rotate_z(angle)
+                @ Transform.translate(*(-pivot))
+            )
+
+        return motion
+
+    def left_angle(t: float) -> float:
+        th_l, _ = cradle_angles(t, theta0, omega)
+        return +th_l  # +z rotation moves the hanging ball toward -x? see note
+
+    def right_angle(t: float) -> float:
+        _, th_r = cradle_angles(t, theta0, omega)
+        return -th_r
+
+    # Note on signs: rotate_z(a) maps a point below the pivot (0,-L) to
+    # (L*sin a, -L*cos a) relative to the pivot, i.e. +a swings toward +x.
+    # The left marble must swing outward toward -x (negative angle), the
+    # right marble toward +x (positive angle).
+    motions = {
+        f"marble{left_i}": swing_about(pivot_left, lambda t: -left_angle(t)),
+        f"string{left_i}a": swing_about(pivot_left, lambda t: -left_angle(t)),
+        f"string{left_i}b": swing_about(pivot_left, lambda t: -left_angle(t)),
+        f"marble{right_i}": swing_about(pivot_right, lambda t: -right_angle(t)),
+        f"string{right_i}a": swing_about(pivot_right, lambda t: -right_angle(t)),
+        f"string{right_i}b": swing_about(pivot_right, lambda t: -right_angle(t)),
+    }
+    return FunctionAnimation(scene, n_frames, motions=motions)

@@ -1,0 +1,62 @@
+"""Shared fixtures: small scenes, animations and a tiny cost oracle.
+
+Everything here is deliberately low-resolution so the full suite runs in
+seconds; the benchmarks exercise paper-scale parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Plane, Sphere
+from repro.lighting import PointLight
+from repro.materials import Checker, Material
+from repro.parallel import build_oracle
+from repro.rmath import Transform
+from repro.scene import Camera, FunctionAnimation, Scene
+from repro.scenes import newton_animation
+
+
+@pytest.fixture
+def simple_scene() -> Scene:
+    """Floor + chrome ball + glass ball + matte ball, one light."""
+    cam = Camera(position=(0, 2, -6), look_at=(0, 1, 0), width=48, height=36, fov_degrees=60)
+    objects = [
+        Plane.from_normal(
+            (0, 1, 0),
+            0.0,
+            material=Material.textured(Checker((1, 1, 1), (0.1, 0.1, 0.1))),
+            name="floor",
+        ),
+        Sphere.at((0, 1, 0), 0.8, material=Material.chrome(), name="chrome"),
+        Sphere.at((1.6, 0.6, -1.2), 0.6, material=Material.glass(), name="glass"),
+        Sphere.at((-1.8, 0.5, 0.8), 0.5, material=Material.matte((0.8, 0.2, 0.2)), name="matte"),
+    ]
+    return Scene(
+        camera=cam,
+        objects=objects,
+        lights=[PointLight(np.array([5.0, 8.0, -5.0]), np.array([1.0, 1.0, 1.0]))],
+        background=np.array([0.2, 0.3, 0.5]),
+    )
+
+
+@pytest.fixture
+def moving_ball_animation(simple_scene) -> FunctionAnimation:
+    """The matte ball slides along +x, everything else static."""
+    return FunctionAnimation(
+        simple_scene,
+        n_frames=4,
+        motions={"matte": lambda f: Transform.translate(0.3 * f, 0.0, 0.0)},
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_newton_animation():
+    return newton_animation(n_frames=5, width=64, height=48)
+
+
+@pytest.fixture(scope="session")
+def tiny_oracle(tiny_newton_animation):
+    """A real measured oracle of a 5-frame 64x48 Newton run (built once)."""
+    return build_oracle(tiny_newton_animation, grid_resolution=16)

@@ -1,0 +1,160 @@
+"""Tests for AABBs and the slab intersection test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rmath import AABB, ray_aabb_intersect, union, vec3
+
+coord = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+
+
+def box_strategy():
+    return st.tuples(coord, coord, coord, coord, coord, coord).map(
+        lambda t: AABB(
+            np.minimum(t[:3], t[3:]),
+            np.maximum(t[:3], t[3:]),
+        )
+    )
+
+
+def test_empty_box_identity():
+    e = AABB.empty()
+    assert e.is_empty()
+    b = AABB(vec3(0, 0, 0), vec3(1, 1, 1))
+    assert not b.is_empty()
+    u = union(e, b)
+    np.testing.assert_array_equal(u.lo, b.lo)
+    np.testing.assert_array_equal(u.hi, b.hi)
+
+
+def test_from_points():
+    pts = np.array([[0, 0, 0], [1, -1, 2], [0.5, 3, -4]], dtype=float)
+    b = AABB.from_points(pts)
+    np.testing.assert_array_equal(b.lo, [0, -1, -4])
+    np.testing.assert_array_equal(b.hi, [1, 3, 2])
+
+
+def test_from_points_empty():
+    assert AABB.from_points(np.empty((0, 3))).is_empty()
+
+
+def test_center_extent_volume_area():
+    b = AABB(vec3(0, 0, 0), vec3(2, 4, 6))
+    np.testing.assert_array_equal(b.center, [1, 2, 3])
+    np.testing.assert_array_equal(b.extent, [2, 4, 6])
+    assert b.volume == pytest.approx(48.0)
+    assert b.surface_area == pytest.approx(2 * (8 + 24 + 12))
+
+
+def test_contains_point_batched():
+    b = AABB(vec3(0, 0, 0), vec3(1, 1, 1))
+    pts = np.array([[0.5, 0.5, 0.5], [1.5, 0.5, 0.5], [1.0, 1.0, 1.0]])
+    np.testing.assert_array_equal(b.contains_point(pts), [True, False, True])
+
+
+def test_overlaps():
+    a = AABB(vec3(0, 0, 0), vec3(1, 1, 1))
+    b = AABB(vec3(0.5, 0.5, 0.5), vec3(2, 2, 2))
+    c = AABB(vec3(2, 2, 2), vec3(3, 3, 3))
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+    assert b.overlaps(c)  # touching at a corner counts
+    assert not a.overlaps(AABB.empty())
+
+
+def test_expanded():
+    b = AABB(vec3(0, 0, 0), vec3(1, 1, 1)).expanded(0.5)
+    np.testing.assert_array_equal(b.lo, [-0.5] * 3)
+    np.testing.assert_array_equal(b.hi, [1.5] * 3)
+
+
+def test_corners():
+    b = AABB(vec3(0, 0, 0), vec3(1, 2, 3))
+    c = b.corners()
+    assert c.shape == (8, 3)
+    assert {tuple(p) for p in c} == {
+        (x, y, z) for x in (0.0, 1.0) for y in (0.0, 2.0) for z in (0.0, 3.0)
+    }
+
+
+def test_bad_shape_rejected():
+    with pytest.raises(ValueError):
+        AABB(np.zeros(2), np.zeros(3))
+
+
+@given(box_strategy(), box_strategy())
+@settings(max_examples=60)
+def test_union_contains_both(a, b):
+    u = union(a, b)
+    assert np.all(u.lo <= a.lo) and np.all(u.hi >= a.hi)
+    assert np.all(u.lo <= b.lo) and np.all(u.hi >= b.hi)
+
+
+def _slab(origins, dirs, lo, hi, t_max=np.inf):
+    with np.errstate(divide="ignore", over="ignore"):
+        inv = 1.0 / dirs
+    return ray_aabb_intersect(origins, inv, lo, hi, t_max)
+
+
+def test_ray_hits_box_head_on():
+    o = np.array([[0.0, 0.0, -5.0]])
+    d = np.array([[0.0, 0.0, 1.0]])
+    hit, t0, t1 = _slab(o, d, vec3(-1, -1, -1), vec3(1, 1, 1))
+    assert hit[0]
+    assert t0[0] == pytest.approx(4.0)
+    assert t1[0] == pytest.approx(6.0)
+
+
+def test_ray_misses_box():
+    o = np.array([[0.0, 5.0, -5.0]])
+    d = np.array([[0.0, 0.0, 1.0]])
+    hit, _, _ = _slab(o, d, vec3(-1, -1, -1), vec3(1, 1, 1))
+    assert not hit[0]
+
+
+def test_ray_starting_inside():
+    o = np.array([[0.0, 0.0, 0.0]])
+    d = np.array([[1.0, 0.0, 0.0]])
+    hit, t0, t1 = _slab(o, d, vec3(-1, -1, -1), vec3(1, 1, 1))
+    assert hit[0]
+    assert t0[0] == pytest.approx(0.0)
+    assert t1[0] == pytest.approx(1.0)
+
+
+def test_t_max_clips():
+    o = np.array([[0.0, 0.0, -5.0]])
+    d = np.array([[0.0, 0.0, 1.0]])
+    hit, _, _ = _slab(o, d, vec3(-1, -1, -1), vec3(1, 1, 1), t_max=3.0)
+    assert not hit[0]
+
+
+def test_axis_parallel_ray_inside_slab():
+    # Ray parallel to x-faces, inside the box's x-range: zero dir component.
+    o = np.array([[0.5, 0.0, -5.0]])
+    d = np.array([[0.0, 0.0, 1.0]])
+    hit, _, _ = _slab(o, d, vec3(0, -1, -1), vec3(1, 1, 1))
+    assert hit[0]
+    # And outside the slab: must miss.
+    o2 = np.array([[2.0, 0.0, -5.0]])
+    hit2, _, _ = _slab(o2, d, vec3(0, -1, -1), vec3(1, 1, 1))
+    assert not hit2[0]
+
+
+@given(
+    st.tuples(coord, coord, coord),
+    st.tuples(coord, coord, coord).filter(lambda d: np.linalg.norm(d) > 1e-3),
+    st.floats(0.05, 1.0),
+)
+@settings(max_examples=60)
+def test_points_inside_interval_are_inside_box(origin, direction, s):
+    """Any parametric point within [t_enter, t_exit] lies in the box."""
+    lo, hi = vec3(-10, -10, -10), vec3(10, 10, 10)
+    o = np.asarray(origin, dtype=float)[None]
+    d = np.asarray(direction, dtype=float)[None]
+    hit, t0, t1 = _slab(o, d, lo, hi)
+    if hit[0] and np.isfinite(t0[0]) and np.isfinite(t1[0]):
+        t = t0[0] + s * (t1[0] - t0[0])
+        p = o[0] + t * d[0]
+        assert np.all(p >= lo - 1e-6) and np.all(p <= hi + 1e-6)

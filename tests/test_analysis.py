@@ -1,0 +1,61 @@
+"""Tests for coherence analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    coherence_breakeven,
+    cost_image,
+    dirty_cost_bias,
+    dirty_fraction_series,
+    dirty_ray_fraction_series,
+    summarize_oracle,
+)
+
+
+def test_dirty_fraction_series(tiny_oracle):
+    s = dirty_fraction_series(tiny_oracle)
+    assert s.shape == (tiny_oracle.n_frames,)
+    assert s[0] == 1.0
+    assert np.all((s[1:] > 0) & (s[1:] < 1))
+
+
+def test_dirty_ray_fraction_series(tiny_oracle):
+    s = dirty_ray_fraction_series(tiny_oracle)
+    assert s[0] == 1.0
+    assert np.all((s[1:] > 0) & (s[1:] <= 1))
+    # Ray fraction and pixel fraction agree on sign of savings.
+    p = dirty_fraction_series(tiny_oracle)
+    assert np.all(s[1:] < 1.0) and np.all(p[1:] < 1.0)
+
+
+def test_cost_image(tiny_oracle):
+    img = cost_image(tiny_oracle, 0)
+    assert img.shape == (tiny_oracle.height, tiny_oracle.width)
+    assert img.min() >= 1  # every pixel fired at least its camera ray
+    with pytest.raises(IndexError):
+        cost_image(tiny_oracle, 99)
+
+
+def test_dirty_cost_bias(tiny_oracle):
+    b = dirty_cost_bias(tiny_oracle, 1)
+    assert b > 0
+    with pytest.raises(ValueError):
+        dirty_cost_bias(tiny_oracle, 0)
+
+
+def test_breakeven():
+    assert coherence_breakeven(0.0) == 1.0
+    assert coherence_breakeven(0.12) == pytest.approx(1 / 1.12)
+    with pytest.raises(ValueError):
+        coherence_breakeven(-0.1)
+
+
+def test_summarize(tiny_oracle):
+    s = summarize_oracle(tiny_oracle)
+    assert s["n_frames"] == tiny_oracle.n_frames
+    assert 0 < s["mean_dirty_fraction"] < 1
+    assert s["ray_reduction"] > 1
+    assert 0 <= s["frames_beyond_breakeven"] <= tiny_oracle.n_frames - 1
+    # The Newton workload never exceeds breakeven: coherence always pays.
+    assert s["frames_beyond_breakeven"] == 0

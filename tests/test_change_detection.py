@@ -1,0 +1,128 @@
+"""Tests for inter-frame change detection."""
+
+import numpy as np
+import pytest
+
+from repro.accel import UniformGrid
+from repro.coherence import changed_voxels, objects_changed, scene_signature
+from repro.geometry import Plane, Sphere
+from repro.lighting import PointLight
+from repro.materials import Material
+from repro.rmath import AABB, Transform, vec3
+from repro.scene import Camera, Scene
+
+
+# Shared base objects: change detection matches objects across frames by
+# prim_id, so the two compared scenes must be built from the SAME primitives
+# (exactly what FunctionAnimation does).
+_FLOOR = Plane.from_normal((0, 1, 0), 0.0, material=Material.matte((1, 1, 1)), name="floor")
+_BALL = Sphere.at((0, 1, 0), 0.5, material=Material.matte((1, 0, 0)), name="ball")
+
+
+def _scene(ball_x=0.0, light_pos=(0, 5, -5), extra=None):
+    cam = Camera(position=(0, 1, -5), look_at=(0, 1, 0), width=8, height=8)
+    objects = [
+        _FLOOR,
+        _BALL if ball_x == 0.0 else _BALL.moved_by(Transform.translate(ball_x, 0, 0)),
+    ]
+    if extra is not None:
+        objects.append(extra)
+    return Scene(
+        camera=cam,
+        objects=objects,
+        lights=[PointLight(np.asarray(light_pos, dtype=float), np.ones(3))],
+    )
+
+
+def _grid():
+    return UniformGrid(AABB(vec3(-4, -1, -4), vec3(4, 4, 4)), 8)
+
+
+def test_identical_scenes_no_changes():
+    a, b = _scene(), _scene()
+    assert changed_voxels(_grid(), a, b).size == 0
+    assert objects_changed(a, b) == []
+
+
+def test_moved_object_detected():
+    a, b = _scene(0.0), _scene(1.0)
+    pairs = objects_changed(a, b)
+    assert len(pairs) == 1
+    po, co = pairs[0]
+    assert po.name == "ball" and co.name == "ball"
+
+
+def test_changed_voxels_cover_old_and_new_positions():
+    g = _grid()
+    a, b = _scene(0.0), _scene(2.0)
+    vox = changed_voxels(g, a, b)
+    old_vox = set(g.voxels_overlapping(a.object_by_name("ball").bounds()).tolist())
+    new_vox = set(g.voxels_overlapping(b.object_by_name("ball").bounds()).tolist())
+    got = set(vox.tolist())
+    assert old_vox <= got and new_vox <= got
+
+
+def test_changed_voxels_bounded():
+    """A small moved object must not dirty the whole grid."""
+    g = _grid()
+    vox = changed_voxels(g, _scene(0.0), _scene(0.5))
+    assert 0 < vox.size < g.n_voxels // 4
+
+
+def test_added_object_detected():
+    extra = Sphere.at((2, 1, 2), 0.3, material=Material.matte((0, 1, 0)), name="new")
+    a = _scene()
+    b = _scene(extra=extra)
+    pairs = objects_changed(a, b)
+    assert len(pairs) == 1
+    assert pairs[0][0] is None and pairs[0][1].name == "new"
+    vox = changed_voxels(_grid(), a, b)
+    assert vox.size > 0
+
+
+def test_removed_object_detected():
+    extra = Sphere.at((2, 1, 2), 0.3, material=Material.matte((0, 1, 0)), name="old")
+    a = _scene(extra=extra)
+    b = _scene()
+    pairs = objects_changed(a, b)
+    assert pairs[0][1] is None
+
+
+def test_light_change_invalidates_everything():
+    g = _grid()
+    a = _scene(light_pos=(0, 5, -5))
+    b = _scene(light_pos=(1, 5, -5))
+    vox = changed_voxels(g, a, b)
+    assert vox.size == g.n_voxels
+
+
+def test_light_count_change_invalidates_everything():
+    g = _grid()
+    a = _scene()
+    b = _scene()
+    b.add_light(PointLight(np.array([9.0, 9, 9]), np.ones(3)))
+    assert changed_voxels(g, a, b).size == g.n_voxels
+
+
+def test_background_change_invalidates_everything():
+    g = _grid()
+    a = _scene()
+    b = _scene()
+    b.background = np.array([1.0, 0, 0])
+    assert changed_voxels(g, a, b).size == g.n_voxels
+
+
+def test_scene_signature_stable_and_sensitive():
+    assert scene_signature(_scene()) == scene_signature(_scene())
+    assert scene_signature(_scene(0.0)) != scene_signature(_scene(1.0))
+
+
+def test_moved_plane_clipped_to_grid():
+    """An infinite object's change footprint is clipped to the grid."""
+    g = _grid()
+    a = _scene()
+    b = _scene()
+    floor = b.object_by_name("floor")
+    b.objects[0] = floor.moved_by(Transform.translate(0, 0.5, 0))
+    vox = changed_voxels(g, a, b)
+    assert 0 < vox.size <= g.n_voxels

@@ -1,0 +1,187 @@
+"""Tests for the discrete-event engine, Ethernet model and machines."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Ethernet,
+    FifoResource,
+    Machine,
+    Simulator,
+    ThrashModel,
+    homogeneous_cluster,
+    ncsu_testbed,
+)
+
+
+# -- Simulator --------------------------------------------------------------
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(2.0, lambda: log.append("b"))
+    sim.schedule(1.0, lambda: log.append("a"))
+    sim.schedule(3.0, lambda: log.append("c"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_tie_break_is_insertion_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(1.0, lambda: log.append(2))
+    sim.run()
+    assert log == [1, 2]
+
+
+def test_schedule_during_run():
+    sim = Simulator()
+    log = []
+
+    def first():
+        log.append("first")
+        sim.schedule(1.0, lambda: log.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert log == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_run_until():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(5.0, lambda: log.append(5))
+    sim.run(until=2.0)
+    assert log == [1]
+    sim.run()
+    assert log == [1, 5]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_at(-1.0, lambda: None)
+
+
+# -- FifoResource ---------------------------------------------------------------
+def test_fifo_serializes():
+    sim = Simulator()
+    res = FifoResource(sim)
+    done = []
+    res.acquire(2.0, lambda s, e: done.append((s, e)))
+    res.acquire(3.0, lambda s, e: done.append((s, e)))
+    sim.run()
+    assert done == [(0.0, 2.0), (2.0, 5.0)]
+    assert res.total_busy == 5.0
+    assert res.n_served == 2
+
+
+def test_fifo_idle_gap():
+    sim = Simulator()
+    res = FifoResource(sim)
+    done = []
+    sim.schedule(10.0, lambda: res.acquire(1.0, lambda s, e: done.append((s, e))))
+    sim.run()
+    assert done == [(10.0, 11.0)]
+    assert res.utilization(11.0) == pytest.approx(1.0 / 11.0)
+
+
+def test_fifo_negative_duration():
+    sim = Simulator()
+    res = FifoResource(sim)
+    with pytest.raises(ValueError):
+        res.acquire(-1.0, lambda s, e: None)
+
+
+# -- Ethernet ----------------------------------------------------------------------
+def test_transfer_time():
+    sim = Simulator()
+    eth = Ethernet(sim, bandwidth_bits_per_s=10e6, latency_s=0.001, efficiency=1.0)
+    # 1.25 MB at 10 Mbit/s = 1 s (+1 ms latency).
+    assert eth.transfer_time(1_250_000) == pytest.approx(1.001)
+
+
+def test_transfers_serialize_on_shared_medium():
+    sim = Simulator()
+    eth = Ethernet(sim, bandwidth_bits_per_s=8e6, latency_s=0.0, efficiency=1.0)
+    times = []
+    eth.transmit(1_000_000, lambda: times.append(sim.now))  # 1 s
+    eth.transmit(1_000_000, lambda: times.append(sim.now))  # queued behind
+    sim.run()
+    assert times == [1.0, 2.0]
+    assert eth.n_messages == 2
+    assert eth.bytes_carried == 2_000_000
+
+
+def test_ethernet_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Ethernet(sim, bandwidth_bits_per_s=0)
+    with pytest.raises(ValueError):
+        Ethernet(sim, efficiency=0.0)
+    eth = Ethernet(sim)
+    with pytest.raises(ValueError):
+        eth.transfer_time(-1)
+
+
+# -- Machines --------------------------------------------------------------------
+def test_ncsu_testbed_matches_paper():
+    ms = ncsu_testbed()
+    assert len(ms) == 3
+    assert ms[0].speed == 2.0 and ms[0].memory_mb == 64.0
+    assert ms[1].speed == 1.0 and ms[1].memory_mb == 32.0
+    assert ms[2].speed == 1.0 and ms[2].memory_mb == 32.0
+    assert len({m.name for m in ms}) == 3
+
+
+def test_homogeneous_cluster():
+    ms = homogeneous_cluster(5, speed=1.5)
+    assert len(ms) == 5
+    assert all(m.speed == 1.5 for m in ms)
+    with pytest.raises(ValueError):
+        homogeneous_cluster(0)
+
+
+def test_machine_validation():
+    with pytest.raises(ValueError):
+        Machine("m", speed=0.0, memory_mb=32)
+    with pytest.raises(ValueError):
+        Machine("m", speed=1.0, memory_mb=0)
+
+
+# -- ThrashModel -----------------------------------------------------------------
+def test_no_thrash_when_fits():
+    t = ThrashModel(alpha=1.0)
+    assert t.slowdown(30.0, 64.0) == 1.0
+    assert t.slowdown(64.0, 64.0) == 1.0
+    assert t.slowdown(0.0, 64.0) == 1.0
+
+
+def test_thrash_grows_with_excess():
+    t = ThrashModel(alpha=1.0, exponent=0.5)
+    s1 = t.slowdown(80.0, 64.0)
+    s2 = t.slowdown(128.0, 64.0)
+    assert 1.0 < s1 < s2
+    assert s2 == pytest.approx(2.0)  # 1 + sqrt(1)
+
+
+def test_thrash_linear_mode():
+    t = ThrashModel(alpha=2.0, exponent=1.0)
+    assert t.slowdown(96.0, 64.0) == pytest.approx(2.0)  # 1 + 2*0.5
+
+
+def test_thrash_disabled():
+    t = ThrashModel(alpha=0.0)
+    assert t.slowdown(1000.0, 1.0) == 1.0
+
+
+def test_thrash_validation():
+    with pytest.raises(ValueError):
+        ThrashModel(alpha=-1.0)
+    with pytest.raises(ValueError):
+        ThrashModel(exponent=0.0)

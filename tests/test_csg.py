@@ -1,0 +1,265 @@
+"""Tests for constructive solid geometry (convex operands)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    MISS,
+    Box,
+    CSGDifference,
+    CSGIntersection,
+    Cylinder,
+    Plane,
+    Sphere,
+    convex_interval,
+)
+from repro.materials import Material
+from repro.rmath import Transform, normalize
+
+
+def _shoot(obj, origin, direction):
+    o = np.asarray(origin, dtype=float)[None]
+    d = normalize(np.asarray(direction, dtype=float))[None]
+    t, n = obj.intersect(o, d)
+    return float(t[0]), n[0]
+
+
+# -- convex_interval ------------------------------------------------------------
+def test_sphere_interval():
+    s = Sphere.at((0, 0, 0), 1.0)
+    t0, t1, v = convex_interval(s, np.array([[0.0, 0, -5]]), np.array([[0.0, 0, 1]]))
+    assert v[0]
+    assert t0[0] == pytest.approx(4.0) and t1[0] == pytest.approx(6.0)
+
+
+def test_box_interval_ray_inside():
+    b = Box.from_corners((-1, -1, -1), (1, 1, 1))
+    t0, t1, v = convex_interval(b, np.array([[0.0, 0, 0]]), np.array([[1.0, 0, 0]]))
+    assert v[0]
+    assert t0[0] == pytest.approx(-1.0) and t1[0] == pytest.approx(1.0)
+
+
+def test_box_interval_parallel_outside_misses():
+    b = Box.from_corners((0, 0, 0), (1, 1, 1))
+    t0, t1, v = convex_interval(b, np.array([[2.0, 0.5, -5]]), np.array([[0.0, 0, 1]]))
+    assert not v[0]
+
+
+def test_cylinder_interval_axis_parallel():
+    c = Cylinder.from_endpoints((0, 0, 0), (0, 2, 0), 1.0)
+    t0, t1, v = convex_interval(c, np.array([[0.0, -5, 0]]), np.array([[0.0, 1, 0]]))
+    assert v[0]
+    assert t0[0] == pytest.approx(5.0) and t1[0] == pytest.approx(7.0)
+
+
+def test_unsupported_operand_rejected():
+    p = Plane.from_normal((0, 1, 0), 0.0)
+    with pytest.raises(TypeError):
+        convex_interval(p, np.zeros((1, 3)), np.ones((1, 3)))
+    with pytest.raises(TypeError):
+        CSGIntersection([p, Sphere.at((0, 0, 0), 1.0)])
+
+
+# -- intersection -------------------------------------------------------------------
+def test_lens():
+    lens = CSGIntersection([Sphere.at((0, 0, -0.6), 1.0), Sphere.at((0, 0, 0.6), 1.0)])
+    t, n = _shoot(lens, (0, 0, -5), (0, 0, 1))
+    assert t == pytest.approx(4.6)  # the +z sphere's front cap at z = -0.4
+    np.testing.assert_allclose(n, [0, 0, -1], atol=1e-9)
+    # Outside the lens but inside one sphere: miss.
+    t2, _ = _shoot(lens, (0, 0.9, -5), (0, 0, 1))
+    assert t2 == MISS
+
+
+def test_intersection_from_inside():
+    lens = CSGIntersection([Sphere.at((0, 0, -0.6), 1.0), Sphere.at((0, 0, 0.6), 1.0)])
+    t, _ = _shoot(lens, (0, 0, 0), (0, 0, 1))
+    assert t == pytest.approx(0.4)
+
+
+def test_intersection_bounds():
+    lens = CSGIntersection([Sphere.at((0, 0, -0.6), 1.0), Sphere.at((0, 0, 0.6), 1.0)])
+    b = lens.bounds()
+    np.testing.assert_allclose(b.lo[2], -0.4, atol=1e-12)
+    np.testing.assert_allclose(b.hi[2], 0.4, atol=1e-12)
+
+
+def test_disjoint_intersection_never_hits():
+    empty = CSGIntersection([Sphere.at((0, 0, 0), 1.0), Sphere.at((5, 0, 0), 1.0)])
+    t, _ = _shoot(empty, (0, 0, -5), (0, 0, 1))
+    assert t == MISS
+
+
+def test_intersection_needs_two_children():
+    with pytest.raises(ValueError):
+        CSGIntersection([Sphere.at((0, 0, 0), 1.0)])
+
+
+def test_nested_intersection():
+    inner = CSGIntersection(
+        [Sphere.at((0, 0, 0), 1.0), Box.from_corners((-1, -1, -1), (1, 1, 0))]
+    )
+    outer = CSGIntersection([inner, Box.from_corners((-1, -1, -1), (0, 1, 1))])
+    # Hits the sphere surface in the region x<0, z<0.
+    t, _ = _shoot(outer, (-0.5, 0, -5), (0, 0, 1))
+    assert np.isfinite(t)
+    t2, _ = _shoot(outer, (0.5, 0, -5), (0, 0, 1))  # carved away by outer box
+    assert t2 == MISS
+
+
+# -- difference ------------------------------------------------------------------------
+def test_difference_face_and_carve():
+    die = CSGDifference(
+        Box.from_corners((-1, -1, -1), (1, 1, 1)), Sphere.at((1, 1, 1), 0.8)
+    )
+    t, n = _shoot(die, (0, 0, -5), (0, 0, 1))
+    assert t == pytest.approx(4.0)
+    np.testing.assert_allclose(n, [0, 0, -1], atol=1e-9)
+    # Diagonal ray into the carved corner hits the (flipped) sphere surface.
+    t2, n2 = _shoot(die, (3, 3, 3), (-1, -1, -1))
+    assert t2 == pytest.approx(2 * np.sqrt(3) + 0.8)
+    np.testing.assert_allclose(n2, np.full(3, 1 / np.sqrt(3)), atol=1e-9)
+
+
+def test_difference_pipe():
+    pipe = CSGDifference(
+        Cylinder.from_endpoints((0, 0, 0), (0, 2, 0), 1.0),
+        Cylinder.from_endpoints((0, -0.1, 0), (0, 2.1, 0), 0.6),
+    )
+    t_out, _ = _shoot(pipe, (-5, 1, 0), (1, 0, 0))
+    assert t_out == pytest.approx(4.0)
+    t_in, n_in = _shoot(pipe, (0, 1, 0), (1, 0, 0))  # from inside the bore
+    assert t_in == pytest.approx(0.6)
+    np.testing.assert_allclose(n_in, [-1, 0, 0], atol=1e-9)
+
+
+def test_difference_subtrahend_covers_all():
+    gone = CSGDifference(Sphere.at((0, 0, 0), 1.0), Sphere.at((0, 0, 0), 2.0))
+    t, _ = _shoot(gone, (0, 0, -5), (0, 0, 1))
+    assert t == MISS
+
+
+def test_difference_bounds():
+    die = CSGDifference(
+        Box.from_corners((0, 0, 0), (2, 2, 2)), Sphere.at((0, 0, 0), 0.5)
+    )
+    b = die.bounds()
+    np.testing.assert_allclose(b.lo, [0, 0, 0])
+    np.testing.assert_allclose(b.hi, [2, 2, 2])
+
+
+@given(
+    x=st.floats(-3, 3),
+    y=st.floats(-3, 3),
+    dz=st.floats(0.3, 1.0),
+)
+@settings(max_examples=60)
+def test_difference_hits_lie_on_a_surface(x, y, dz):
+    """Property: any reported hit point is on the minuend's or the
+    subtrahend's surface, outside the open subtrahend, inside the closed
+    minuend."""
+    A = Sphere.at((0, 0, 0), 2.0)
+    B = Box.from_corners((-1, -1, -1), (1, 1, 1))
+    diff = CSGDifference(A, B)
+    o = np.array([[x, y, -6.0]])
+    d = normalize(np.array([[0.02, -0.03, dz]]))
+    t, _ = diff.intersect(o, d)
+    if np.isfinite(t[0]):
+        p = (o + t[0] * d)[0]
+        r = np.linalg.norm(p)
+        on_sphere = abs(r - 2.0) < 1e-6
+        on_box = np.max(np.abs(p)) <= 1.0 + 1e-6 and (
+            min(abs(abs(p).max() - 1.0), abs(abs(p).min() - 1.0)) < 1e-6
+            or np.any(np.abs(np.abs(p) - 1.0) < 1e-6)
+        )
+        assert on_sphere or on_box
+        assert r <= 2.0 + 1e-6  # inside the minuend
+        assert np.any(np.abs(p) >= 1.0 - 1e-6)  # not strictly inside the box
+
+
+# -- rendering / shading integration --------------------------------------------------
+def test_csg_renders_in_scene():
+    from repro.lighting import PointLight
+    from repro.render import RayTracer
+    from repro.scene import Camera, Scene
+
+    lens = CSGIntersection(
+        [Sphere.at((0, 1, -0.4), 1.0), Sphere.at((0, 1, 0.4), 1.0)],
+        material=Material.glass(),
+        name="lens",
+    )
+    die = CSGDifference(
+        Box.from_corners((1.2, 0, -0.5), (2.2, 1, 0.5)),
+        Sphere.at((2.2, 1, 0), 0.5),
+        material=Material.matte((0.9, 0.3, 0.2)),
+        name="die",
+    )
+    floor = Plane.from_normal((0, 1, 0), 0.0, material=Material.matte((1, 1, 1)))
+    cam = Camera(position=(0, 1.5, -5), look_at=(0.5, 0.8, 0), width=48, height=36)
+    scene = Scene(
+        camera=cam,
+        objects=[floor, lens, die],
+        lights=[PointLight(np.array([3.0, 6.0, -4.0]), np.ones(3))],
+    )
+    fb, res = RayTracer(scene).render()
+    assert res.stats.refracted > 0  # through the lens
+    img = fb.to_uint8()
+    assert img.std() > 5
+
+
+def test_csg_coherence_exact():
+    """A moving CSG object keeps the incremental renderer exact."""
+    from repro.coherence import validate_sequence
+    from repro.lighting import PointLight
+    from repro.render import RayTracer
+    from repro.scene import Camera, FunctionAnimation, Scene
+
+    die = CSGDifference(
+        Box.from_corners((-0.5, 0, -0.5), (0.5, 1, 0.5)),
+        Sphere.at((0.5, 1, 0.5), 0.4),
+        material=Material.matte((0.2, 0.6, 0.9)),
+        name="die",
+    )
+    floor = Plane.from_normal((0, 1, 0), 0.0, material=Material.matte((1, 1, 1)))
+    cam = Camera(position=(0, 1.5, -4), look_at=(0, 0.5, 0), width=40, height=30)
+    scene = Scene(
+        camera=cam,
+        objects=[floor, die],
+        lights=[PointLight(np.array([3.0, 5.0, -3.0]), np.ones(3))],
+    )
+    anim = FunctionAnimation(
+        scene, 3, motions={"die": lambda f: Transform.translate(0.25 * f, 0, 0)}
+    )
+    rep = validate_sequence(anim, grid_resolution=16)
+    assert rep.all_exact and rep.all_conservative
+
+
+# -- SDL ---------------------------------------------------------------------------------
+def test_sdl_intersection_and_difference():
+    from repro.scene import parse_scene
+
+    s = parse_scene(
+        """
+        camera { location <0,1,-5> look_at <0,1,0> width 16 height 12 }
+        intersection {
+            sphere { <0, 1, -0.4>, 1 }
+            sphere { <0, 1, 0.4>, 1 }
+            name "lens"
+        }
+        difference {
+            box { <1, 0, -0.5>, <2, 1, 0.5> }
+            sphere { <2, 1, 0>, 0.5 }
+            texture { pigment { rgb <1, 0, 0> } }
+            name "die"
+        }
+        """
+    )
+    names = [o.name for o in s.objects]
+    assert names == ["lens", "die"]
+    assert isinstance(s.objects[0], CSGIntersection)
+    assert isinstance(s.objects[1], CSGDifference)
+    np.testing.assert_allclose(
+        s.objects[1].material.color_at(np.zeros((1, 3)))[0], [1, 0, 0]
+    )

@@ -1,0 +1,125 @@
+"""Tests for bounds culling and the stress workloads."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Plane, RayBatch, Sphere, TriangleMesh
+from repro.render import RayTracer, SceneIntersector
+from repro.rmath import normalize
+from repro.scenes import (
+    random_spheres_animation,
+    random_spheres_scene,
+    two_shot_animation,
+)
+
+
+def _mesh_at(center, radius=0.5):
+    ring = np.array([[np.cos(a), np.sin(a), 0.0] for a in np.linspace(0, 2 * np.pi, 13)[:-1]])
+    vertices = np.vstack([[0, 0, 1.0], [0, 0, -1.0], ring]) * radius + np.asarray(center)
+    faces = np.array([[0, 2 + i, 2 + (i + 1) % 12] for i in range(12)])
+    return TriangleMesh(vertices, faces)
+
+
+def _batch(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    origins = rng.uniform(-6, 6, (n, 3))
+    origins[:, 2] = -10.0
+    dirs = normalize(rng.uniform(-0.4, 0.4, (n, 3)) + [0, 0, 1.0])
+    return RayBatch(origins, dirs, np.arange(n), np.ones((n, 3)))
+
+
+@pytest.fixture(scope="module")
+def mixed_objects():
+    rng = np.random.default_rng(5)
+    objs = [Plane.from_normal((0, 1, 0), -7.0)]
+    objs += [_mesh_at(rng.uniform(-5, 5, 3)) for _ in range(6)]
+    objs += [Sphere.at(rng.uniform(-5, 5, 3), 0.4) for _ in range(6)]
+    return objs
+
+
+def test_culling_matches_flat_nearest(mixed_objects):
+    batch = _batch()
+    culled = SceneIntersector(mixed_objects, cull_bounds=True).nearest(batch)
+    flat = SceneIntersector(mixed_objects, cull_bounds=False).nearest(batch)
+    np.testing.assert_array_equal(culled.t, flat.t)
+    np.testing.assert_array_equal(culled.obj_index, flat.obj_index)
+    np.testing.assert_allclose(culled.normals, flat.normals)
+
+
+def test_culling_matches_flat_shadow(mixed_objects):
+    rng = np.random.default_rng(1)
+    # Give some objects materials so transmissive filtering is exercised.
+    from repro.materials import Material
+
+    for i, o in enumerate(mixed_objects):
+        o.material = Material.glass() if i % 3 == 0 else Material.matte((1, 1, 1))
+    origins = rng.uniform(-5, 5, (300, 3))
+    dirs = normalize(rng.uniform(-1, 1, (300, 3)) + 1e-3)
+    dists = rng.uniform(2, 15, 300)
+    a = SceneIntersector(mixed_objects, cull_bounds=True).shadow_attenuation(origins, dirs, dists)
+    b = SceneIntersector(mixed_objects, cull_bounds=False).shadow_attenuation(origins, dirs, dists)
+    np.testing.assert_allclose(a, b)
+
+
+def test_auto_mode_culls_only_expensive(mixed_objects):
+    inter = SceneIntersector(mixed_objects)
+    flags = dict(zip((type(o).__name__ for o in mixed_objects), inter._cull))
+    # Meshes get culled; spheres and the (infinite) plane never do.
+    assert any(
+        c for o, c in zip(mixed_objects, inter._cull) if isinstance(o, TriangleMesh)
+    )
+    assert not any(
+        c for o, c in zip(mixed_objects, inter._cull) if isinstance(o, (Sphere, Plane))
+    )
+
+
+def test_cost_hints():
+    assert Sphere.at((0, 0, 0), 1.0).intersect_cost_hint == 1.0
+    assert _mesh_at((0, 0, 0)).intersect_cost_hint == 6.0  # 12 faces / 2
+
+
+# -- stress scenes -----------------------------------------------------------------
+def test_random_spheres_deterministic():
+    a = random_spheres_scene(20, seed=7, width=32, height=24)
+    b = random_spheres_scene(20, seed=7, width=32, height=24)
+    for oa, ob in zip(a.objects, b.objects):
+        np.testing.assert_array_equal(oa.transform.m, ob.transform.m)
+    c = random_spheres_scene(20, seed=8, width=32, height=24)
+    assert any(
+        not np.array_equal(oa.transform.m, oc.transform.m)
+        for oa, oc in zip(a.objects[1:], c.objects[1:])
+    )
+
+
+def test_random_spheres_renders():
+    scene = random_spheres_scene(30, seed=2, width=48, height=36)
+    _, res = RayTracer(scene).render()
+    assert res.stats.camera == 48 * 36
+    assert res.stats.shadow > 0
+
+
+def test_random_spheres_animation_movers():
+    anim = random_spheres_animation(n_frames=3, n_spheres=10, n_movers=2, width=32, height=24)
+    s0, s2 = anim.scene_at(0), anim.scene_at(2)
+    moved = [
+        a.name
+        for a, b in zip(s0.objects, s2.objects)
+        if not np.array_equal(a.transform.m, b.transform.m)
+    ]
+    assert sorted(moved) == ["ball000", "ball001"]
+
+
+def test_random_spheres_validation():
+    with pytest.raises(ValueError):
+        random_spheres_scene(0)
+    with pytest.raises(ValueError):
+        random_spheres_animation(n_spheres=5, n_movers=9)
+
+
+def test_two_shot_camera_cut():
+    anim = two_shot_animation(n_frames=6)
+    from repro.scene import split_coherent_sequences
+
+    assert split_coherent_sequences(anim) == [(0, 3), (3, 6)]
+    with pytest.raises(ValueError):
+        two_shot_animation(n_frames=4, cut_at=0)

@@ -1,0 +1,126 @@
+"""Edge-case tests across modules (gaps the main suites skip)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import RayBatch, Sphere
+from repro.imageio import read_targa, write_targa
+from repro.render import Framebuffer, RayTracer
+from repro.rmath import lerp, vec3
+from repro.scene import Camera, Scene
+
+
+def test_lerp_batched_t():
+    a = np.zeros((3, 3))
+    b = np.ones((3, 3))
+    t = np.array([0.0, 0.5, 1.0])
+    out = lerp(a, b, t)
+    np.testing.assert_allclose(out[0], 0.0)
+    np.testing.assert_allclose(out[1], 0.5)
+    np.testing.assert_allclose(out[2], 1.0)
+
+
+def test_camera_empty_pixel_set():
+    cam = Camera(position=(0, 0, -5), look_at=(0, 0, 0), width=8, height=6)
+    batch = cam.rays_for_pixels(np.empty(0, dtype=np.int64))
+    assert len(batch) == 0
+
+
+def test_tracer_empty_pixel_set(simple_scene):
+    res = RayTracer(simple_scene).trace_pixels(np.empty(0, dtype=np.int64))
+    assert res.pixel_ids.size == 0
+    assert res.stats.total == 0
+    assert res.colors.shape == (0, 3)
+
+
+def test_tracer_duplicate_pixel_ids_deduplicated(simple_scene):
+    res = RayTracer(simple_scene).trace_pixels(np.array([5, 5, 5, 9]))
+    np.testing.assert_array_equal(res.pixel_ids, [5, 9])
+    assert res.stats.camera == 2
+
+
+def test_scene_add_chaining(simple_scene):
+    from repro.lighting import PointLight
+
+    extra = Sphere.at((9, 9, 9), 0.1, material=None, name="far")
+    out = simple_scene.add(extra).add_light(PointLight(np.zeros(3), np.ones(3)))
+    assert out is simple_scene
+    assert simple_scene.object_by_name("far") is extra
+
+
+def test_framebuffer_gather_empty():
+    fb = Framebuffer(4, 4)
+    assert fb.gather(np.empty(0, dtype=np.int64)).shape == (0, 3)
+    fb.scatter(np.empty(0, dtype=np.int64), np.empty((0, 3)))  # no-op, no raise
+
+
+def test_targa_top_origin_flag(tmp_path):
+    """A TGA with the top-origin descriptor bit reads correctly."""
+    img = np.arange(2 * 3 * 3, dtype=np.uint8).reshape(2, 3, 3)
+    path = tmp_path / "t.tga"
+    write_targa(path, img)
+    data = bytearray(path.read_bytes())
+    # Flip to top-origin: set bit 5 of the descriptor and reorder rows.
+    body = np.frombuffer(bytes(data[18:]), dtype=np.uint8).reshape(2, 3, 3)
+    data[18:] = body[::-1].tobytes()
+    data[17] |= 0x20
+    path.write_bytes(bytes(data))
+    np.testing.assert_array_equal(read_targa(path), img)
+
+
+def test_raybatch_zero_length():
+    batch = RayBatch(
+        origins=np.empty((0, 3)),
+        dirs=np.empty((0, 3)),
+        pixel=np.empty(0, dtype=np.int64),
+        weight=np.empty((0, 3)),
+    )
+    assert len(batch) == 0
+    sub = batch.select(np.empty(0, dtype=bool))
+    assert len(sub) == 0
+
+
+def test_scene_max_depth_one_counts_only_primary_and_shadow(simple_scene):
+    scene = Scene(
+        camera=simple_scene.camera,
+        objects=list(simple_scene.objects),
+        lights=list(simple_scene.lights),
+        max_depth=1,
+    )
+    _, res = RayTracer(scene).render()
+    assert res.stats.reflected == 0
+    assert res.stats.refracted == 0
+    assert res.stats.shadow > 0
+
+
+def test_frame_report_computed_fraction_zero_region():
+    from repro.coherence import FrameReport
+    from repro.render import RayStats
+
+    rep = FrameReport(
+        frame=0,
+        n_computed=0,
+        n_copied=0,
+        stats=RayStats(),
+        computed_pixels=np.empty(0, dtype=np.int64),
+        rays_per_pixel=np.empty(0, dtype=np.int64),
+        n_changed_voxels=0,
+        wall_time=0.0,
+    )
+    assert rep.computed_fraction == 0.0
+
+
+def test_vec3_helpers():
+    v = vec3(1, 2, 3)
+    assert v.tolist() == [1.0, 2.0, 3.0]
+
+
+def test_animation_render_accessors():
+    from repro import render_animation
+    from repro.scenes import newton_animation
+
+    anim = newton_animation(n_frames=2, width=16, height=12)
+    result = render_animation(anim, grid_resolution=8)
+    assert result.n_frames == 2
+    total_px = 2 * 16 * 12
+    assert result.total_computed_pixels() + result.total_copied_pixels() == total_px

@@ -1,0 +1,64 @@
+"""The shipped .sdl example scenes must parse and render."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.geometry import CSGDifference, CSGIntersection, Cylinder, Plane, Sphere, Torus
+from repro.render import RayTracer
+from repro.scene import load_scene
+
+SCENES_DIR = Path(__file__).resolve().parents[1] / "examples" / "scenes"
+
+
+def _small(scene):
+    scene.camera = scene.camera.with_resolution(48, 36)
+    return scene
+
+
+def test_scene_files_exist():
+    assert (SCENES_DIR / "cradle.sdl").exists()
+    assert (SCENES_DIR / "still_life.sdl").exists()
+
+
+def test_cradle_scene_inventory():
+    scene = load_scene(SCENES_DIR / "cradle.sdl")
+    assert sum(isinstance(o, Plane) for o in scene.objects) == 1
+    assert sum(isinstance(o, Sphere) for o in scene.objects) == 5
+    assert sum(isinstance(o, Cylinder) for o in scene.objects) == 16
+    assert scene.object_by_name("marble2") is not None
+    assert len(scene.lights) == 2
+
+
+def test_cradle_scene_renders():
+    scene = _small(load_scene(SCENES_DIR / "cradle.sdl"))
+    fb, res = RayTracer(scene).render()
+    assert res.stats.reflected > 0  # chrome marbles
+    assert fb.to_uint8().std() > 5
+
+
+def test_still_life_inventory():
+    scene = load_scene(SCENES_DIR / "still_life.sdl")
+    kinds = [type(o) for o in scene.objects]
+    assert CSGIntersection in kinds
+    assert CSGDifference in kinds
+    assert Torus in kinds
+    assert scene.max_depth == 6
+    assert scene.lights[0].is_soft and scene.lights[0].n_samples == 12
+
+
+def test_still_life_renders_all_ray_kinds():
+    scene = _small(load_scene(SCENES_DIR / "still_life.sdl"))
+    fb, res = RayTracer(scene).render()
+    assert res.stats.reflected > 0
+    assert res.stats.refracted > 0  # the glass lens
+    assert res.stats.shadow > 0
+    img = fb.to_uint8()
+    assert img.std() > 5 and img.max() > 100
+
+
+def test_still_life_torus_placed():
+    scene = load_scene(SCENES_DIR / "still_life.sdl")
+    ring = scene.object_by_name("ring")
+    np.testing.assert_allclose(ring.bounds().center, [2.9, 0.28, -1.3], atol=1e-9)

@@ -1,0 +1,53 @@
+"""Golden-image regression tests.
+
+Small renders of the two paper workloads are pinned against stored golden
+arrays (``tests/data/golden_images.npz``).  A shading, intersection or
+texture change that alters the pictures — even subtly — fails here first.
+Tolerance is loose enough (1e-6) to survive numpy version differences in
+summation order, tight enough to catch any real change.
+
+To regenerate after an *intentional* change, delete the data file and run
+``python tests/test_golden.py``.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.render import RayTracer
+from repro.scenes import brick_room_scene, newton_scene
+
+DATA = Path(__file__).parent / "data" / "golden_images.npz"
+W, H = 40, 30
+
+
+def _render(which: str) -> np.ndarray:
+    scene = newton_scene(width=W, height=H) if which == "newton" else brick_room_scene(width=W, height=H)
+    fb, _ = RayTracer(scene).render()
+    return fb.as_image()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert DATA.exists(), "golden data missing; run `python tests/test_golden.py` to create it"
+    with np.load(DATA) as z:
+        return {"newton": z["newton"], "brick": z["brick"]}
+
+
+@pytest.mark.parametrize("which", ["newton", "brick"])
+def test_render_matches_golden(which, golden):
+    img = _render(which)
+    np.testing.assert_allclose(
+        img,
+        golden[which],
+        atol=1e-6,
+        err_msg=f"{which} render drifted from the golden image — if the change "
+        "is intentional, regenerate tests/data/golden_images.npz",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    DATA.parent.mkdir(exist_ok=True)
+    np.savez_compressed(DATA, newton=_render("newton"), brick=_render("brick"))
+    print(f"regenerated {DATA}")

@@ -1,0 +1,147 @@
+"""Tests for Targa/PPM I/O and Figure-2 image differencing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.imageio import (
+    difference_mask_image,
+    mask_stats,
+    pixel_set_image,
+    read_ppm,
+    read_targa,
+    targa_nbytes,
+    write_ppm,
+    write_targa,
+)
+
+small_image = arrays(np.uint8, (5, 7, 3), elements=st.integers(0, 255))
+
+
+# -- Targa -------------------------------------------------------------------
+def test_targa_roundtrip(tmp_path):
+    img = np.arange(4 * 6 * 3, dtype=np.uint8).reshape(4, 6, 3)
+    path = tmp_path / "t.tga"
+    n = write_targa(path, img)
+    assert n == targa_nbytes(6, 4)
+    back = read_targa(path)
+    np.testing.assert_array_equal(back, img)
+
+
+@given(img=small_image)
+@settings(max_examples=25)
+def test_targa_roundtrip_random(img):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "x.tga"
+        write_targa(path, img)
+        np.testing.assert_array_equal(read_targa(path), img)
+
+
+def test_targa_float_input(tmp_path):
+    img = np.zeros((2, 2, 3))
+    img[0, 0] = [1.0, 0.5, 0.0]
+    path = tmp_path / "f.tga"
+    write_targa(path, img)
+    back = read_targa(path)
+    np.testing.assert_array_equal(back[0, 0], [255, 128, 0])
+
+
+def test_targa_nbytes_formula():
+    # 18-byte header + 3 bytes per pixel: the paper's 320x240 frame.
+    assert targa_nbytes(320, 240) == 18 + 320 * 240 * 3
+
+
+def test_targa_bad_shape(tmp_path):
+    with pytest.raises(ValueError):
+        write_targa(tmp_path / "bad.tga", np.zeros((4, 4)))
+
+
+def test_targa_read_rejects_other_formats(tmp_path):
+    path = tmp_path / "bad.tga"
+    path.write_bytes(b"\x00" * 18)  # image type 0
+    with pytest.raises(ValueError):
+        read_targa(path)
+
+
+def test_targa_truncated(tmp_path):
+    img = np.zeros((4, 4, 3), dtype=np.uint8)
+    path = tmp_path / "t.tga"
+    write_targa(path, img)
+    path.write_bytes(path.read_bytes()[:-10])
+    with pytest.raises(ValueError):
+        read_targa(path)
+
+
+# -- PPM -----------------------------------------------------------------------
+def test_ppm_roundtrip(tmp_path):
+    img = np.arange(3 * 5 * 3, dtype=np.uint8).reshape(3, 5, 3)
+    path = tmp_path / "p.ppm"
+    write_ppm(path, img)
+    np.testing.assert_array_equal(read_ppm(path), img)
+
+
+def test_ppm_with_comment(tmp_path):
+    img = np.full((2, 2, 3), 7, dtype=np.uint8)
+    path = tmp_path / "c.ppm"
+    write_ppm(path, img)
+    data = path.read_bytes().replace(b"P6\n", b"P6\n# a comment\n", 1)
+    path.write_bytes(data)
+    np.testing.assert_array_equal(read_ppm(path), img)
+
+
+def test_ppm_bad_magic(tmp_path):
+    path = tmp_path / "bad.ppm"
+    path.write_bytes(b"P3\n1 1\n255\n000")
+    with pytest.raises(ValueError):
+        read_ppm(path)
+
+
+# -- diff masks --------------------------------------------------------------------
+def test_difference_mask():
+    a = np.zeros((3, 3, 3))
+    b = a.copy()
+    b[1, 2] = 0.5
+    mask = difference_mask_image(a, b)
+    assert mask[1, 2] == 255
+    assert mask.sum() == 255
+    with pytest.raises(ValueError):
+        difference_mask_image(a, np.zeros((2, 2, 3)))
+
+
+def test_difference_mask_tolerance():
+    a = np.zeros((2, 2, 3))
+    b = a + 0.01
+    assert difference_mask_image(a, b, tol=0.1).sum() == 0
+    assert difference_mask_image(a, b, tol=0.001).sum() == 4 * 255
+
+
+def test_pixel_set_image():
+    img = pixel_set_image(np.array([0, 5]), width=3, height=2)
+    assert img.shape == (2, 3)
+    assert img[0, 0] == 255 and img[1, 2] == 255
+    assert img.sum() == 2 * 255
+    with pytest.raises(IndexError):
+        pixel_set_image(np.array([6]), width=3, height=2)
+
+
+def test_mask_stats_conservative():
+    actual = np.zeros((4, 4), dtype=bool)
+    actual[1, 1] = True
+    predicted = np.zeros((4, 4), dtype=bool)
+    predicted[1, 1] = predicted[1, 2] = True
+    s = mask_stats(actual, predicted)
+    assert s["actual"] == 1 and s["predicted"] == 2
+    assert s["missed"] == 0
+    assert s["overprediction"] == 2.0
+
+
+def test_mask_stats_missed():
+    actual = np.ones((2, 2), dtype=bool)
+    predicted = np.zeros((2, 2), dtype=bool)
+    s = mask_stats(actual, predicted)
+    assert s["missed"] == 4

@@ -1,0 +1,177 @@
+"""Tests for the scene intersector and local shading."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Plane, RayBatch, Sphere
+from repro.lighting import PointLight
+from repro.materials import Finish, Material
+from repro.render import SceneIntersector, shade_local
+from repro.scene import Camera, Scene
+
+
+def _batch(origins, dirs):
+    n = len(origins)
+    return RayBatch(
+        origins=np.asarray(origins, dtype=float),
+        dirs=np.asarray(dirs, dtype=float),
+        pixel=np.arange(n),
+        weight=np.ones((n, 3)),
+    )
+
+
+def test_nearest_picks_closest_object():
+    near = Sphere.at((0, 0, 0), 1.0, material=Material.matte((1, 0, 0)))
+    far = Sphere.at((0, 0, 5), 1.0, material=Material.matte((0, 1, 0)))
+    inter = SceneIntersector([far, near])  # order must not matter
+    rec = inter.nearest(_batch([[0, 0, -5]], [[0, 0, 1]]))
+    assert rec.hit[0]
+    assert rec.obj_index[0] == 1
+    assert rec.t[0] == pytest.approx(4.0)
+
+
+def test_nearest_miss():
+    inter = SceneIntersector([Sphere.at((0, 0, 0), 1.0)])
+    rec = inter.nearest(_batch([[0, 5, -5]], [[0, 0, 1]]))
+    assert not rec.hit[0]
+    assert rec.obj_index[0] == -1
+
+
+def test_shadow_attenuation_opaque_blocks():
+    blocker = Sphere.at((0, 0, 0), 1.0, material=Material.matte((1, 1, 1)))
+    inter = SceneIntersector([blocker])
+    atten = inter.shadow_attenuation(
+        np.array([[0.0, 0.0, -5.0]]), np.array([[0.0, 0.0, 1.0]]), np.array([10.0])
+    )
+    assert atten[0] == 0.0
+
+
+def test_shadow_attenuation_transmissive_filters():
+    glass = Sphere.at((0, 0, 0), 1.0, material=Material.glass())
+    inter = SceneIntersector([glass])
+    atten = inter.shadow_attenuation(
+        np.array([[0.0, 0.0, -5.0]]), np.array([[0.0, 0.0, 1.0]]), np.array([10.0])
+    )
+    assert atten[0] == pytest.approx(glass.material.finish.transmission)
+
+
+def test_shadow_attenuation_beyond_light_ignored():
+    blocker = Sphere.at((0, 0, 5), 1.0, material=Material.matte((1, 1, 1)))
+    inter = SceneIntersector([blocker])
+    # Light at distance 2: the blocker at distance ~4 is behind the light.
+    atten = inter.shadow_attenuation(
+        np.array([[0.0, 0.0, -0.0]]), np.array([[0.0, 0.0, 1.0]]), np.array([2.0])
+    )
+    assert atten[0] == 1.0
+
+
+def _shading_scene(light_pos=(0, 10, 0), finish=None):
+    mat = Material(
+        pigment=Material.matte((1.0, 1.0, 1.0)).pigment,
+        finish=finish or Finish(ambient=0.0, diffuse=1.0, specular=0.0),
+    )
+    floor = Plane.from_normal((0, 1, 0), 0.0, material=mat, name="floor")
+    cam = Camera(position=(0, 1, -5), look_at=(0, 0, 0), width=8, height=8)
+    return Scene(
+        camera=cam,
+        objects=[floor],
+        lights=[PointLight(np.asarray(light_pos, dtype=float), np.ones(3))],
+    )
+
+
+def test_lambert_cosine_falloff():
+    scene = _shading_scene(light_pos=(0, 10, 0))
+    inter = SceneIntersector(scene.objects)
+    # Shade two floor points: one directly below the light, one far away.
+    pts = np.array([[0.0, 0.0, 0.0], [10.0, 0.0, 0.0]])
+    normals = np.tile([0.0, 1.0, 0.0], (2, 1))
+    views = np.tile([0.0, -1.0, 0.0], (2, 1))
+    out = shade_local(scene, inter, pts, normals, views, np.zeros(2, dtype=int))
+    # cos(theta) = 1 under the light; 10/sqrt(200) at the far point.
+    assert out[0, 0] == pytest.approx(1.0, abs=1e-9)
+    assert out[1, 0] == pytest.approx(10.0 / np.sqrt(200.0), abs=1e-6)
+    assert out[0, 0] > out[1, 0] > 0
+
+
+def test_ambient_only_when_light_below_horizon():
+    scene = _shading_scene(light_pos=(0, -10, 0))
+    scene.objects[0].material = Material(
+        pigment=scene.objects[0].material.pigment,
+        finish=Finish(ambient=0.3, diffuse=1.0, specular=0.0),
+    )
+    inter = SceneIntersector(scene.objects)
+    out = shade_local(
+        scene,
+        inter,
+        np.array([[0.0, 0.0, 0.0]]),
+        np.array([[0.0, 1.0, 0.0]]),
+        np.array([[0.0, -1.0, 0.0]]),
+        np.zeros(1, dtype=int),
+    )
+    np.testing.assert_allclose(out[0], [0.3, 0.3, 0.3], atol=1e-12)
+
+
+def test_specular_highlight_along_mirror_direction():
+    fin = Finish(ambient=0.0, diffuse=0.0, specular=1.0, phong_size=50.0)
+    scene = _shading_scene(light_pos=(0, 10, 0), finish=fin)
+    inter = SceneIntersector(scene.objects)
+    pts = np.array([[0.0, 0.0, 0.0]])
+    normals = np.array([[0.0, 1.0, 0.0]])
+    # View ray coming straight down: reflection goes straight up at the light.
+    views_aligned = np.array([[0.0, -1.0, 0.0]])
+    out_aligned = shade_local(scene, inter, pts, normals, views_aligned, np.zeros(1, dtype=int))
+    # Grazing view: reflection points away from the light.
+    views_grazing = np.array([[1.0, -0.02, 0.0]])
+    views_grazing /= np.linalg.norm(views_grazing)
+    out_grazing = shade_local(scene, inter, pts, normals, views_grazing, np.zeros(1, dtype=int))
+    assert out_aligned[0, 0] == pytest.approx(1.0, abs=1e-9)
+    assert out_grazing[0, 0] < 0.1
+
+
+def test_shadowed_point_gets_no_direct_light():
+    scene = _shading_scene(light_pos=(0, 10, 0))
+    blocker = Sphere.at((0, 5, 0), 1.0, material=Material.matte((1, 1, 1)), name="blocker")
+    scene.add(blocker)
+    inter = SceneIntersector(scene.objects)
+    out = shade_local(
+        scene,
+        inter,
+        np.array([[0.0, 0.0, 0.0]]),
+        np.array([[0.0, 1.0, 0.0]]),
+        np.array([[0.0, -1.0, 0.0]]),
+        np.zeros(1, dtype=int),
+    )
+    np.testing.assert_allclose(out[0], 0.0, atol=1e-12)
+
+
+def test_shadow_hook_called_per_light():
+    scene = _shading_scene()
+    scene.add_light(PointLight(np.array([5.0, 10.0, 0.0]), np.ones(3)))
+    inter = SceneIntersector(scene.objects)
+    calls = []
+    shade_local(
+        scene,
+        inter,
+        np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]]),
+        np.tile([0.0, 1.0, 0.0], (2, 1)),
+        np.tile([0.0, -1.0, 0.0], (2, 1)),
+        np.zeros(2, dtype=int),
+        shadow_hook=lambda o, d, dist, mask: calls.append(o.shape[0]),
+    )
+    assert calls == [2, 2]
+
+
+def test_missing_material_raises():
+    s = Sphere.at((0, 0, 0), 1.0)  # no material
+    scene = _shading_scene()
+    scene.objects[0] = s
+    inter = SceneIntersector(scene.objects)
+    with pytest.raises(ValueError):
+        shade_local(
+            scene,
+            inter,
+            np.zeros((1, 3)),
+            np.array([[0.0, 1.0, 0.0]]),
+            np.array([[0.0, -1.0, 0.0]]),
+            np.zeros(1, dtype=int),
+        )

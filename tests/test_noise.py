@@ -1,0 +1,72 @@
+"""Tests for the deterministic value-noise stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.rmath import fbm, turbulence, value_noise
+
+points = arrays(
+    np.float64,
+    (8, 3),
+    elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(points)
+@settings(max_examples=50)
+def test_value_noise_range_and_determinism(p):
+    a = value_noise(p)
+    b = value_noise(p)
+    np.testing.assert_array_equal(a, b)
+    assert np.all(a >= 0.0) and np.all(a < 1.0)
+
+
+def test_value_noise_continuity():
+    """Noise is continuous across cell boundaries (quintic fade)."""
+    base = np.array([[2.0, 3.0, 4.0]])
+    eps = 1e-6
+    lo = value_noise(base - eps)
+    hi = value_noise(base + eps)
+    assert abs(float(hi[0] - lo[0])) < 1e-3
+
+
+def test_value_noise_varies():
+    rng = np.random.default_rng(0)
+    p = rng.uniform(-10, 10, size=(256, 3))
+    v = value_noise(p)
+    assert v.std() > 0.05  # not constant
+
+
+@given(points)
+@settings(max_examples=30)
+def test_fbm_range(p):
+    v = fbm(p, octaves=4)
+    assert np.all(v >= 0.0) and np.all(v <= 1.0)
+
+
+@given(points)
+@settings(max_examples=30)
+def test_turbulence_range(p):
+    v = turbulence(p, octaves=4)
+    assert np.all(v >= 0.0) and np.all(v <= 1.0 + 1e-9)
+
+
+def test_octave_validation():
+    p = np.zeros((1, 3))
+    with pytest.raises(ValueError):
+        fbm(p, octaves=0)
+    with pytest.raises(ValueError):
+        turbulence(p, octaves=0)
+
+
+def test_fbm_more_octaves_changes_value():
+    p = np.array([[1.3, 2.7, -0.4]])
+    assert float(fbm(p, octaves=1)[0]) != pytest.approx(float(fbm(p, octaves=5)[0]), abs=1e-6)
+
+
+def test_scalar_shape_handling():
+    v = value_noise(np.array([0.5, 0.5, 0.5]))
+    assert np.ndim(v) == 0

@@ -1,0 +1,107 @@
+"""Tests for the animation cost oracle (built on a real tiny workload)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import AnimationCostOracle, build_oracle
+from repro.render import RayTracer
+
+
+def test_oracle_dimensions(tiny_oracle, tiny_newton_animation):
+    cam = tiny_newton_animation.camera_at(0)
+    assert tiny_oracle.width == cam.width
+    assert tiny_oracle.height == cam.height
+    assert tiny_oracle.n_frames == tiny_newton_animation.n_frames
+    assert tiny_oracle.full_cost.shape == (tiny_oracle.n_frames, cam.n_pixels)
+
+
+def test_full_cost_matches_direct_render(tiny_oracle, tiny_newton_animation):
+    scene = tiny_newton_animation.scene_at(2)
+    res = RayTracer(scene).trace_pixels(scene.camera.pixel_grid())
+    np.testing.assert_array_equal(tiny_oracle.full_cost[2], res.rays_per_pixel)
+
+
+def test_dirty_sets_shape(tiny_oracle):
+    assert tiny_oracle.dirty_sets[0].size == 0
+    for f in range(1, tiny_oracle.n_frames):
+        d = tiny_oracle.dirty_sets[f]
+        assert d.size > 0  # the cradle moves every frame
+        assert d.size < tiny_oracle.n_pixels  # but not everything changes
+        assert np.all(np.diff(d) > 0)  # sorted unique
+
+
+def test_full_rays_region(tiny_oracle):
+    region = np.arange(100)
+    assert tiny_oracle.full_rays(0, region) == int(tiny_oracle.full_cost[0][:100].sum())
+    assert tiny_oracle.full_rays(0) == int(tiny_oracle.full_cost[0].sum())
+
+
+def test_coherent_rays_le_full(tiny_oracle):
+    for f in range(1, tiny_oracle.n_frames):
+        rays, n_px = tiny_oracle.coherent_rays(f)
+        assert rays <= tiny_oracle.full_rays(f)
+        assert n_px == tiny_oracle.dirty_sets[f].size
+
+
+def test_dirty_pixels_region_intersection(tiny_oracle):
+    region = np.arange(0, tiny_oracle.n_pixels, 2)
+    d = tiny_oracle.dirty_pixels(1, region)
+    assert np.all(np.isin(d, region))
+    assert np.all(np.isin(d, tiny_oracle.dirty_sets[1]))
+
+
+def test_dirty_pixels_frame0_rejected(tiny_oracle):
+    with pytest.raises(ValueError):
+        tiny_oracle.dirty_pixels(0)
+
+
+def test_chain_rays_decomposition(tiny_oracle):
+    """A chain over [0, n) costs first-frame-full + coherent steps."""
+    total = tiny_oracle.chain_rays(0, tiny_oracle.n_frames)
+    expected = tiny_oracle.full_rays(0)
+    for f in range(1, tiny_oracle.n_frames):
+        expected += tiny_oracle.coherent_rays(f)[0]
+    assert total == expected
+    assert total == tiny_oracle.total_coherent_rays()
+
+
+def test_coherent_cheaper_than_full(tiny_oracle):
+    assert tiny_oracle.total_coherent_rays() < tiny_oracle.total_full_rays()
+
+
+def test_region_partition_conserves_rays(tiny_oracle):
+    """Summing chain costs over a disjoint block cover equals the
+    whole-frame chain cost — the frame-division ray identity."""
+    from repro.parallel import block_regions
+
+    blocks = block_regions(tiny_oracle.width, tiny_oracle.height, 16, 16)
+    total = sum(
+        tiny_oracle.chain_rays(0, tiny_oracle.n_frames, b.pixels) for b in blocks
+    )
+    assert total == tiny_oracle.total_coherent_rays()
+
+
+def test_mean_dirty_fraction(tiny_oracle):
+    frac = tiny_oracle.mean_dirty_fraction()
+    assert 0.0 < frac < 1.0
+
+
+def test_save_load_roundtrip(tiny_oracle, tmp_path):
+    path = tmp_path / "oracle.npz"
+    tiny_oracle.save(path)
+    loaded = AnimationCostOracle.load(path)
+    np.testing.assert_array_equal(loaded.full_cost, tiny_oracle.full_cost)
+    assert loaded.n_frames == tiny_oracle.n_frames
+    for f in range(tiny_oracle.n_frames):
+        np.testing.assert_array_equal(loaded.dirty_sets[f], tiny_oracle.dirty_sets[f])
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        AnimationCostOracle(
+            width=4, height=4, n_frames=2, full_cost=np.zeros((2, 10)), dirty_sets=[np.empty(0)] * 2, grid_resolution=4
+        )
+    with pytest.raises(ValueError):
+        AnimationCostOracle(
+            width=4, height=4, n_frames=2, full_cost=np.zeros((2, 16)), dirty_sets=[np.empty(0)], grid_resolution=4
+        )

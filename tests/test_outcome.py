@@ -1,0 +1,60 @@
+"""Tests for SimulationOutcome metrics and formatting."""
+
+import pytest
+
+from repro.parallel import SimulationOutcome, format_hms, load_imbalance
+
+
+def _outcome(total=100.0, **kw):
+    defaults = dict(
+        strategy="test",
+        n_frames=10,
+        total_time=total,
+        first_frame_time=5.0,
+        frame_completion_times={0: 5.0},
+        total_rays=1000,
+        total_units=1120.0,
+    )
+    defaults.update(kw)
+    return SimulationOutcome(**defaults)
+
+
+def test_format_hms():
+    assert format_hms(0) == "0:00:00"
+    assert format_hms(61) == "0:01:01"
+    assert format_hms(3661) == "1:01:01"
+    assert format_hms(10551) == "2:55:51"  # the paper's column (1)
+    with pytest.raises(ValueError):
+        format_hms(-1)
+
+
+def test_avg_frame_time():
+    assert _outcome(total=100.0).avg_frame_time == 10.0
+
+
+def test_speedup():
+    base = _outcome(total=100.0)
+    fast = _outcome(total=25.0)
+    assert fast.speedup_vs(base) == 4.0
+    with pytest.raises(ValueError):
+        _outcome(total=0.0).speedup_vs(base)
+
+
+def test_load_imbalance():
+    assert load_imbalance({"a": 10.0, "b": 10.0}) == 1.0
+    assert load_imbalance({"a": 30.0, "b": 10.0}) == pytest.approx(1.5)
+    assert load_imbalance({}) == 1.0
+
+
+def test_summary_fields():
+    out = _outcome(machine_busy_seconds={"a": 50.0, "b": 40.0})
+    s = out.summary()
+    assert s["strategy"] == "test"
+    assert s["total_time"] == "0:01:40"
+    assert s["rays"] == 1000
+    assert "imbalance" in s
+
+
+def test_summary_no_first_frame():
+    out = _outcome(first_frame_time=None)
+    assert out.summary()["first_frame"] == "-"

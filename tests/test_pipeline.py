@@ -1,0 +1,67 @@
+"""Tests for the high-level animation pipeline (camera cuts etc.)."""
+
+import numpy as np
+import pytest
+
+from repro import render_animation
+from repro.render import RayTracer
+from repro.scenes import newton_animation, two_shot_animation
+
+
+@pytest.fixture(scope="module")
+def cut_anim():
+    return two_shot_animation(n_frames=6, width=48, height=36)
+
+
+def test_pipeline_exact_across_camera_cut(cut_anim):
+    result = render_animation(cut_anim, grid_resolution=16)
+    assert result.sequences == [(0, 3), (3, 6)]
+    for f in range(cut_anim.n_frames):
+        full, _ = RayTracer(cut_anim.scene_at(f)).render()
+        np.testing.assert_array_equal(result.frames[f], full.as_image())
+
+
+def test_pipeline_chain_restart_at_cut(cut_anim):
+    result = render_animation(cut_anim, grid_resolution=16)
+    n_px = cut_anim.camera_at(0).n_pixels
+    # Frames 0 and 3 are chain starts: everything computed.
+    assert result.reports[0].n_computed == n_px
+    assert result.reports[3].n_computed == n_px
+    # Mid-sequence frames are incremental.
+    assert result.reports[1].n_computed < n_px
+    assert result.reports[4].n_computed < n_px
+
+
+def test_pipeline_stats_merge(cut_anim):
+    result = render_animation(cut_anim, grid_resolution=16)
+    assert result.stats.total == sum(r.stats.total for r in result.reports)
+    assert len(result.per_sequence_stats) == 2
+    assert sum(s.total for s in result.per_sequence_stats) == result.stats.total
+    assert result.total_computed_pixels() + result.total_copied_pixels() == (
+        cut_anim.n_frames * cut_anim.camera_at(0).n_pixels
+    )
+
+
+def test_pipeline_shadow_coherence_identical(cut_anim):
+    base = render_animation(cut_anim, grid_resolution=16)
+    ext = render_animation(cut_anim, grid_resolution=16, shadow_coherence=True)
+    np.testing.assert_array_equal(base.frames, ext.frames)
+    assert ext.stats.shadow <= base.stats.shadow
+
+
+def test_pipeline_on_frame_callback():
+    anim = newton_animation(n_frames=3, width=32, height=24)
+    seen = []
+    render_animation(
+        anim, grid_resolution=12, on_frame=lambda f, rep, img: seen.append((f, img.shape))
+    )
+    assert seen == [(0, (24, 32, 3)), (1, (24, 32, 3)), (2, (24, 32, 3))]
+
+
+def test_pipeline_supersampling():
+    anim = newton_animation(n_frames=2, width=32, height=24)
+    result = render_animation(anim, grid_resolution=12, samples_per_axis=2)
+    full, _ = RayTracer(anim.scene_at(1)).render(samples_per_axis=2)
+    np.testing.assert_array_equal(result.frames[1], full.as_image())
+    with pytest.raises(ValueError):
+        render_animation(anim, shadow_coherence=True, samples_per_axis=2)

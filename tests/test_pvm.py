@@ -1,0 +1,278 @@
+"""Tests for the PVM-like virtual machine: tasks, messaging, timing."""
+
+import pytest
+
+from repro.cluster import (
+    Compute,
+    DeadlockError,
+    Machine,
+    Recv,
+    Send,
+    Sleep,
+    ThrashModel,
+    VirtualPVM,
+    WriteFile,
+)
+
+
+def _machines():
+    return [
+        Machine("fast", speed=2.0, memory_mb=64),
+        Machine("slow", speed=1.0, memory_mb=32),
+    ]
+
+
+def test_compute_duration_scales_with_speed():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=0.01)
+
+    def work():
+        yield Compute(units=100)
+
+    pvm.spawn(work(), "fast", name="f")
+    end = pvm.run()
+    assert end == pytest.approx(0.5)  # 100 * 0.01 / 2
+
+    pvm2 = VirtualPVM(_machines(), sec_per_work_unit=0.01)
+    pvm2.spawn(work(), "slow", name="s")
+    assert pvm2.run() == pytest.approx(1.0)
+
+
+def test_tasks_on_same_machine_serialize():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=0.01)
+
+    def work():
+        yield Compute(units=100)
+
+    pvm.spawn(work(), "fast")
+    pvm.spawn(work(), "fast")
+    assert pvm.run() == pytest.approx(1.0)  # 2 x 0.5 serialized
+
+
+def test_tasks_on_different_machines_parallel():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=0.01)
+
+    def work():
+        yield Compute(units=100)
+
+    pvm.spawn(work(), "fast")
+    pvm.spawn(work(), "slow")
+    assert pvm.run() == pytest.approx(1.0)  # max(0.5, 1.0)
+
+
+def test_send_recv_roundtrip():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=0.01)
+    received = []
+
+    def receiver():
+        msg = yield Recv()
+        received.append((msg.src, msg.tag, msg.payload))
+
+    def sender(dst):
+        yield Send(dst, 100, {"x": 1}, tag="hello")
+
+    rtid = pvm.spawn(receiver(), "fast", name="rx")
+    stid = pvm.spawn(sender(rtid), "slow", name="tx")
+    pvm.run()
+    assert received == [(stid, "hello", {"x": 1})]
+
+
+def test_recv_tag_filter_preserves_other_messages():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=0.01)
+    got = []
+
+    def receiver():
+        msg = yield Recv(tag="b")
+        got.append(msg.tag)
+        msg = yield Recv()
+        got.append(msg.tag)
+
+    def sender(dst):
+        yield Send(dst, 10, None, tag="a")
+        yield Send(dst, 10, None, tag="b")
+
+    rtid = pvm.spawn(receiver(), "fast")
+    pvm.spawn(sender(rtid), "slow")
+    pvm.run()
+    assert got == ["b", "a"]
+
+
+def test_message_transfer_takes_wire_time():
+    pvm = VirtualPVM(
+        _machines(),
+        sec_per_work_unit=0.01,
+        bandwidth_bits_per_s=8e6,
+        latency_s=0.0,
+        efficiency=1.0,
+    )
+    arrival = []
+
+    def receiver():
+        yield Recv()
+        arrival.append(pvm.sim.now)
+
+    def sender(dst):
+        yield Send(dst, 1_000_000, None)  # 1 MB at 1 MB/s -> 1 s
+
+    rtid = pvm.spawn(receiver(), "fast")
+    pvm.spawn(sender(rtid), "slow")
+    pvm.run()
+    assert arrival == [pytest.approx(1.0)]
+
+
+def test_thrash_slows_compute():
+    pvm = VirtualPVM(
+        _machines(), sec_per_work_unit=0.01, thrash=ThrashModel(alpha=1.0, exponent=1.0)
+    )
+
+    def work():
+        yield Compute(units=100, working_set_mb=64)  # 2x slow machine memory
+
+    pvm.spawn(work(), "slow")
+    assert pvm.run() == pytest.approx(2.0)  # 1.0 * (1 + 1*1)
+
+
+def test_write_file_uses_disk_bandwidth():
+    machines = [Machine("m", speed=1.0, memory_mb=64, disk_mb_per_s=10.0)]
+    pvm = VirtualPVM(machines, sec_per_work_unit=1.0)
+
+    def work():
+        yield WriteFile(5_000_000)  # 5 MB at 10 MB/s
+
+    pvm.spawn(work(), "m")
+    assert pvm.run() == pytest.approx(0.5)
+
+
+def test_sleep():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=1.0)
+
+    def work():
+        yield Sleep(2.5)
+
+    pvm.spawn(work(), "fast")
+    assert pvm.run() == pytest.approx(2.5)
+
+
+def test_deadlock_detection():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=1.0)
+
+    def waiter():
+        yield Recv()
+
+    pvm.spawn(waiter(), "fast", name="stuck")
+    with pytest.raises(DeadlockError, match="stuck"):
+        pvm.run()
+
+
+def test_task_result_collected():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=0.01)
+
+    def work():
+        yield Compute(units=1)
+        return "done!"
+
+    pvm.spawn(work(), "fast", name="worker")
+    pvm.run()
+    assert pvm.results()["worker"] == "done!"
+
+
+def test_task_accounting():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=0.01)
+
+    def work():
+        yield Compute(units=100)
+        yield Compute(units=50)
+
+    tid = pvm.spawn(work(), "fast")
+    pvm.run()
+    ctx = pvm.task(tid)
+    assert ctx.units_computed == 150
+    assert ctx.compute_seconds == pytest.approx(0.75)
+    assert ctx.finished
+
+
+def test_cpu_busy_seconds():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=0.01)
+
+    def work():
+        yield Compute(units=100)
+
+    pvm.spawn(work(), "fast")
+    pvm.run()
+    busy = pvm.cpu_busy_seconds()
+    assert busy["fast"] == pytest.approx(0.5)
+    assert busy["slow"] == 0.0
+
+
+def test_send_to_unknown_tid():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=1.0)
+
+    def bad():
+        yield Send(999, 10, None)
+
+    pvm.spawn(bad(), "fast")
+    with pytest.raises(KeyError):
+        pvm.run()
+
+
+def test_unknown_request_type():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=1.0)
+
+    def bad():
+        yield "not-a-request"
+
+    pvm.spawn(bad(), "fast")
+    with pytest.raises(TypeError):
+        pvm.run()
+
+
+def test_spawn_on_unknown_machine():
+    pvm = VirtualPVM(_machines(), sec_per_work_unit=1.0)
+    with pytest.raises(KeyError):
+        pvm.spawn((x for x in []), "nope")
+
+
+def test_duplicate_machine_names_rejected():
+    with pytest.raises(ValueError):
+        VirtualPVM([Machine("m", 1, 32), Machine("m", 2, 64)])
+
+
+def test_master_worker_demand_driven_balance():
+    """The fast machine ends up doing about twice the tasks."""
+    machines = [
+        Machine("fast", speed=2.0, memory_mb=64),
+        Machine("slow", speed=1.0, memory_mb=64),
+    ]
+    pvm = VirtualPVM(machines, sec_per_work_unit=0.001)
+    n_tasks = 30
+
+    def worker(master_tid):
+        while True:
+            msg = yield Recv()
+            if msg.tag == "stop":
+                return
+            yield Compute(units=msg.payload)
+            yield Send(master_tid, 100, None, tag="done")
+
+    def master(worker_tids):
+        remaining = n_tasks
+        outstanding = 0
+        for tid in worker_tids:
+            yield Send(tid, 10, 1000.0, tag="work")
+            remaining -= 1
+            outstanding += 1
+        while outstanding:
+            msg = yield Recv(tag="done")
+            outstanding -= 1
+            if remaining:
+                yield Send(msg.src, 10, 1000.0, tag="work")
+                remaining -= 1
+                outstanding += 1
+        for tid in worker_tids:
+            yield Send(tid, 10, None, tag="stop")
+
+    wtids = [pvm.spawn(worker(3), m.name, name=f"w-{m.name}") for m in machines]
+    pvm.spawn(master(wtids), "fast", name="master")
+    pvm.run()
+    fast_units = pvm.task(wtids[0]).units_computed
+    slow_units = pvm.task(wtids[1]).units_computed
+    assert fast_units / slow_units == pytest.approx(2.0, rel=0.15)

@@ -1,0 +1,79 @@
+"""Tests for RayBatch."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import RayBatch, RayKind
+
+
+def _batch(n=3, kind=RayKind.CAMERA):
+    return RayBatch(
+        origins=np.zeros((n, 3)),
+        dirs=np.tile([0.0, 0.0, 1.0], (n, 1)),
+        pixel=np.arange(n),
+        weight=np.ones((n, 3)),
+        kind=kind,
+    )
+
+
+def test_len_and_defaults():
+    b = _batch(4)
+    assert len(b) == 4
+    assert b.depth == 0
+    assert b.inside.shape == (4,)
+    assert not b.inside.any()
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        RayBatch(np.zeros((2, 3)), np.zeros((3, 3)), np.arange(2), np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        RayBatch(np.zeros((2, 3)), np.zeros((2, 3)), np.arange(3), np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        RayBatch(np.zeros((2, 3)), np.zeros((2, 3)), np.arange(2), np.ones((3, 3)))
+    with pytest.raises(ValueError):
+        RayBatch(
+            np.zeros((2, 3)),
+            np.zeros((2, 3)),
+            np.arange(2),
+            np.ones((2, 3)),
+            inside=np.zeros(3, dtype=bool),
+        )
+
+
+def test_select_mask_and_indices():
+    b = _batch(5)
+    sel = b.select(np.array([True, False, True, False, False]))
+    assert len(sel) == 2
+    np.testing.assert_array_equal(sel.pixel, [0, 2])
+    sel2 = b.select(np.array([4, 1]))
+    np.testing.assert_array_equal(sel2.pixel, [4, 1])
+    assert sel2.kind == b.kind and sel2.depth == b.depth
+
+
+def test_points_at():
+    b = _batch(2)
+    pts = b.points_at(np.array([1.0, 2.0]))
+    np.testing.assert_allclose(pts, [[0, 0, 1], [0, 0, 2]])
+
+
+def test_inv_dirs_handles_zero_components():
+    b = _batch(1)
+    inv = b.inv_dirs
+    assert np.isinf(inv[0, 0]) and np.isinf(inv[0, 1])
+    assert inv[0, 2] == pytest.approx(1.0)
+
+
+def test_normalized_constructor():
+    b = RayBatch.normalized(
+        origins=np.zeros((1, 3)),
+        dirs=np.array([[0.0, 0.0, 5.0]]),
+        pixel=np.array([0]),
+        weight=np.ones((1, 3)),
+    )
+    np.testing.assert_allclose(np.linalg.norm(b.dirs, axis=1), [1.0])
+
+
+def test_ray_kind_values():
+    assert int(RayKind.CAMERA) == 0
+    assert {k.name for k in RayKind} == {"CAMERA", "REFLECTED", "REFRACTED", "SHADOW"}

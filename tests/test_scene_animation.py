@@ -1,0 +1,149 @@
+"""Tests for Scene, Animation and coherent-sequence splitting."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Plane, Sphere
+from repro.lighting import PointLight
+from repro.materials import Material
+from repro.rmath import Transform
+from repro.scene import (
+    Camera,
+    FunctionAnimation,
+    Scene,
+    StaticAnimation,
+    split_coherent_sequences,
+)
+
+
+def _scene():
+    cam = Camera(position=(0, 1, -5), look_at=(0, 1, 0), width=16, height=12)
+    return Scene(
+        camera=cam,
+        objects=[
+            Plane.from_normal((0, 1, 0), 0.0, material=Material.matte((1, 1, 1)), name="floor"),
+            Sphere.at((0, 1, 0), 1.0, material=Material.matte((1, 0, 0)), name="ball"),
+        ],
+        lights=[PointLight(np.array([0, 5, -5.0]), np.ones(3))],
+    )
+
+
+def test_duplicate_object_rejected():
+    s = _scene()
+    with pytest.raises(ValueError):
+        Scene(camera=s.camera, objects=[s.objects[0], s.objects[0]])
+
+
+def test_object_by_name():
+    s = _scene()
+    assert s.object_by_name("ball").name == "ball"
+    with pytest.raises(KeyError):
+        s.object_by_name("nope")
+
+
+def test_finite_bounds_skips_plane():
+    s = _scene()
+    b = s.finite_bounds()
+    np.testing.assert_allclose(b.lo, [-1, 0, -1])
+    np.testing.assert_allclose(b.hi, [1, 2, 1])
+
+
+def test_world_bounds_padded():
+    s = _scene()
+    wb = s.world_bounds()
+    fb = s.finite_bounds()
+    assert np.all(wb.lo < fb.lo) and np.all(wb.hi > fb.hi)
+
+
+def test_world_bounds_empty_scene_falls_back():
+    cam = Camera(position=(0, 1, -5), look_at=(0, 1, 0), width=4, height=4)
+    s = Scene(camera=cam, objects=[], lights=[])
+    assert not s.world_bounds().is_empty()
+
+
+def test_replaced_objects_shares_settings():
+    s = _scene()
+    s2 = s.replaced_objects([s.objects[0]])
+    assert s2.camera is s.camera
+    assert len(s2.objects) == 1
+    np.testing.assert_array_equal(s2.background, s.background)
+
+
+def test_max_depth_validation():
+    s = _scene()
+    with pytest.raises(ValueError):
+        Scene(camera=s.camera, max_depth=0)
+
+
+# -- animations ----------------------------------------------------------------
+def test_static_animation():
+    s = _scene()
+    anim = StaticAnimation(s, 3)
+    assert anim.scene_at(0) is anim.scene_at(2)
+    with pytest.raises(IndexError):
+        anim.scene_at(3)
+
+
+def test_function_animation_moves_named_object():
+    s = _scene()
+    anim = FunctionAnimation(
+        s, 3, motions={"ball": lambda f: Transform.translate(float(f), 0, 0)}
+    )
+    b0 = anim.scene_at(0).object_by_name("ball").bounds()
+    b2 = anim.scene_at(2).object_by_name("ball").bounds()
+    np.testing.assert_allclose(b2.lo - b0.lo, [2, 0, 0], atol=1e-12)
+
+
+def test_function_animation_preserves_prim_ids():
+    s = _scene()
+    anim = FunctionAnimation(s, 2, motions={"ball": lambda f: Transform.translate(f, 0, 0)})
+    ids0 = {o.name: o.prim_id for o in anim.scene_at(0).objects}
+    ids1 = {o.name: o.prim_id for o in anim.scene_at(1).objects}
+    assert ids0 == ids1
+
+
+def test_function_animation_unknown_motion_target():
+    s = _scene()
+    with pytest.raises(KeyError):
+        FunctionAnimation(s, 2, motions={"ghost": lambda f: Transform.identity()})
+
+
+def test_function_animation_static_objects_shared():
+    s = _scene()
+    anim = FunctionAnimation(s, 2, motions={"ball": lambda f: Transform.translate(f, 0, 0)})
+    assert anim.scene_at(1).object_by_name("floor") is s.object_by_name("floor")
+
+
+def test_zero_frames_rejected():
+    with pytest.raises(ValueError):
+        StaticAnimation(_scene(), 0)
+
+
+# -- coherent sequence splitting -----------------------------------------------
+def test_split_static_camera_single_range():
+    anim = StaticAnimation(_scene(), 5)
+    assert split_coherent_sequences(anim) == [(0, 5)]
+
+
+def test_split_on_camera_cut():
+    s = _scene()
+
+    def camera_fn(f):
+        if f < 3:
+            return Camera(position=(0, 1, -5), look_at=(0, 1, 0), width=16, height=12)
+        return Camera(position=(5, 1, -5), look_at=(0, 1, 0), width=16, height=12)
+
+    anim = FunctionAnimation(s, 6, camera_fn=camera_fn)
+    assert split_coherent_sequences(anim) == [(0, 3), (3, 6)]
+
+
+def test_split_every_frame_moving_camera():
+    s = _scene()
+    anim = FunctionAnimation(
+        s,
+        4,
+        camera_fn=lambda f: Camera(
+            position=(f * 0.1, 1, -5), look_at=(0, 1, 0), width=16, height=12
+        ),
+    )
+    assert split_coherent_sequences(anim) == [(0, 1), (1, 2), (2, 3), (3, 4)]

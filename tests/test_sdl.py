@@ -1,0 +1,201 @@
+"""Tests for the POV-like scene description language."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box, Cylinder, Disc, Plane, Sphere
+from repro.materials import Brick, Checker, Gradient, Marble, SolidColor
+from repro.scene import SceneParseError, load_scene, parse_scene
+
+MINIMAL = "camera { location <0,0,-5> look_at <0,0,0> }"
+
+
+def test_minimal_scene():
+    s = parse_scene(MINIMAL)
+    assert s.camera.width == 320 and s.camera.height == 240
+    assert s.objects == [] and s.lights == []
+
+
+def test_camera_attributes():
+    s = parse_scene(
+        "camera { location <1,2,3> look_at <0,0,0> angle 45 width 64 height 48 up <0,1,0> }"
+    )
+    np.testing.assert_array_equal(s.camera.position, [1, 2, 3])
+    assert s.camera.fov_degrees == 45
+    assert (s.camera.width, s.camera.height) == (64, 48)
+
+
+def test_camera_missing_location():
+    with pytest.raises(SceneParseError):
+        parse_scene("camera { look_at <0,0,0> }")
+
+
+def test_no_camera_rejected():
+    with pytest.raises(SceneParseError):
+        parse_scene("background { rgb <0,0,0> }")
+
+
+def test_background_and_globals():
+    s = parse_scene(
+        MINIMAL
+        + " background { rgb <0.1, 0.2, 0.3> }"
+        + " global_settings { max_trace_level 3 ambient_light rgb <0.5,0.5,0.5> }"
+    )
+    np.testing.assert_allclose(s.background, [0.1, 0.2, 0.3])
+    assert s.max_depth == 3
+    np.testing.assert_allclose(s.ambient_light, [0.5] * 3)
+
+
+def test_light_source():
+    s = parse_scene(MINIMAL + " light_source { <1,2,3>, rgb <1,1,0.9> }")
+    assert len(s.lights) == 1
+    np.testing.assert_array_equal(s.lights[0].position, [1, 2, 3])
+
+
+def test_all_primitives_parse():
+    s = parse_scene(
+        MINIMAL
+        + """
+        sphere { <0,1,0>, 0.5 }
+        plane { <0,1,0>, 0 }
+        cylinder { <0,0,0>, <0,2,0>, 0.3 }
+        box { <0,0,0>, <1,1,1> }
+        disc { <0,3,0>, <0,1,0>, 1.5 }
+        """
+    )
+    kinds = [type(o) for o in s.objects]
+    assert kinds == [Sphere, Plane, Cylinder, Box, Disc]
+
+
+def test_named_object():
+    s = parse_scene(MINIMAL + ' sphere { <0,0,0>, 1 name "hero" }')
+    assert s.objects[0].name == "hero"
+
+
+def test_pigment_types():
+    s = parse_scene(
+        MINIMAL
+        + """
+        sphere { <0,0,0>, 1 texture { pigment { rgb <1,0,0> } } }
+        sphere { <2,0,0>, 1 texture { pigment { checker rgb <1,1,1> rgb <0,0,0> } } }
+        sphere { <4,0,0>, 1 texture { pigment { marble rgb <1,1,1> rgb <0,0,0> } } }
+        sphere { <6,0,0>, 1 texture { pigment { brick } } }
+        sphere { <8,0,0>, 1 texture { pigment { gradient <0,1,0> rgb <0,0,0> rgb <1,1,1> } } }
+        """
+    )
+    pigment_types = [type(o.material.pigment) for o in s.objects]
+    assert pigment_types == [SolidColor, Checker, Marble, Brick, Gradient]
+
+
+def test_finish_attributes():
+    s = parse_scene(
+        MINIMAL
+        + """sphere { <0,0,0>, 1
+              texture { finish { ambient 0.1 diffuse 0.5 specular 0.8
+                                 phong_size 100 reflection 0.2 transmission 0.3 ior 1.4 } } }"""
+    )
+    f = s.objects[0].material.finish
+    assert f.ambient == 0.1 and f.diffuse == 0.5 and f.specular == 0.8
+    assert f.phong_size == 100 and f.reflection == 0.2
+    assert f.transmission == 0.3 and f.ior == 1.4
+
+
+def test_object_transforms():
+    s = parse_scene(MINIMAL + " sphere { <0,0,0>, 1 translate <5,0,0> }")
+    b = s.objects[0].bounds()
+    np.testing.assert_allclose(b.center, [5, 0, 0], atol=1e-12)
+
+
+def test_pattern_scale():
+    s = parse_scene(
+        MINIMAL + " sphere { <0,0,0>, 1 texture { pigment { checker rgb <1,1,1> rgb <0,0,0> scale 2 } } }"
+    )
+    tex = s.objects[0].material.pigment
+    c = tex.color_at(np.array([[1.5, 0.5, 0.5]]))
+    np.testing.assert_array_equal(c[0], [1, 1, 1])
+
+
+def test_comments_ignored():
+    s = parse_scene("// a comment\n# another\n" + MINIMAL)
+    assert s.camera is not None
+
+
+def test_error_reports_line_number():
+    with pytest.raises(SceneParseError) as err:
+        parse_scene("camera { location <0,0,-5> look_at <0,0,0> }\nsphere { oops }")
+    assert err.value.line == 2
+
+
+def test_unknown_block_rejected():
+    with pytest.raises(SceneParseError):
+        parse_scene(MINIMAL + " torus { }")
+
+
+def test_unexpected_character():
+    with pytest.raises(SceneParseError):
+        parse_scene("camera @ {}")
+
+
+def test_load_scene(tmp_path):
+    path = tmp_path / "s.sdl"
+    path.write_text(MINIMAL + " sphere { <0,0,0>, 1 }")
+    s = load_scene(path)
+    assert len(s.objects) == 1
+
+
+def test_parsed_scene_renders(simple_scene):
+    """A parsed scene goes through the full tracer without error."""
+    from repro.render import RayTracer
+
+    text = (
+        "camera { location <0,2,-6> look_at <0,1,0> width 24 height 18 }"
+        " light_source { <5,8,-5>, rgb <1,1,1> }"
+        " plane { <0,1,0>, 0 texture { pigment { checker rgb <1,1,1> rgb <0,0,0> } } }"
+        " sphere { <0,1,0>, 0.8 texture { finish { reflection 0.5 } } }"
+    )
+    fb, res = RayTracer(parse_scene(text)).render()
+    assert res.stats.camera == 24 * 18
+    assert res.stats.reflected > 0
+    assert res.stats.shadow > 0
+
+
+def test_object_rotate_vector():
+    s = parse_scene(MINIMAL + " box { <0,0,0>, <1,1,1> rotate <0, 45, 0> }")
+    b = s.objects[0].bounds()
+    assert b.extent[0] == pytest.approx(np.sqrt(2), rel=1e-9)
+    assert b.extent[1] == pytest.approx(1.0, rel=1e-9)
+
+
+def test_object_scale_vector():
+    s = parse_scene(MINIMAL + " sphere { <0,0,0>, 1 scale <2, 1, 0.5> }")
+    b = s.objects[0].bounds()
+    np.testing.assert_allclose(b.extent, [4.0, 2.0, 1.0], atol=1e-9)
+
+
+def test_declared_color_unknown_name_rejected():
+    with pytest.raises(SceneParseError):
+        parse_scene(MINIMAL + " background { rgb NotDeclared }")
+
+
+def test_declare_and_reuse_texture():
+    s = parse_scene(
+        "#declare Red = texture { pigment { rgb <1,0,0> } }\n"
+        + MINIMAL
+        + " sphere { <0,0,0>, 1 texture Red } sphere { <2,0,0>, 1 texture { Red } }"
+    )
+    for obj in s.objects:
+        np.testing.assert_array_equal(obj.material.color_at(np.zeros((1, 3)))[0], [1, 0, 0])
+
+
+def test_declare_bad_target_rejected():
+    with pytest.raises(SceneParseError):
+        parse_scene("#declare X = sphere { <0,0,0>, 1 }\n" + MINIMAL)
+
+
+def test_agate_pigment():
+    from repro.materials import Agate
+
+    s = parse_scene(
+        MINIMAL + " sphere { <0,0,0>, 1 texture { pigment { agate rgb <1,0.5,0.2> rgb <0.2,0.1,0> } } }"
+    )
+    assert isinstance(s.objects[0].material.pigment, Agate)

@@ -1,0 +1,140 @@
+"""Tests for soft shadows (area lights) and adaptive antialiasing."""
+
+import numpy as np
+import pytest
+
+from repro.coherence import validate_sequence
+from repro.geometry import Plane, Sphere
+from repro.lighting import PointLight, fibonacci_sphere
+from repro.materials import Material
+from repro.render import RayTracer, contrast_pixels, render_adaptive
+from repro.rmath import Transform
+from repro.scene import Camera, FunctionAnimation, Scene
+
+
+# -- fibonacci sphere ----------------------------------------------------------
+def test_fibonacci_sphere_unit_and_spread():
+    pts = fibonacci_sphere(64)
+    np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0, atol=1e-12)
+    # Roughly balanced hemispheres.
+    assert abs(int((pts[:, 1] > 0).sum()) - 32) <= 2
+    with pytest.raises(ValueError):
+        fibonacci_sphere(0)
+
+
+def test_light_softness_flags():
+    hard = PointLight(np.zeros(3), np.ones(3))
+    assert not hard.is_soft
+    assert hard.sample_positions().shape == (1, 3)
+    soft = PointLight(np.zeros(3), np.ones(3), radius=0.5, n_samples=8)
+    assert soft.is_soft
+    assert soft.sample_positions().shape == (8, 3)
+    with pytest.raises(ValueError):
+        PointLight(np.zeros(3), np.ones(3), radius=-1.0)
+    with pytest.raises(ValueError):
+        PointLight(np.zeros(3), np.ones(3), n_samples=0)
+
+
+def _occluded_scene(radius=0.0, n_samples=1):
+    cam = Camera(position=(0, 2, -6), look_at=(0, 0.5, 0), width=48, height=36)
+    floor = Plane.from_normal((0, 1, 0), 0.0, material=Material.matte((1, 1, 1)), name="floor")
+    blocker = Sphere.at((0, 2.0, 0), 0.7, material=Material.matte((1, 0, 0)), name="blocker")
+    light = PointLight(
+        np.array([0.0, 6.0, 0.0]), np.ones(3), radius=radius, n_samples=n_samples
+    )
+    return Scene(camera=cam, objects=[floor, blocker], lights=[light])
+
+
+def test_soft_shadows_create_penumbra():
+    hard_fb, hard_res = RayTracer(_occluded_scene()).render()
+    soft_fb, soft_res = RayTracer(_occluded_scene(radius=0.8, n_samples=16)).render()
+    # Soft shadows fire ~16x the shadow rays.
+    assert soft_res.stats.shadow > 10 * hard_res.stats.shadow
+    # The hard shadow boundary is a step; the soft one is a ramp.  Compare
+    # the worst horizontal jump across the *floor* rows (the bottom third of
+    # the image, away from the sphere silhouette): the penumbra must smooth
+    # the transition substantially.
+    hard_img = hard_fb.as_image()[12:, :, 0]
+    soft_img = soft_fb.as_image()[12:, :, 0]
+    hard_jump = np.abs(np.diff(hard_img, axis=1)).max()
+    soft_jump = np.abs(np.diff(soft_img, axis=1)).max()
+    assert soft_jump < 0.7 * hard_jump
+
+
+def test_soft_shadow_energy_similar():
+    hard_fb, _ = RayTracer(_occluded_scene()).render()
+    soft_fb, _ = RayTracer(_occluded_scene(radius=0.3, n_samples=8)).render()
+    assert soft_fb.data.mean() == pytest.approx(hard_fb.data.mean(), rel=0.1)
+
+
+def test_coherence_exact_with_soft_shadows():
+    """Soft shadow sample segments are all marked, so incremental rendering
+    stays exact and conservative."""
+    scene = _occluded_scene(radius=0.5, n_samples=6)
+    anim = FunctionAnimation(
+        scene, 3, motions={"blocker": lambda f: Transform.translate(0.3 * f, 0, 0)}
+    )
+    rep = validate_sequence(anim, grid_resolution=16)
+    assert rep.all_exact
+    assert rep.all_conservative
+
+
+# -- adaptive antialiasing -------------------------------------------------------
+def test_contrast_pixels_flat_image():
+    img = np.full((6, 8, 3), 0.5)
+    assert contrast_pixels(img, 0.1).size == 0
+
+
+def test_contrast_pixels_vertical_edge():
+    img = np.zeros((4, 6, 3))
+    img[:, 3:] = 1.0
+    ids = contrast_pixels(img, 0.5)
+    # Both sides of the edge (columns 2 and 3) in every row.
+    expected = sorted([r * 6 + c for r in range(4) for c in (2, 3)])
+    assert sorted(ids.tolist()) == expected
+
+
+def test_contrast_pixels_validation():
+    with pytest.raises(ValueError):
+        contrast_pixels(np.zeros((4, 4)), 0.1)
+    with pytest.raises(ValueError):
+        contrast_pixels(np.zeros((4, 4, 3)), -0.1)
+
+
+def test_render_adaptive_refines_edges(simple_scene):
+    result = render_adaptive(simple_scene, threshold=0.15, samples_per_axis=2)
+    assert 0 < result.n_refined < simple_scene.camera.n_pixels
+    # Refined pixels changed relative to the base pass; others did not.
+    base_fb, _ = RayTracer(simple_scene).render()
+    untouched = np.setdiff1d(simple_scene.camera.pixel_grid(), result.refined_pixels)
+    np.testing.assert_array_equal(
+        result.framebuffer.data[untouched], base_fb.data[untouched]
+    )
+    assert not np.array_equal(
+        result.framebuffer.data[result.refined_pixels],
+        base_fb.data[result.refined_pixels],
+    )
+
+
+def test_render_adaptive_flat_scene_no_refinement():
+    cam = Camera(position=(0, 1, -5), look_at=(0, 1, 0), width=16, height=12)
+    scene = Scene(camera=cam, objects=[], lights=[], background=np.array([0.3, 0.3, 0.3]))
+    result = render_adaptive(scene, threshold=0.05)
+    assert result.n_refined == 0
+    assert result.stats.camera == 16 * 12
+
+
+def test_render_adaptive_infinite_threshold(simple_scene):
+    result = render_adaptive(simple_scene, threshold=np.inf)
+    assert result.n_refined == 0
+
+
+def test_render_adaptive_validation(simple_scene):
+    with pytest.raises(ValueError):
+        render_adaptive(simple_scene, samples_per_axis=1)
+
+
+def test_render_adaptive_cheaper_than_full_supersampling(simple_scene):
+    adaptive = render_adaptive(simple_scene, threshold=0.15, samples_per_axis=3)
+    _, full = RayTracer(simple_scene).render(samples_per_axis=3)
+    assert adaptive.stats.total < full.stats.total

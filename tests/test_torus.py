@@ -1,0 +1,166 @@
+"""Tests for the torus primitive and the batched quartic solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import MISS, Torus, solve_quartic_batch
+from repro.rmath import Transform, normalize
+
+
+def _shoot(obj, origin, direction):
+    o = np.asarray(origin, dtype=float)[None]
+    d = normalize(np.asarray(direction, dtype=float))[None]
+    t, n = obj.intersect(o, d)
+    return float(t[0]), n[0]
+
+
+# -- quartic solver ------------------------------------------------------------
+def test_quartic_known_roots():
+    # (t-1)(t-2)(t-3)(t-4) = t^4 -10t^3 +35t^2 -50t +24
+    roots = solve_quartic_batch(np.array([[-10.0, 35.0, -50.0, 24.0]]))
+    got = np.sort(roots[0])
+    np.testing.assert_allclose(got, [1, 2, 3, 4], atol=1e-8)
+
+
+def test_quartic_complex_pairs_nan():
+    # (t^2+1)(t^2+4): no real roots.
+    roots = solve_quartic_batch(np.array([[0.0, 5.0, 0.0, 4.0]]))
+    assert np.all(np.isnan(roots[0]))
+
+
+def test_quartic_mixed():
+    # (t^2+1)(t-1)(t+2) = t^4 + t^3 - t^2 + t - 2
+    roots = solve_quartic_batch(np.array([[1.0, -1.0, 1.0, -2.0]]))
+    real = np.sort(roots[0][~np.isnan(roots[0])])
+    np.testing.assert_allclose(real, [-2.0, 1.0], atol=1e-8)
+
+
+def test_quartic_empty_batch():
+    assert solve_quartic_batch(np.empty((0, 4))).shape == (0, 4)
+
+
+@given(
+    r1=st.floats(-3, 3), r2=st.floats(-3, 3), r3=st.floats(-3, 3), r4=st.floats(-3, 3)
+)
+@settings(max_examples=60)
+def test_quartic_recovers_constructed_roots(r1, r2, r3, r4):
+    rs = sorted([r1, r2, r3, r4])
+    # Skip near-degenerate clusters where root separation is ill-conditioned.
+    if min(b - a for a, b in zip(rs, rs[1:])) < 0.1:
+        return
+    poly = np.poly(rs)  # leading 1
+    roots = solve_quartic_batch(poly[None, 1:])
+    got = np.sort(roots[0])
+    np.testing.assert_allclose(got, rs, atol=1e-5)
+
+
+# -- torus geometry ----------------------------------------------------------------
+def test_torus_outer_rim():
+    t = Torus(0.25)
+    tt, n = _shoot(t, (-5, 0, 0), (1, 0, 0))
+    assert tt == pytest.approx(5 - 1.25, abs=1e-6)
+    np.testing.assert_allclose(n, [-1, 0, 0], atol=1e-6)
+
+
+def test_torus_hole():
+    t = Torus(0.25)
+    tt, _ = _shoot(t, (0, -5, 0), (0, 1, 0))
+    assert tt == MISS
+
+
+def test_torus_tube_top():
+    t = Torus(0.25)
+    tt, n = _shoot(t, (1, 5, 0), (0, -1, 0))
+    assert tt == pytest.approx(4.75, abs=1e-6)
+    np.testing.assert_allclose(n, [0, 1, 0], atol=1e-6)
+
+
+def test_torus_inner_rim():
+    t = Torus(0.25)
+    tt, _ = _shoot(t, (0, 0, 0), (1, 0, 0))  # from the center of the hole
+    assert tt == pytest.approx(0.75, abs=1e-6)
+
+
+def test_torus_validation():
+    with pytest.raises(ValueError):
+        Torus(0.0)
+    with pytest.raises(ValueError):
+        Torus(1.0)
+    with pytest.raises(ValueError):
+        Torus.at((0, 0, 0), (0, 1, 0), 1.0, 2.0)
+
+
+def test_torus_at_placement():
+    t = Torus.at((5, 2, 0), (0, 0, 1), major=2.0, minor=0.5)
+    # Axis along z: the ring lies in the plane z = 0 through (5, 2, 0).
+    tt, _ = _shoot(t, (5 + 5, 2, 0), (-1, 0, 0))
+    assert tt == pytest.approx(5 - 2.5, abs=1e-5)
+
+
+def test_torus_bounds():
+    b = Torus(0.25).bounds()
+    np.testing.assert_allclose(b.lo, [-1.25, -0.25, -1.25])
+    np.testing.assert_allclose(b.hi, [1.25, 0.25, 1.25])
+
+
+@given(
+    ox=st.floats(-2, 2),
+    oy=st.floats(-2, 2),
+    dx=st.floats(-0.5, 0.5),
+    dy=st.floats(-0.5, 0.5),
+)
+@settings(max_examples=80, deadline=None)
+def test_torus_hits_satisfy_implicit_equation(ox, oy, dx, dy):
+    minor = 0.3
+    t = Torus(minor)
+    o = np.array([[ox, oy, -4.0]])
+    d = normalize(np.array([[dx, dy, 1.0]]))
+    tt, n = t.intersect(o, d)
+    if np.isfinite(tt[0]):
+        p = (o + tt[0] * d)[0]
+        res = (p @ p + 1 - minor**2) ** 2 - 4 * (p[0] ** 2 + p[2] ** 2)
+        assert abs(res) < 1e-6
+        # Normal is unit and points along the gradient.
+        assert np.linalg.norm(n[0]) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_torus_renders_in_scene():
+    from repro.lighting import PointLight
+    from repro.materials import Material
+    from repro.render import RayTracer
+    from repro.scene import Camera, Scene
+
+    ring = Torus.at((0, 1, 0), (0, 1, 0), 1.2, 0.35, material=Material.chrome(), name="ring")
+    cam = Camera(position=(0, 2.5, -5), look_at=(0, 1, 0), width=40, height=30)
+    scene = Scene(
+        camera=cam,
+        objects=[ring],
+        lights=[PointLight(np.array([3.0, 6.0, -4.0]), np.ones(3))],
+        background=np.array([0.1, 0.1, 0.2]),
+    )
+    fb, res = RayTracer(scene).render()
+    assert res.stats.reflected > 0
+    assert fb.to_uint8().std() > 5
+
+
+def test_torus_cost_hint_triggers_culling():
+    from repro.render import SceneIntersector
+
+    ring = Torus.at((0, 1, 0), (0, 1, 0), 1.0, 0.3)
+    inter = SceneIntersector([ring])
+    assert inter._cull == [True]
+
+
+def test_sdl_torus():
+    from repro.scene import parse_scene
+
+    s = parse_scene(
+        "camera { location <0,2,-5> look_at <0,0,0> width 8 height 6 }"
+        ' torus { 1.5, 0.4 name "ring" translate <0, 1, 0> }'
+    )
+    assert isinstance(s.objects[0], Torus)
+    assert s.objects[0].name == "ring"
+    b = s.objects[0].bounds()
+    np.testing.assert_allclose(b.center, [0, 1, 0], atol=1e-9)

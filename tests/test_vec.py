@@ -1,0 +1,192 @@
+"""Unit and property tests for repro.rmath.vec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.rmath import (
+    angle_between,
+    clamp01,
+    cross,
+    dot,
+    lerp,
+    norm,
+    norm_sq,
+    normalize,
+    orthonormal_basis,
+    project,
+    reflect,
+    refract,
+    reject,
+    vec3,
+    vec3s,
+)
+
+finite_vec = arrays(
+    np.float64,
+    (3,),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+)
+nonzero_vec = finite_vec.filter(lambda v: np.linalg.norm(v) > 1e-6)
+
+
+def test_vec3_builds_array():
+    v = vec3(1, 2, 3)
+    assert v.shape == (3,)
+    assert v.dtype == np.float64
+    np.testing.assert_array_equal(v, [1, 2, 3])
+
+
+def test_vec3s_shape_and_fill():
+    a = vec3s(5, fill=2.5)
+    assert a.shape == (5, 3)
+    assert np.all(a == 2.5)
+
+
+def test_dot_batched():
+    a = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+    b = np.array([[1.0, 1, 0], [0, 3.0, 0]])
+    np.testing.assert_allclose(dot(a, b), [1.0, 6.0])
+
+
+def test_norm_and_norm_sq():
+    v = np.array([[3.0, 4.0, 0.0]])
+    np.testing.assert_allclose(norm_sq(v), [25.0])
+    np.testing.assert_allclose(norm(v), [5.0])
+
+
+def test_normalize_unit_length():
+    v = np.array([[3.0, 4.0, 0.0], [0.0, 0.0, 2.0]])
+    n = normalize(v)
+    np.testing.assert_allclose(norm(n), [1.0, 1.0])
+
+
+def test_normalize_zero_vector_unchanged():
+    v = np.zeros((1, 3))
+    np.testing.assert_array_equal(normalize(v), v)
+
+
+def test_normalize_out_aliasing():
+    v = np.array([[2.0, 0.0, 0.0]])
+    result = normalize(v, out=v)
+    assert result is v
+    np.testing.assert_allclose(v, [[1.0, 0.0, 0.0]])
+
+
+def test_cross_right_handed():
+    x = np.array([1.0, 0, 0])
+    y = np.array([0.0, 1, 0])
+    np.testing.assert_allclose(cross(x, y), [0, 0, 1])
+
+
+def test_reflect_mirror():
+    d = np.array([[1.0, -1.0, 0.0]]) / np.sqrt(2)
+    n = np.array([[0.0, 1.0, 0.0]])
+    r = reflect(d, n)
+    np.testing.assert_allclose(r, [[1.0, 1.0, 0.0]] / np.sqrt(2), atol=1e-12)
+
+
+@given(d=nonzero_vec, n=nonzero_vec)
+@settings(max_examples=80)
+def test_reflect_preserves_length_and_flips_normal_component(d, n):
+    d = d / np.linalg.norm(d)
+    n = n / np.linalg.norm(n)
+    r = reflect(d[None], n[None])[0]
+    assert np.linalg.norm(r) == pytest.approx(1.0, abs=1e-9)
+    # Component along n flips, tangential component is preserved.
+    assert float(np.dot(r, n)) == pytest.approx(-float(np.dot(d, n)), abs=1e-9)
+    assert np.allclose(r - np.dot(r, n) * n, d - np.dot(d, n) * n, atol=1e-9)
+
+
+def test_refract_straight_through_at_eta_one():
+    d = normalize(np.array([[0.3, -1.0, 0.2]]))
+    n = np.array([[0.0, 1.0, 0.0]])
+    t, tir = refract(d, n, 1.0)
+    assert not tir[0]
+    np.testing.assert_allclose(t, d, atol=1e-12)
+
+
+def test_refract_snells_law():
+    # 45 degrees into glass (eta = 1/1.5).
+    theta_i = np.pi / 4
+    d = np.array([[np.sin(theta_i), -np.cos(theta_i), 0.0]])
+    n = np.array([[0.0, 1.0, 0.0]])
+    t, tir = refract(d, n, 1.0 / 1.5)
+    assert not tir[0]
+    sin_t = np.linalg.norm(np.cross(t[0], -n[0]))
+    assert sin_t == pytest.approx(np.sin(theta_i) / 1.5, abs=1e-9)
+
+
+def test_refract_total_internal_reflection():
+    # From glass to air beyond the critical angle (~41.8 deg).
+    theta_i = np.radians(60)
+    d = np.array([[np.sin(theta_i), -np.cos(theta_i), 0.0]])
+    n = np.array([[0.0, 1.0, 0.0]])
+    t, tir = refract(d, n, 1.5)
+    assert tir[0]
+    np.testing.assert_array_equal(t, np.zeros((1, 3)))
+
+
+@given(d=nonzero_vec, eta=st.floats(0.4, 1.0))
+@settings(max_examples=60)
+def test_refract_transmitted_is_unit(d, eta):
+    d = d / np.linalg.norm(d)
+    n = np.array([0.0, 1.0, 0.0])
+    if np.dot(d, n) >= -1e-6:
+        d = d - 2 * max(np.dot(d, n), 0) * n  # force downward
+        d = d / np.linalg.norm(d)
+    if np.dot(d, n) > -1e-6:
+        return
+    t, tir = refract(d[None], n[None], eta)
+    if not tir[0]:
+        assert np.linalg.norm(t[0]) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_lerp_endpoints_and_midpoint():
+    a = np.array([0.0, 0.0, 0.0])
+    b = np.array([2.0, 4.0, 6.0])
+    np.testing.assert_allclose(lerp(a, b, 0.0), a)
+    np.testing.assert_allclose(lerp(a, b, 1.0), b)
+    np.testing.assert_allclose(lerp(a, b, 0.5), [1, 2, 3])
+
+
+def test_clamp01():
+    np.testing.assert_array_equal(clamp01(np.array([-1.0, 0.5, 2.0])), [0.0, 0.5, 1.0])
+
+
+def test_project_and_reject_decompose():
+    a = np.array([3.0, 4.0, 5.0])
+    onto = np.array([1.0, 0.0, 0.0])
+    p = project(a, onto)
+    r = reject(a, onto)
+    np.testing.assert_allclose(p, [3, 0, 0])
+    np.testing.assert_allclose(p + r, a)
+    assert abs(np.dot(r, onto)) < 1e-12
+
+
+def test_angle_between_known():
+    assert angle_between(np.array([1.0, 0, 0]), np.array([0.0, 1, 0])) == pytest.approx(
+        np.pi / 2
+    )
+    assert angle_between(np.array([1.0, 0, 0]), np.array([1.0, 0, 0])) == pytest.approx(0.0)
+
+
+@given(n=nonzero_vec)
+@settings(max_examples=80)
+def test_orthonormal_basis_properties(n):
+    n = n / np.linalg.norm(n)
+    t, b = orthonormal_basis(n)
+    for v in (t, b):
+        assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-9)
+    assert abs(np.dot(t, n)) < 1e-9
+    assert abs(np.dot(b, n)) < 1e-9
+    assert abs(np.dot(t, b)) < 1e-9
+
+
+def test_orthonormal_basis_batched():
+    n = normalize(np.array([[0.0, 0.0, 1.0], [1.0, 1.0, 0.0]]))
+    t, b = orthonormal_basis(n)
+    assert t.shape == (2, 3) and b.shape == (2, 3)
+    np.testing.assert_allclose(dot(t, n), [0, 0], atol=1e-12)

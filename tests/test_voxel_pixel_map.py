@@ -1,0 +1,120 @@
+"""Tests for the voxel -> pixel-list map, including a model-based property
+test against a dict-of-sets reference implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence import VoxelPixelMap
+
+N_VOX, N_PIX = 20, 50
+
+
+def test_empty_map_queries():
+    m = VoxelPixelMap(N_VOX, N_PIX)
+    assert m.n_entries == 0
+    assert m.pixels_for_voxels(np.array([0, 1])).size == 0
+    assert m.voxels_of_pixel(0).size == 0
+
+
+def test_add_and_query():
+    m = VoxelPixelMap(N_VOX, N_PIX)
+    m.add_marks(np.array([3, 3, 7]), np.array([10, 11, 10]))
+    np.testing.assert_array_equal(m.pixels_for_voxels(np.array([3])), [10, 11])
+    np.testing.assert_array_equal(m.pixels_for_voxels(np.array([7])), [10])
+    np.testing.assert_array_equal(m.pixels_for_voxels(np.array([3, 7])), [10, 11])
+    np.testing.assert_array_equal(m.voxels_of_pixel(10), [3, 7])
+
+
+def test_duplicates_coalesced():
+    m = VoxelPixelMap(N_VOX, N_PIX)
+    m.add_marks(np.array([1, 1, 1]), np.array([2, 2, 2]))
+    assert m.n_entries == 1
+    m.add_marks(np.array([1]), np.array([2]))
+    assert m.n_entries == 1
+
+
+def test_remove_pixels():
+    m = VoxelPixelMap(N_VOX, N_PIX)
+    m.add_marks(np.array([0, 1, 2]), np.array([5, 5, 6]))
+    m.remove_pixels(np.array([5]))
+    assert m.n_entries == 1
+    np.testing.assert_array_equal(m.pixels_for_voxels(np.array([2])), [6])
+    assert m.pixels_for_voxels(np.array([0, 1])).size == 0
+
+
+def test_replace_pixel_marks():
+    m = VoxelPixelMap(N_VOX, N_PIX)
+    m.add_marks(np.array([0, 1]), np.array([5, 5]))
+    m.replace_pixel_marks(np.array([5]), np.array([9]), np.array([5]))
+    np.testing.assert_array_equal(m.voxels_of_pixel(5), [9])
+
+
+def test_out_of_range_rejected():
+    m = VoxelPixelMap(N_VOX, N_PIX)
+    with pytest.raises(IndexError):
+        m.add_marks(np.array([N_VOX]), np.array([0]))
+    with pytest.raises(IndexError):
+        m.add_marks(np.array([0]), np.array([N_PIX]))
+    with pytest.raises(IndexError):
+        m.add_marks(np.array([-1]), np.array([0]))
+
+
+def test_copy_is_independent():
+    m = VoxelPixelMap(N_VOX, N_PIX)
+    m.add_marks(np.array([0]), np.array([0]))
+    c = m.copy()
+    c.add_marks(np.array([1]), np.array([1]))
+    assert m.n_entries == 1 and c.n_entries == 2
+
+
+def test_memory_bytes_grows():
+    m = VoxelPixelMap(N_VOX, N_PIX)
+    before = m.memory_bytes()
+    m.add_marks(np.arange(10), np.arange(10))
+    assert m.memory_bytes() > before
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        VoxelPixelMap(0, 10)
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("add"),
+            st.lists(
+                st.tuples(st.integers(0, N_VOX - 1), st.integers(0, N_PIX - 1)),
+                max_size=20,
+            ),
+        ),
+        st.tuples(st.just("remove"), st.lists(st.integers(0, N_PIX - 1), max_size=10)),
+    ),
+    max_size=12,
+)
+
+
+@given(ops=ops, query=st.lists(st.integers(0, N_VOX - 1), max_size=8))
+@settings(max_examples=80, deadline=None)
+def test_matches_dict_of_sets_model(ops, query):
+    """Model-based: the CSR-ish map behaves like a dict voxel -> set(pixel)."""
+    m = VoxelPixelMap(N_VOX, N_PIX)
+    model: dict[int, set[int]] = {}
+    for op, payload in ops:
+        if op == "add":
+            if payload:
+                v = np.array([p[0] for p in payload])
+                p = np.array([p[1] for p in payload])
+                m.add_marks(v, p)
+                for vi, pi in payload:
+                    model.setdefault(vi, set()).add(pi)
+        else:
+            m.remove_pixels(np.array(payload, dtype=np.int64))
+            for s in model.values():
+                s.difference_update(payload)
+    expected = sorted(set().union(*(model.get(v, set()) for v in query)) if query else set())
+    got = m.pixels_for_voxels(np.array(query, dtype=np.int64)).tolist()
+    assert got == expected
+    assert m.n_entries == sum(len(s) for s in model.values())
