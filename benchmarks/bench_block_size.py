@@ -14,7 +14,6 @@ then degrades as message passing dominates.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import cached_oracle
 from repro.cluster import ThrashModel, ncsu_testbed

@@ -82,6 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_size_args(p_farm)
     p_farm.add_argument("--workers", type=int, default=4)
     p_farm.add_argument("--mode", choices=("frame", "sequence", "hybrid"), default="frame")
+    p_farm.add_argument(
+        "--executor", choices=("process", "thread", "serial"), default="process"
+    )
+    p_farm.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="pool attempts per task before degrading to in-process serial execution",
+    )
+    p_farm.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SEC",
+        help="fixed per-task deadline (default: adapt to 3x the slowest observed task)",
+    )
+    p_farm.add_argument(
+        "--run-dir", type=Path, default=None, metavar="DIR",
+        help="spool finished tasks to DIR so an interrupted render can be resumed",
+    )
+    p_farm.add_argument(
+        "--resume", type=Path, default=None, metavar="DIR",
+        help="resume from a previous --run-dir, re-executing only unfinished tasks",
+    )
 
     p_oracle = sub.add_parser(
         "oracle", help="measure per-pixel costs and print coherence analytics"
@@ -178,10 +197,16 @@ def _cmd_farm(args) -> int:
         else AnimationSpec.brick_room(n_frames=args.frames, width=args.width, height=args.height)
     )
     farm = LocalRenderFarm(
-        spec, n_workers=args.workers, mode=args.mode, executor="process", grid_resolution=args.grid
+        spec,
+        n_workers=args.workers,
+        mode=args.mode,
+        executor=args.executor,
+        grid_resolution=args.grid,
+        max_attempts=args.max_attempts,
+        task_timeout=args.task_timeout,
     )
     t0 = time.perf_counter()
-    result = farm.render()
+    result = farm.render(run_dir=args.run_dir, resume=args.resume)
     dt = time.perf_counter() - t0
     reference = farm.render_reference()
     identical = np.array_equal(result.frames, reference.frames)
@@ -189,6 +214,14 @@ def _cmd_farm(args) -> int:
         f"{args.mode} division: {result.n_tasks} tasks on {args.workers} workers in {dt:.1f}s, "
         f"{result.stats.total:,} rays"
     )
+    if result.n_from_checkpoint:
+        print(f"resumed: {result.n_from_checkpoint}/{result.n_tasks} tasks from checkpoint")
+    if result.n_retries or result.n_timeouts or result.n_degraded:
+        print(
+            f"recovery: {result.n_retries} retries, {result.n_timeouts} timeouts, "
+            f"{result.n_crashes} crashes, {result.n_invalid} invalid results, "
+            f"{result.n_degraded} degraded to serial"
+        )
     print(f"bit-identical to single-renderer reference: {identical}")
     return 0 if identical else 1
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator
+from typing import Any, Generator
 
 from .event import FifoResource, Simulator
 from .machine import Machine, ThrashModel

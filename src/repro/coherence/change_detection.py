@@ -110,7 +110,7 @@ def scene_signature(scene: Scene) -> tuple:
     """A cheap hashable summary used to assert scenes really are identical."""
     return (
         tuple(sorted((o.prim_id, o.transform.m.tobytes()) for o in scene.objects)),
-        tuple((l.position.tobytes(), l.color.tobytes()) for l in scene.lights),
+        tuple((light.position.tobytes(), light.color.tobytes()) for light in scene.lights),
         scene.background.tobytes(),
         scene.ambient_light.tobytes(),
     )

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..rmath import AABB, Transform, normalize, vec3
+from ..rmath import AABB, Transform, vec3
 from .base import MISS, Primitive, solve_quadratic
 
 __all__ = ["Cylinder"]

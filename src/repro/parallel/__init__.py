@@ -4,6 +4,7 @@ from .config import RenderFarmConfig
 from .fault_tolerance import (
     default_worker_timeout,
     simulate_frame_division_fc_fault_tolerant,
+    simulate_sequence_division_fc_fault_tolerant,
 )
 from .oracle import AnimationCostOracle, build_oracle
 from .outcome import SimulationOutcome, format_hms, load_imbalance
@@ -46,6 +47,7 @@ __all__ = [
     "simulate_frame_division_nofc",
     "simulate_hybrid_fc",
     "simulate_sequence_division_fc",
+    "simulate_sequence_division_fc_fault_tolerant",
     "simulate_sequence_division_nofc",
     "simulate_single_processor",
     "strip_regions",

@@ -18,7 +18,7 @@ from typing import Callable
 
 import numpy as np
 
-from .coherence import CoherentRenderer, FrameReport, ShadowCoherentRenderer, grid_for_animation
+from .coherence import CoherentRenderer, FrameReport, ShadowCoherentRenderer
 from .render import RayStats
 from .scene import Animation, split_coherent_sequences
 

@@ -1,6 +1,19 @@
 """Real local parallel execution of the paper's master/worker decompositions."""
 
+from .faults import FaultInjected, FaultPlan, FaultSpec
 from .local import FarmResult, LocalRenderFarm
 from .spec import AnimationSpec
+from .supervisor import SupervisorError, SupervisorOutcome, TaskAttempt, TaskSupervisor
 
-__all__ = ["AnimationSpec", "FarmResult", "LocalRenderFarm"]
+__all__ = [
+    "AnimationSpec",
+    "FarmResult",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "LocalRenderFarm",
+    "SupervisorError",
+    "SupervisorOutcome",
+    "TaskAttempt",
+    "TaskSupervisor",
+]

@@ -1,0 +1,147 @@
+"""Deterministic fault injection for the real render farm.
+
+The paper's NOW is built from desktops that get rebooted, unplugged and
+slowed down by their owners.  The cluster simulator injects machine
+failures at virtual times; this module does the moral equivalent for the
+*real* worker processes of :class:`~repro.runtime.local.LocalRenderFarm`:
+a :class:`FaultPlan` travels (pickled) to every worker, which consults it
+before and after computing a task and deterministically misbehaves.
+
+Fault kinds
+-----------
+``crash``
+    The worker process dies abruptly (``os._exit``), exactly like a
+    machine losing power.  The supervisor sees a broken pool, rebuilds
+    it and re-queues the in-flight tasks.
+``hang``
+    The worker sleeps for ``hang_seconds`` before computing — a machine
+    that is swapping or whose owner just launched a compile job.  The
+    supervisor's per-task deadline declares it lost; if it eventually
+    finishes anyway (a *false positive*), the duplicate completion is
+    ignored.
+``raise``
+    The task raises :class:`FaultInjected` — a software failure inside
+    an otherwise healthy worker.
+``corrupt``
+    The task returns its result with NaNs smeared into the pixel data —
+    caught by the supervisor's output-validity check before assembly.
+
+Faults are keyed by ``(task_index, attempt)`` so every recovery path is
+exercisable and every retry can be made to succeed (or not).  Crash and
+hang faults are only honoured inside sandboxed *process* workers: a
+thread worker or the in-process serial fallback skips them rather than
+taking the master down with it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FaultInjected", "FaultSpec", "FaultPlan", "corrupt_result"]
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a ``raise``-kind fault inside a worker."""
+
+
+_KINDS = ("crash", "hang", "raise", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned misbehaviour: ``kind`` fires when ``task_index`` is
+    executed on any attempt number listed in ``attempts``."""
+
+    kind: str
+    task_index: int
+    attempts: tuple[int, ...] = (0,)
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {_KINDS}")
+
+    def matches(self, task_index: int, attempt: int) -> bool:
+        return task_index == self.task_index and attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, picklable schedule of worker faults."""
+
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    # -- convenience constructors ---------------------------------------------
+    @staticmethod
+    def crash(task_index: int, attempts: tuple[int, ...] = (0,)) -> "FaultSpec":
+        return FaultSpec("crash", task_index, attempts)
+
+    @staticmethod
+    def hang(
+        task_index: int, attempts: tuple[int, ...] = (0,), hang_seconds: float = 3600.0
+    ) -> "FaultSpec":
+        return FaultSpec("hang", task_index, attempts, hang_seconds)
+
+    @staticmethod
+    def raising(task_index: int, attempts: tuple[int, ...] = (0,)) -> "FaultSpec":
+        return FaultSpec("raise", task_index, attempts)
+
+    @staticmethod
+    def corrupting(task_index: int, attempts: tuple[int, ...] = (0,)) -> "FaultSpec":
+        return FaultSpec("corrupt", task_index, attempts)
+
+    # -- worker-side protocol --------------------------------------------------
+    def lookup(self, task_index: int, attempt: int) -> FaultSpec | None:
+        for f in self.faults:
+            if f.matches(task_index, attempt):
+                return f
+        return None
+
+    def apply_before(self, task_index: int, attempt: int, disruptive_ok: bool) -> None:
+        """Consulted before the task computes.  ``disruptive_ok`` is True
+        only in a sandboxed process worker — threads and the serial
+        fallback must not crash or stall the master."""
+        f = self.lookup(task_index, attempt)
+        if f is None:
+            return
+        if f.kind == "crash" and disruptive_ok:
+            os._exit(3)
+        elif f.kind == "hang" and disruptive_ok:
+            time.sleep(f.hang_seconds)
+        elif f.kind == "raise":
+            raise FaultInjected(
+                f"injected failure in task {task_index} (attempt {attempt})"
+            )
+
+    def apply_after(self, task_index: int, attempt: int, result):
+        """Consulted after the task computes; may corrupt the result."""
+        f = self.lookup(task_index, attempt)
+        if f is not None and f.kind == "corrupt":
+            return corrupt_result(result)
+        return result
+
+
+def corrupt_result(result):
+    """Smear NaNs into the first float array of a task result tuple.
+
+    Models a worker returning garbage pixels (bad RAM, truncated
+    transfer); generic over the farm's per-mode result layouts because it
+    only needs to defeat the supervisor's finite-value check.
+    """
+    if not isinstance(result, tuple):
+        return result
+    out = list(result)
+    for i, item in enumerate(out):
+        if isinstance(item, np.ndarray) and np.issubdtype(item.dtype, np.floating):
+            bad = item.copy()
+            bad.reshape(-1)[: max(1, bad.size // 16)] = np.nan
+            out[i] = bad
+            break
+    return tuple(out)

@@ -19,39 +19,69 @@ Both of the paper's schemes are implemented:
 Executors: ``process`` (fork-based multiprocessing; the real thing),
 ``thread`` (shared-memory; numpy releases the GIL enough to help), and
 ``serial`` (deterministic in-process reference).
+
+Dispatch is **supervised** (:mod:`repro.runtime.supervisor`): tasks are
+submitted individually with per-task deadlines, crashed or hung workers
+are detected and their tasks re-queued with capped retries, corrupted
+outputs are rejected by a shape/finiteness check before assembly, and a
+task that keeps failing degrades to in-process serial execution instead
+of aborting the render.  Passing ``run_dir`` to :meth:`LocalRenderFarm.
+render` spools each completed task to disk as it arrives; a later
+``render(resume=run_dir)`` skips the finished tasks — checkpoint/resume
+at the task granularity, complementing the intra-chain granularity of
+:mod:`repro.coherence.checkpoint`.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..coherence import CoherentRenderer, grid_for_animation
+from ..geometry import RayKind
 from ..parallel.partition import PixelRegion, block_regions, sequence_ranges
 from ..render import RayStats
+from .faults import FaultPlan
 from .spec import AnimationSpec
+from .supervisor import TaskAttempt, TaskSupervisor
 
 __all__ = ["LocalRenderFarm", "FarmResult"]
 
-# Per-process cache: workers build the animation once, not once per task.
-_WORKER_ANIM = None
-_WORKER_SPEC = None
+# Per-process cache keyed by spec: workers build each animation once, and
+# concurrent farms with *different* specs (the thread executor shares this
+# module's globals) can no longer evict or corrupt each other's entry
+# mid-render the way a single global (spec, anim) pair could.
+_WORKER_CACHE: dict[tuple, object] = {}
+_WORKER_CACHE_LOCK = threading.Lock()
+_WORKER_CACHE_MAX = 4
+
+
+def _spec_key(spec: AnimationSpec) -> tuple:
+    return (spec.factory, repr(sorted(spec.kwargs.items())))
 
 
 def _worker_init(spec: AnimationSpec) -> None:
-    global _WORKER_ANIM, _WORKER_SPEC
-    _WORKER_SPEC = spec
-    _WORKER_ANIM = spec.build()
+    _get_anim(spec)
 
 
 def _get_anim(spec: AnimationSpec):
-    global _WORKER_ANIM, _WORKER_SPEC
-    if _WORKER_ANIM is None or _WORKER_SPEC != spec:
-        _worker_init(spec)
-    return _WORKER_ANIM
+    key = _spec_key(spec)
+    with _WORKER_CACHE_LOCK:
+        anim = _WORKER_CACHE.get(key)
+    if anim is not None:
+        return anim
+    anim = spec.build()  # built outside the lock; a racing duplicate is benign
+    with _WORKER_CACHE_LOCK:
+        anim = _WORKER_CACHE.setdefault(key, anim)
+        while len(_WORKER_CACHE) > _WORKER_CACHE_MAX:
+            oldest = next(k for k in _WORKER_CACHE if k != key)
+            del _WORKER_CACHE[oldest]
+    return anim
 
 
 def _render_block_task(args):
@@ -114,14 +144,54 @@ def _render_hybrid_task(args):
     return box, region, start, stop, frames, stats.counts
 
 
+_TASK_FNS = {
+    "frame": _render_block_task,
+    "sequence": _render_sequence_task,
+    "hybrid": _render_hybrid_task,
+}
+
+_MANIFEST_NAME = "manifest.json"
+_SPOOL_FORMAT = 1
+
+
+def _spool_path(run_dir: Path, idx: int) -> Path:
+    return run_dir / f"task_{idx:04d}.npz"
+
+
+def _save_task_result(path: Path, result: tuple) -> None:
+    """Spool one task result atomically (write-then-rename), so a render
+    killed mid-write never leaves a half-readable checkpoint behind."""
+    arrays = {f"f{i}": np.asarray(v) for i, v in enumerate(result)}
+    tmp = path.with_name(f".{path.name}.tmp.npz")
+    np.savez_compressed(tmp, n=len(result), **arrays)
+    os.replace(tmp, path)
+
+
+def _load_task_result(path: Path) -> tuple:
+    with np.load(path) as z:
+        n = int(z["n"])
+        out = []
+        for i in range(n):
+            a = z[f"f{i}"]
+            out.append(a.item() if a.ndim == 0 else a)
+        return tuple(out)
+
+
 @dataclass
 class FarmResult:
-    """Assembled output of a local farm run."""
+    """Assembled output of a local farm run, plus its robustness story."""
 
     frames: np.ndarray  # (n_frames, H, W, 3) float64
     stats: RayStats
     n_tasks: int
     mode: str
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_crashes: int = 0
+    n_invalid: int = 0
+    n_degraded: int = 0
+    n_from_checkpoint: int = 0
+    attempts: list[TaskAttempt] = field(default_factory=list)
 
     @property
     def n_frames(self) -> int:
@@ -144,6 +214,20 @@ class LocalRenderFarm:
     block_w, block_h:
         Frame-division block size (defaults to a 4x3 tiling like the paper's
         80x80-of-320x240).
+    max_attempts:
+        Pool attempts per task before degrading to serial execution.
+    task_timeout:
+        Fixed per-task deadline in seconds; default None adapts the
+        deadline to 3x the slowest observed task (plus a margin), the
+        simulator's ``default_worker_timeout`` heuristic.
+    startup_timeout:
+        Deadline before any task has completed (None = wait patiently).
+    degrade_serial:
+        Run a task in-process after its retries are exhausted instead of
+        raising :class:`~repro.runtime.supervisor.SupervisorError`.
+    fault_plan:
+        A :class:`~repro.runtime.faults.FaultPlan` for deterministic
+        crash/hang/raise/corrupt injection (tests and drills).
     """
 
     def __init__(
@@ -157,6 +241,13 @@ class LocalRenderFarm:
         grid_resolution: int = 24,
         samples_per_axis: int = 1,
         frames_per_chunk: int | None = None,
+        max_attempts: int = 3,
+        task_timeout: float | None = None,
+        timeout_factor: float = 3.0,
+        startup_timeout: float | None = None,
+        backoff_base: float = 0.05,
+        degrade_serial: bool = True,
+        fault_plan: FaultPlan | None = None,
     ):
         if mode not in ("frame", "sequence", "hybrid"):
             raise ValueError("mode must be 'frame', 'sequence' or 'hybrid'")
@@ -173,6 +264,13 @@ class LocalRenderFarm:
         self.grid_resolution = grid_resolution
         self.samples_per_axis = samples_per_axis
         self.frames_per_chunk = frames_per_chunk
+        self.max_attempts = max_attempts
+        self.task_timeout = task_timeout
+        self.timeout_factor = timeout_factor
+        self.startup_timeout = startup_timeout
+        self.backoff_base = backoff_base
+        self.degrade_serial = degrade_serial
+        self.fault_plan = fault_plan
         # Build once locally for geometry bookkeeping (cheap).
         self._anim = spec.build()
         self._cam = self._anim.camera_at(0)
@@ -213,47 +311,174 @@ class LocalRenderFarm:
             (self.spec, a, b, self.grid_resolution, self.samples_per_axis) for a, b in ranges
         ]
 
-    def _map(self, fn, tasks):
-        if self.executor == "serial":
-            return [fn(t) for t in tasks]
-        if self.executor == "thread":
-            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-                return list(pool.map(fn, tasks))
-        with ProcessPoolExecutor(
-            max_workers=self.n_workers,
-            initializer=_worker_init,
-            initargs=(self.spec,),
-        ) as pool:
-            return list(pool.map(fn, tasks))
+    # -- output validity ----------------------------------------------------------
+    def _make_validator(self):
+        """Shape/finiteness check applied before a task result is accepted
+        (or a spooled checkpoint trusted): a corrupted block must never
+        reach assembly."""
+        n_frames = self._anim.n_frames
+        height, width = self._cam.height, self._cam.width
+        n_kinds = len(RayKind)
+        mode = self.mode
+
+        def counts_ok(counts) -> bool:
+            c = np.asarray(counts)
+            return c.shape == (n_kinds,) and c.dtype.kind in "iu"
+
+        def validate(task, result) -> bool:
+            if not isinstance(result, tuple):
+                return False
+            if mode == "frame":
+                if len(result) != 4:
+                    return False
+                _box, region, frames, counts = result
+                expected = (n_frames, np.asarray(region).size, 3)
+            elif mode == "sequence":
+                if len(result) != 4:
+                    return False
+                start, stop, frames, counts = result
+                expected = (int(stop) - int(start), height, width, 3)
+            else:
+                if len(result) != 6:
+                    return False
+                _box, region, start, stop, frames, counts = result
+                expected = (int(stop) - int(start), np.asarray(region).size, 3)
+            frames = np.asarray(frames)
+            return (
+                frames.shape == expected
+                and bool(np.isfinite(frames).all())
+                and counts_ok(counts)
+            )
+
+        return validate
+
+    # -- checkpoint spool ----------------------------------------------------------
+    def _manifest(self, n_tasks: int) -> dict:
+        return {
+            "format": _SPOOL_FORMAT,
+            "factory": self.spec.factory,
+            "kwargs": repr(sorted(self.spec.kwargs.items())),
+            "mode": self.mode,
+            "n_frames": int(self._anim.n_frames),
+            "width": int(self._cam.width),
+            "height": int(self._cam.height),
+            "grid_resolution": int(self.grid_resolution),
+            "samples_per_axis": int(self.samples_per_axis),
+            "n_tasks": int(n_tasks),
+        }
+
+    def _load_spooled(self, run_dir: Path, tasks: list, validate) -> dict:
+        """Recover finished tasks from a previous (interrupted) run.
+
+        Unreadable or invalid spool files are treated as not-completed —
+        the task simply re-renders, so a truncated write costs one task,
+        never the run."""
+        completed: dict[int, tuple] = {}
+        for idx in range(len(tasks)):
+            path = _spool_path(run_dir, idx)
+            if not path.exists():
+                continue
+            try:
+                result = _load_task_result(path)
+            except Exception:
+                continue
+            if validate(tasks[idx], result):
+                completed[idx] = result
+        return completed
 
     # -- entry point -------------------------------------------------------------
-    def render(self) -> FarmResult:
-        """Render all frames; assemble and return them with merged stats."""
+    def render(
+        self, run_dir: str | Path | None = None, resume: str | Path | None = None
+    ) -> FarmResult:
+        """Render all frames; assemble and return them with merged stats.
+
+        ``run_dir`` spools each completed task to that directory;
+        ``resume`` points at such a directory and skips the tasks it
+        already holds (implies spooling new completions there too).
+        """
+        if resume is not None:
+            if run_dir is not None and Path(run_dir) != Path(resume):
+                raise ValueError("pass either run_dir or resume, not two different dirs")
+            run_dir = resume
+        run_path = Path(run_dir) if run_dir is not None else None
+
         anim = self._anim
         cam = self._cam
+        tasks = self._tasks()
+        validate = self._make_validator()
+
+        completed: dict[int, tuple] = {}
+        on_result = None
+        if run_path is not None:
+            run_path.mkdir(parents=True, exist_ok=True)
+            manifest = self._manifest(len(tasks))
+            manifest_path = run_path / _MANIFEST_NAME
+            if manifest_path.exists():
+                existing = json.loads(manifest_path.read_text())
+                if existing != manifest:
+                    raise ValueError(
+                        f"run directory {run_path} belongs to a different render "
+                        "(manifest mismatch); refusing to mix checkpoints"
+                    )
+                completed = self._load_spooled(run_path, tasks, validate)
+            else:
+                tmp = manifest_path.with_suffix(".json.tmp")
+                tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+                os.replace(tmp, manifest_path)
+
+            def on_result(idx: int, result: tuple) -> None:
+                _save_task_result(_spool_path(run_path, idx), result)
+
+        supervisor = TaskSupervisor(
+            _TASK_FNS[self.mode],
+            tasks,
+            executor=self.executor,
+            n_workers=self.n_workers,
+            initializer=_worker_init,
+            initargs=(self.spec,),
+            validate=validate,
+            max_attempts=self.max_attempts,
+            task_timeout=self.task_timeout,
+            timeout_factor=self.timeout_factor,
+            startup_timeout=self.startup_timeout,
+            backoff_base=self.backoff_base,
+            degrade_serial=self.degrade_serial,
+            fault_plan=self.fault_plan,
+            completed=completed,
+            on_result=on_result,
+        )
+        out = supervisor.run()
+
         frames = np.zeros((anim.n_frames, cam.height, cam.width, 3), dtype=np.float64)
         stats = RayStats()
-        tasks = self._tasks()
-
         if self.mode == "frame":
-            results = self._map(_render_block_task, tasks)
             flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
-            for _box, region, block_frames, counts in results:
-                flat[:, region, :] = block_frames
+            for _box, region, block_frames, counts in out.results:
+                flat[:, np.asarray(region), :] = block_frames
                 stats += RayStats(counts)
         elif self.mode == "hybrid":
-            results = self._map(_render_hybrid_task, tasks)
             flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
-            for _box, region, start, stop, chunk_frames, counts in results:
-                flat[start:stop][:, region, :] = chunk_frames
+            for _box, region, start, stop, chunk_frames, counts in out.results:
+                flat[int(start) : int(stop)][:, np.asarray(region), :] = chunk_frames
                 stats += RayStats(counts)
         else:
-            results = self._map(_render_sequence_task, tasks)
-            for start, stop, seq_frames, counts in results:
-                frames[start:stop] = seq_frames
+            for start, stop, seq_frames, counts in out.results:
+                frames[int(start) : int(stop)] = seq_frames
                 stats += RayStats(counts)
 
-        return FarmResult(frames=frames, stats=stats, n_tasks=len(tasks), mode=self.mode)
+        return FarmResult(
+            frames=frames,
+            stats=stats,
+            n_tasks=len(tasks),
+            mode=self.mode,
+            n_retries=out.n_retries,
+            n_timeouts=out.n_timeouts,
+            n_crashes=out.n_crashes,
+            n_invalid=out.n_invalid,
+            n_degraded=out.n_degraded,
+            n_from_checkpoint=out.n_from_checkpoint,
+            attempts=out.attempts,
+        )
 
     def render_reference(self) -> FarmResult:
         """Single coherent renderer over the whole animation (ground truth)."""

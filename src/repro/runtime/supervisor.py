@@ -1,0 +1,456 @@
+"""Supervised task scheduling for the real render farm.
+
+``ProcessPoolExecutor.map`` trusts every worker with its life: one crash
+aborts the render, one hang stalls it forever.  On a network of
+workstations that is the common case, not the exception — so the farm
+submits tasks individually through this supervisor, which:
+
+* enforces a **per-task deadline** derived from observed task durations
+  (``timeout_factor`` x the slowest completion so far, the same 3x
+  heuristic :func:`repro.parallel.fault_tolerance.default_worker_timeout`
+  uses for the simulated cluster), or a fixed ``task_timeout``;
+* detects **worker crashes** (a broken pool) — the pool is rebuilt and
+  every in-flight task re-queued;
+* detects **hangs** — a task past its deadline is declared lost and
+  re-submitted; the abandoned future is kept so a *merely slow* worker's
+  late completion is still accepted (or ignored as a duplicate once its
+  replacement finished first); if every worker slot is presumed hung the
+  pool is killed and rebuilt;
+* **validates outputs** before accepting them (``validate`` callback —
+  the farm checks shape and finiteness, catching corrupted blocks);
+* re-queues failures with **capped retries and exponential backoff**,
+  and on retry exhaustion **degrades to in-process serial execution** of
+  the task instead of aborting the whole render;
+* records every attempt (:class:`TaskAttempt`) and surfaces robustness
+  counters in the :class:`SupervisorOutcome`.
+
+The supervisor is renderer-agnostic: ``fn`` is any picklable module-level
+function of one task argument, so it is reusable for any master/worker
+decomposition (and directly testable with toy tasks).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+
+from .faults import FaultPlan
+
+__all__ = ["TaskSupervisor", "TaskAttempt", "SupervisorOutcome", "SupervisorError"]
+
+
+class SupervisorError(RuntimeError):
+    """A task could not be completed despite retries and degradation."""
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """One dispatch of one task and how it ended."""
+
+    task_index: int
+    attempt: int
+    outcome: str  # ok | late-ok | degraded-ok | duplicate | timeout | crash | error | invalid
+    duration: float
+    error: str = ""
+
+
+@dataclass
+class SupervisorOutcome:
+    """Results plus the robustness story of how they were obtained."""
+
+    results: list
+    attempts: list[TaskAttempt] = field(default_factory=list)
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_crashes: int = 0
+    n_invalid: int = 0
+    n_degraded: int = 0
+    n_duplicates: int = 0
+    n_pool_rebuilds: int = 0
+    n_from_checkpoint: int = 0
+    wall_time: float = 0.0
+
+
+def _run_task(payload):
+    """Worker entry point: consult the fault plan, compute, consult again."""
+    fn, task, task_index, attempt, plan, disruptive_ok = payload
+    if plan is not None:
+        plan.apply_before(task_index, attempt, disruptive_ok)
+    result = fn(task)
+    if plan is not None:
+        result = plan.apply_after(task_index, attempt, result)
+    return result
+
+
+class TaskSupervisor:
+    """Run ``fn`` over ``tasks`` with crash/hang recovery.
+
+    Parameters
+    ----------
+    fn:
+        Picklable function of one task argument.
+    tasks:
+        Sequence of task arguments; results keep this order.
+    executor:
+        ``"process"`` (sandboxed, full fault coverage), ``"thread"``
+        (crash/hang faults are not injected — they would take down the
+        master), or ``"serial"`` (in-process reference path).
+    validate:
+        ``validate(task, result) -> bool``; a False result is treated as
+        a failure and retried.
+    max_attempts:
+        Pool attempts per task before degradation (>= 1).
+    task_timeout / timeout_factor / timeout_margin / startup_timeout:
+        Deadline policy.  A fixed ``task_timeout`` wins; otherwise the
+        deadline adapts to ``timeout_factor * max(observed) + margin``
+        once a task has completed, with ``startup_timeout`` (None = no
+        deadline) covering the observation-free start-up window.
+    degrade_serial:
+        On retry exhaustion, run the task in-process instead of failing.
+    completed:
+        ``{task_index: result}`` already finished (checkpoint resume);
+        these tasks are not re-executed.
+    on_result:
+        ``on_result(task_index, result)`` called once per accepted
+        result, in completion order — the farm spools checkpoints here.
+    """
+
+    def __init__(
+        self,
+        fn,
+        tasks,
+        *,
+        executor: str = "process",
+        n_workers: int = 2,
+        initializer=None,
+        initargs=(),
+        validate=None,
+        max_attempts: int = 3,
+        task_timeout: float | None = None,
+        timeout_factor: float = 3.0,
+        timeout_margin: float = 1.0,
+        startup_timeout: float | None = None,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        degrade_serial: bool = True,
+        max_pool_rebuilds: int = 4,
+        poll_interval: float = 0.05,
+        fault_plan: FaultPlan | None = None,
+        completed: dict | None = None,
+        on_result=None,
+    ):
+        if executor not in ("process", "thread", "serial"):
+            raise ValueError("executor must be 'process', 'thread' or 'serial'")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.fn = fn
+        self.tasks = list(tasks)
+        self.executor = executor
+        self.n_workers = n_workers
+        self.initializer = initializer
+        self.initargs = initargs
+        self.validate = validate
+        self.max_attempts = max_attempts
+        self.task_timeout = task_timeout
+        self.timeout_factor = timeout_factor
+        self.timeout_margin = timeout_margin
+        self.startup_timeout = startup_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.degrade_serial = degrade_serial
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.poll_interval = poll_interval
+        self.fault_plan = fault_plan
+        self.completed = dict(completed or {})
+        self.on_result = on_result
+
+        self._pool = None
+        self._inflight: dict = {}  # Future -> (task_index, attempt, submitted_at)
+        self._late: dict = {}  # abandoned-but-maybe-finishing futures
+        self._durations: list[float] = []
+        self._results: dict[int, object] = {}
+        self._pending: deque = deque()
+        self._out = SupervisorOutcome(results=[None] * len(self.tasks))
+
+    # -- public entry ----------------------------------------------------------
+    def run(self) -> SupervisorOutcome:
+        t0 = time.monotonic()
+        out = self._out
+        out.n_from_checkpoint = len(self.completed)
+        self._results.update(self.completed)
+        self._pending = deque(
+            (i, 0, 0.0) for i in range(len(self.tasks)) if i not in self._results
+        )
+        try:
+            if self.executor == "serial":
+                self._run_serial()
+            else:
+                self._run_pooled()
+        finally:
+            self._close_pool()
+        out.results = [self._results[i] for i in range(len(self.tasks))]
+        out.wall_time = time.monotonic() - t0
+        return out
+
+    # -- serial reference path -------------------------------------------------
+    def _run_serial(self) -> None:
+        pending = self._pending
+        while pending:
+            idx, attempt, not_before = pending.popleft()
+            if idx in self._results:
+                continue
+            if attempt >= self.max_attempts:
+                self._degrade(idx, attempt)
+                continue
+            delay = not_before - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            ok, result, err, dur = self._attempt_inline(idx, attempt)
+            if ok:
+                self._accept(idx, attempt, result, dur, "ok")
+            else:
+                self._record(idx, attempt, "invalid" if err == "invalid" else "error", dur, err)
+                if err == "invalid":
+                    self._out.n_invalid += 1
+                self._requeue(idx, attempt)
+
+    # -- pooled path -------------------------------------------------------------
+    def _run_pooled(self) -> None:
+        pending = self._pending
+        self._pool = self._make_pool()
+        n_tasks = len(self.tasks)
+        while len(self._results) < n_tasks:
+            now = time.monotonic()
+            # Fill free slots with ready pending work.
+            while pending and len(self._inflight) < self.n_workers:
+                idx, attempt, not_before = pending[0]
+                if not_before > now:
+                    break
+                pending.popleft()
+                if idx in self._results:
+                    continue
+                if attempt >= self.max_attempts:
+                    self._degrade(idx, attempt)
+                    continue
+                self._submit(idx, attempt)
+            watched = list(self._inflight) + list(self._late)
+            if not watched:
+                if pending:  # everything is backing off; wait for the head
+                    time.sleep(max(0.0, min(pending[0][2] - now, self.backoff_cap)))
+                    continue
+                if len(self._results) < n_tasks:  # pragma: no cover - invariant
+                    raise SupervisorError("supervisor stalled with no work in flight")
+                break
+            done, _ = wait(watched, timeout=self._tick(now), return_when=FIRST_COMPLETED)
+            broken = False
+            for fut in done:
+                broken = self._harvest(fut) or broken
+            if broken:
+                self._out.n_crashes += 1
+                self._rebuild_pool(outcome="crash")
+                continue
+            self._sweep_deadlines()
+            # Every worker slot presumed hung: only a fresh pool can make
+            # progress on whatever is still queued or unfinished.
+            hung = sum(1 for f in self._late if not f.done())
+            if hung >= self.n_workers and len(self._results) < n_tasks:
+                self._rebuild_pool(outcome="abandoned")
+
+    # -- pool plumbing -----------------------------------------------------------
+    def _make_pool(self):
+        if self.executor == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=self.initializer,
+                initargs=self.initargs,
+            )
+        return ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
+
+    def _kill_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        procs = getattr(pool, "_processes", None) or {}
+        for p in list(procs.values()):
+            try:
+                p.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _close_pool(self) -> None:
+        pool = self._pool
+        if pool is None:
+            return
+        leftovers = [f for f in (*self._inflight, *self._late) if not f.done()]
+        if leftovers:
+            self._kill_pool()  # hung workers must not block shutdown
+        else:
+            self._pool = None
+            pool.shutdown(wait=True)
+
+    def _rebuild_pool(self, outcome: str) -> None:
+        """Abandon the current pool, re-queue its in-flight tasks, start anew.
+
+        Tasks already moved to ``_late`` were re-queued when their deadline
+        fired, so only ``_inflight`` entries are re-queued here.
+        """
+        now = time.monotonic()
+        for _fut, (idx, attempt, submitted_at) in self._inflight.items():
+            self._record(idx, attempt, outcome, now - submitted_at)
+            self._requeue(idx, attempt)
+        self._inflight.clear()
+        self._late.clear()
+        self._kill_pool()
+        self._out.n_pool_rebuilds += 1
+        if self._out.n_pool_rebuilds > self.max_pool_rebuilds:
+            raise SupervisorError(
+                f"worker pool lost {self._out.n_pool_rebuilds} times "
+                f"(limit {self.max_pool_rebuilds}); presuming all workers dead"
+            )
+        self._pool = self._make_pool()
+
+    # -- scheduling internals ----------------------------------------------------
+    def _submit(self, idx: int, attempt: int) -> None:
+        disruptive_ok = self.executor == "process"
+        payload = (self.fn, self.tasks[idx], idx, attempt, self.fault_plan, disruptive_ok)
+        fut = self._pool.submit(_run_task, payload)
+        self._inflight[fut] = (idx, attempt, time.monotonic())
+
+    def _current_timeout(self) -> float | None:
+        if self.task_timeout is not None:
+            return self.task_timeout
+        if self._durations:
+            return self.timeout_factor * max(self._durations) + self.timeout_margin
+        return self.startup_timeout
+
+    def _tick(self, now: float) -> float:
+        timeout = self._current_timeout()
+        if timeout is None or not self._inflight:
+            return 0.25
+        next_deadline = min(at + timeout for _i, _a, at in self._inflight.values())
+        return min(0.5, max(self.poll_interval, next_deadline - now))
+
+    def _harvest(self, fut) -> bool:
+        """Absorb one completed future; returns True if the pool is broken."""
+        now = time.monotonic()
+        if fut.cancelled():
+            self._inflight.pop(fut, None)
+            self._late.pop(fut, None)
+            return False
+        exc = fut.exception()
+        if isinstance(exc, BrokenExecutor):
+            return True  # maps left intact for _rebuild_pool
+        info = self._inflight.pop(fut, None)
+        was_late = info is None
+        if was_late:
+            info = self._late.pop(fut, None)
+        if info is None:
+            return False
+        idx, attempt, submitted_at = info
+        dur = now - submitted_at
+        if exc is not None:
+            self._record(idx, attempt, "error", dur, repr(exc))
+            if not was_late:  # a late failure was already re-queued at timeout
+                self._requeue(idx, attempt)
+            return False
+        result = fut.result()
+        if idx in self._results:
+            self._out.n_duplicates += 1
+            self._record(idx, attempt, "duplicate", dur)
+            return False
+        if not self._valid(idx, result):
+            self._out.n_invalid += 1
+            self._record(idx, attempt, "invalid", dur)
+            if not was_late:
+                self._requeue(idx, attempt)
+            return False
+        self._accept(idx, attempt, result, dur, "late-ok" if was_late else "ok")
+        return False
+
+    def _sweep_deadlines(self) -> None:
+        timeout = self._current_timeout()
+        if timeout is None:
+            return
+        pending = self._pending
+        now = time.monotonic()
+        for fut in [f for f, (_i, _a, at) in self._inflight.items() if now - at >= timeout]:
+            idx, attempt, submitted_at = self._inflight.pop(fut)
+            if fut.cancel():
+                # Never started (queued behind hung workers): re-queue at the
+                # same attempt — the task itself did nothing wrong.
+                pending.append((idx, attempt, now))
+                continue
+            if fut.done():
+                self._inflight[fut] = (idx, attempt, submitted_at)
+                continue  # finished between sweep start and cancel; harvest next tick
+            self._out.n_timeouts += 1
+            self._record(idx, attempt, "timeout", now - submitted_at)
+            self._late[fut] = (idx, attempt, submitted_at)
+            self._requeue(idx, attempt)
+
+    def _requeue(self, idx: int, attempt: int) -> None:
+        self._out.n_retries += 1
+        backoff = min(self.backoff_cap, self.backoff_base * (2.0**attempt))
+        self._pending.append((idx, attempt + 1, time.monotonic() + backoff))
+
+    # -- attempt bookkeeping -----------------------------------------------------
+    def _valid(self, idx: int, result) -> bool:
+        if self.validate is None:
+            return True
+        try:
+            return bool(self.validate(self.tasks[idx], result))
+        except Exception:
+            return False
+
+    def _accept(self, idx: int, attempt: int, result, dur: float, outcome: str) -> None:
+        self._results[idx] = result
+        self._durations.append(dur)
+        self._record(idx, attempt, outcome, dur)
+        if self.on_result is not None:
+            self.on_result(idx, result)
+
+    def _record(self, idx: int, attempt: int, outcome: str, dur: float, err: str = "") -> None:
+        self._out.attempts.append(TaskAttempt(idx, attempt, outcome, dur, err))
+
+    def _attempt_inline(self, idx: int, attempt: int):
+        """Run one task in-process (serial executor and degradation path)."""
+        t0 = time.monotonic()
+        payload = (self.fn, self.tasks[idx], idx, attempt, self.fault_plan, False)
+        try:
+            result = _run_task(payload)
+        except Exception as exc:
+            return False, None, repr(exc), time.monotonic() - t0
+        dur = time.monotonic() - t0
+        if not self._valid(idx, result):
+            return False, None, "invalid", dur
+        return True, result, "", dur
+
+    def _degrade(self, idx: int, attempt: int) -> None:
+        if not self.degrade_serial:
+            raise SupervisorError(
+                f"task {idx} failed {attempt} attempts (limit {self.max_attempts}) "
+                "and serial degradation is disabled"
+            )
+        ok, result, err, dur = self._attempt_inline(idx, attempt)
+        if not ok:
+            raise SupervisorError(
+                f"task {idx} failed {attempt} pool attempts and the in-process "
+                f"serial fallback: {err}"
+            )
+        self._out.n_degraded += 1
+        self._accept(idx, attempt, result, dur, "degraded-ok")

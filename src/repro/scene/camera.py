@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry import RayBatch, RayKind
-from ..rmath import cross, normalize, vec3
+from ..rmath import cross, normalize
 
 __all__ = ["Camera"]
 

@@ -86,7 +86,7 @@ class Scene:
         """
         box = self.finite_bounds()
         if box.is_empty():
-            pts = [self.camera.position] + [l.position for l in self.lights]
+            pts = [self.camera.position] + [light.position for light in self.lights]
             box = AABB.from_points(np.asarray(pts))
         if box.is_empty():
             return AABB(vec3(-1, -1, -1), vec3(1, 1, 1))

@@ -1,7 +1,6 @@
 """Tests for inter-frame change detection."""
 
 import numpy as np
-import pytest
 
 from repro.accel import UniformGrid
 from repro.coherence import changed_voxels, objects_changed, scene_signature

@@ -1,6 +1,5 @@
 """Tests for the discrete-event engine, Ethernet model and machines."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import (

@@ -6,7 +6,6 @@ import pytest
 from repro.coherence import CoherentRenderer, grid_for_animation, validate_sequence
 from repro.render import RayTracer
 from repro.scene import Camera, FunctionAnimation, StaticAnimation
-from repro.rmath import Transform
 
 
 def test_first_frame_computes_everything(moving_ball_animation):

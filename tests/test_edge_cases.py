@@ -1,7 +1,6 @@
 """Edge-case tests across modules (gaps the main suites skip)."""
 
 import numpy as np
-import pytest
 
 from repro.geometry import RayBatch, Sphere
 from repro.imageio import read_targa, write_targa

@@ -3,7 +3,6 @@
 from pathlib import Path
 
 import numpy as np
-import pytest
 
 from repro.geometry import CSGDifference, CSGIntersection, Cylinder, Plane, Sphere, Torus
 from repro.render import RayTracer

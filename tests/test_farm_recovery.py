@@ -1,0 +1,233 @@
+"""Recovery tests for the supervised real render farm.
+
+The acceptance scenario of the fault-tolerant runtime: workers crash and
+hang mid-render, blocks come back corrupted, and the assembled animation
+must still be *exactly* the fault-free reference — with the recovery
+events on the record.  Also covers checkpoint spooling and resume.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    AnimationSpec,
+    FaultPlan,
+    LocalRenderFarm,
+    SupervisorError,
+)
+
+GRID = 12
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return AnimationSpec.newton(n_frames=3, width=48, height=36)
+
+
+@pytest.fixture(scope="module")
+def reference(spec):
+    farm = LocalRenderFarm(spec, mode="frame", executor="serial", grid_resolution=GRID)
+    return farm.render_reference()
+
+
+def _farm(spec, **kw):
+    kw.setdefault("mode", "frame")
+    kw.setdefault("executor", "process")
+    kw.setdefault("grid_resolution", GRID)
+    return LocalRenderFarm(spec, **kw)
+
+
+# -- the headline scenario -------------------------------------------------------
+def test_crashes_and_hang_still_bit_identical(spec, reference):
+    """Two of four workers crash mid-run and a third task hangs; the render
+    completes and equals the fault-free serial reference exactly."""
+    plan = FaultPlan(
+        (
+            FaultPlan.crash(1),
+            FaultPlan.crash(5),
+            FaultPlan.hang(3, attempts=(0, 1), hang_seconds=60.0),
+        )
+    )
+    farm = _farm(spec, n_workers=4, fault_plan=plan, task_timeout=4.0)
+    res = farm.render()
+    assert np.array_equal(res.frames, reference.frames)
+    assert res.n_retries > 0
+    assert res.n_crashes >= 1
+
+
+def test_corrupted_block_never_reaches_assembly(spec, reference):
+    plan = FaultPlan((FaultPlan.corrupting(7),))
+    res = _farm(spec, n_workers=4, fault_plan=plan).render()
+    assert np.array_equal(res.frames, reference.frames)
+    assert res.n_invalid >= 1
+    assert res.n_retries >= 1
+
+
+def test_false_positive_deadline_slow_worker(spec, reference):
+    """A slow-but-alive worker finishes after being declared dead; its
+    duplicate completion is ignored and the frames are still exact."""
+    plan = FaultPlan((FaultPlan.hang(2, hang_seconds=1.2),))
+    res = _farm(spec, n_workers=4, fault_plan=plan, task_timeout=0.8).render()
+    assert np.array_equal(res.frames, reference.frames)
+    assert res.n_timeouts >= 1
+    accepted = [a for a in res.attempts if a.task_index == 2 and a.outcome.endswith("ok")]
+    assert len(accepted) == 1
+
+
+def test_retry_exhaustion_degrades_to_serial(spec, reference):
+    plan = FaultPlan((FaultPlan.raising(0, attempts=(0, 1, 2)),))
+    res = _farm(spec, n_workers=2, fault_plan=plan, max_attempts=3).render()
+    assert np.array_equal(res.frames, reference.frames)
+    assert res.n_degraded == 1
+    assert res.n_retries >= 3
+
+
+def test_all_workers_dead_error_path(spec):
+    """Unrecoverable pool loss surfaces as SupervisorError, not a hang."""
+    from repro.runtime.local import _TASK_FNS, _worker_init
+    from repro.runtime.supervisor import TaskSupervisor
+
+    plan = FaultPlan((FaultPlan.crash(0, attempts=tuple(range(8))),))
+    sup = TaskSupervisor(
+        _TASK_FNS["frame"],
+        _farm(spec, n_workers=2)._tasks(),
+        executor="process",
+        n_workers=2,
+        initializer=_worker_init,
+        initargs=(spec,),
+        fault_plan=plan,
+        max_attempts=8,
+        max_pool_rebuilds=1,  # cap rebuilds low so the test is quick
+    )
+    with pytest.raises(SupervisorError, match="pool lost"):
+        sup.run()
+
+
+def test_thread_executor_raise_faults_recovered(spec, reference):
+    plan = FaultPlan((FaultPlan.raising(4),))
+    res = _farm(spec, n_workers=2, executor="thread", fault_plan=plan).render()
+    assert np.array_equal(res.frames, reference.frames)
+    assert res.n_retries == 1
+
+
+def test_serial_executor_corrupt_fault_recovered(spec, reference):
+    plan = FaultPlan((FaultPlan.corrupting(3),))
+    res = _farm(spec, n_workers=1, executor="serial", fault_plan=plan).render()
+    assert np.array_equal(res.frames, reference.frames)
+    assert res.n_invalid == 1
+
+
+# -- checkpoint/resume -----------------------------------------------------------
+def test_resume_after_midway_failure_is_bit_identical(spec, reference, tmp_path):
+    """Kill a render midway (via an unrecoverable fault), then resume: only
+    the unfinished tasks re-execute and the frames are exactly equal."""
+    run_dir = tmp_path / "run"
+    poison = FaultPlan(
+        tuple(FaultPlan.raising(i, attempts=tuple(range(6))) for i in (6, 9))
+    )
+    farm = _farm(
+        spec, n_workers=2, fault_plan=poison, max_attempts=2, degrade_serial=False
+    )
+    with pytest.raises(SupervisorError):
+        farm.render(run_dir=run_dir)
+
+    spooled = sorted(run_dir.glob("task_*.npz"))
+    assert 0 < len(spooled) < 12  # interrupted: some but not all tasks finished
+
+    res = _farm(spec, n_workers=2).render(resume=run_dir)
+    assert np.array_equal(res.frames, reference.frames)
+    assert res.n_from_checkpoint == len(spooled)
+    executed = {a.task_index for a in res.attempts}
+    assert len(executed) == 12 - len(spooled)  # only unfinished tasks re-ran
+
+
+def test_resume_with_everything_done_executes_nothing(spec, reference, tmp_path):
+    run_dir = tmp_path / "run"
+    first = _farm(spec, n_workers=2).render(run_dir=run_dir)
+    assert np.array_equal(first.frames, reference.frames)
+    again = _farm(spec, n_workers=2).render(resume=run_dir)
+    assert np.array_equal(again.frames, reference.frames)
+    assert again.n_from_checkpoint == again.n_tasks == 12
+    assert again.attempts == []
+    assert again.stats.total == first.stats.total  # spooled ray counts survive
+
+
+def test_corrupt_spool_file_re_renders_that_task(spec, reference, tmp_path):
+    run_dir = tmp_path / "run"
+    _farm(spec, n_workers=2).render(run_dir=run_dir)
+    victim = run_dir / "task_0003.npz"
+    victim.write_bytes(b"not a zip at all")
+    res = _farm(spec, n_workers=2).render(resume=run_dir)
+    assert np.array_equal(res.frames, reference.frames)
+    assert res.n_from_checkpoint == 11
+    assert {a.task_index for a in res.attempts} == {3}
+
+
+def test_resume_manifest_mismatch_rejected(spec, tmp_path):
+    run_dir = tmp_path / "run"
+    _farm(spec, n_workers=2).render(run_dir=run_dir)
+    other = _farm(spec, n_workers=2, mode="sequence")
+    with pytest.raises(ValueError, match="manifest"):
+        other.render(resume=run_dir)
+    # The manifest itself is valid json describing the original run.
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert manifest["mode"] == "frame"
+    assert manifest["n_tasks"] == 12
+
+
+def test_sequence_mode_resume(spec, reference, tmp_path):
+    run_dir = tmp_path / "run"
+    farm = _farm(spec, n_workers=2, mode="sequence", executor="serial")
+    first = farm.render(run_dir=run_dir)
+    assert np.array_equal(first.frames, reference.frames)
+    res = _farm(spec, n_workers=2, mode="sequence", executor="serial").render(resume=run_dir)
+    assert np.array_equal(res.frames, reference.frames)
+    assert res.n_from_checkpoint == res.n_tasks
+
+
+def test_hybrid_mode_resume(spec, reference, tmp_path):
+    run_dir = tmp_path / "run"
+    farm = _farm(spec, mode="hybrid", executor="serial", frames_per_chunk=2)
+    farm.render(run_dir=run_dir)
+    res = _farm(spec, mode="hybrid", executor="serial", frames_per_chunk=2).render(
+        resume=run_dir
+    )
+    assert np.array_equal(res.frames, reference.frames)
+    assert res.n_from_checkpoint == res.n_tasks == 24
+
+
+def test_run_dir_and_conflicting_resume_rejected(spec, tmp_path):
+    farm = _farm(spec, executor="serial")
+    with pytest.raises(ValueError, match="not two different"):
+        farm.render(run_dir=tmp_path / "a", resume=tmp_path / "b")
+
+
+# -- worker cache ----------------------------------------------------------------
+def test_worker_cache_keyed_by_spec(spec):
+    """Two concurrent thread farms with different specs must not poison each
+    other's per-process animation cache."""
+    other = AnimationSpec.newton(n_frames=2, width=32, height=24)
+    farm_a = _farm(spec, n_workers=2, executor="thread")
+    farm_b = _farm(other, n_workers=2, executor="thread", mode="sequence")
+    ref_a = farm_a.render_reference()
+    ref_b = farm_b.render_reference()
+
+    import threading
+
+    results = {}
+
+    def run(name, farm):
+        results[name] = farm.render()
+
+    threads = [
+        threading.Thread(target=run, args=("a", farm_a)),
+        threading.Thread(target=run, args=("b", farm_b)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert np.array_equal(results["a"].frames, ref_a.frames)
+    assert np.array_equal(results["b"].frames, ref_b.frames)

@@ -15,6 +15,7 @@ from repro.parallel import (
     RenderFarmConfig,
     simulate_frame_division_fc,
     simulate_frame_division_fc_fault_tolerant,
+    simulate_sequence_division_fc_fault_tolerant,
 )
 
 SPU = 1e-4
@@ -178,5 +179,43 @@ def test_ft_master_machine_death_is_fatal(tiny_oracle, machines):
 def test_ft_deterministic(tiny_oracle, machines):
     a = _ft(tiny_oracle, machines, failures=[("indigo-100", 0.5)])
     b = _ft(tiny_oracle, machines, failures=[("indigo-100", 0.5)])
+    assert a.total_time == b.total_time
+    assert a.total_rays == b.total_rays
+
+
+# -- fault-tolerant sequence division --------------------------------------------
+def _seq_ft(oracle, machines, **kw):
+    return simulate_sequence_division_fc_fault_tolerant(
+        oracle, machines, CFG, sec_per_work_unit=SPU, thrash=NO_THRASH, **kw
+    )
+
+
+def test_seq_ft_clean_run_completes_everything(tiny_oracle, machines):
+    out = _seq_ft(tiny_oracle, machines)
+    assert len(out.frame_completion_times) == tiny_oracle.n_frames
+    assert out.strategy == "sequence-division+fc+ft"
+
+
+def test_seq_ft_survives_one_failure(tiny_oracle, machines):
+    clean = _seq_ft(tiny_oracle, machines)
+    out = _seq_ft(
+        tiny_oracle, machines, failures=[("indigo2-100", clean.total_time * 0.3)]
+    )
+    assert len(out.frame_completion_times) == tiny_oracle.n_frames
+    # The dead machine's frames were re-rendered from a fresh chain.
+    assert out.total_rays >= clean.total_rays
+    assert out.total_time > clean.total_time * 0.9
+
+
+def test_seq_ft_master_machine_death_is_fatal(tiny_oracle, machines):
+    from repro.cluster import DeadlockError
+
+    with pytest.raises(DeadlockError):
+        _seq_ft(tiny_oracle, machines, failures=[("indigo2-200", 0.05)])
+
+
+def test_seq_ft_deterministic(tiny_oracle, machines):
+    a = _seq_ft(tiny_oracle, machines, failures=[("indigo-100", 0.5)])
+    b = _seq_ft(tiny_oracle, machines, failures=[("indigo-100", 0.5)])
     assert a.total_time == b.total_time
     assert a.total_rays == b.total_rays

@@ -6,10 +6,11 @@ texture change that alters the pictures — even subtly — fails here first.
 Tolerance is loose enough (1e-6) to survive numpy version differences in
 summation order, tight enough to catch any real change.
 
-To regenerate after an *intentional* change, delete the data file and run
-``python tests/test_golden.py``.
+To regenerate after an *intentional* change, run
+``PYTHONPATH=src python tools/make_golden.py``.
 """
 
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -19,6 +20,7 @@ from repro.render import RayTracer
 from repro.scenes import brick_room_scene, newton_scene
 
 DATA = Path(__file__).parent / "data" / "golden_images.npz"
+REGENERATE = "regenerate with `PYTHONPATH=src python tools/make_golden.py`"
 W, H = 40, 30
 
 
@@ -30,9 +32,13 @@ def _render(which: str) -> np.ndarray:
 
 @pytest.fixture(scope="module")
 def golden():
-    assert DATA.exists(), "golden data missing; run `python tests/test_golden.py` to create it"
-    with np.load(DATA) as z:
-        return {"newton": z["newton"], "brick": z["brick"]}
+    if not DATA.exists():
+        pytest.fail(f"golden data {DATA} missing; {REGENERATE}")
+    try:
+        with np.load(DATA) as z:
+            return {"newton": z["newton"], "brick": z["brick"]}
+    except (zipfile.BadZipFile, OSError, KeyError, ValueError) as exc:
+        pytest.fail(f"golden data {DATA} is unreadable ({exc!r}); {REGENERATE}")
 
 
 @pytest.mark.parametrize("which", ["newton", "brick"])
@@ -48,6 +54,9 @@ def test_render_matches_golden(which, golden):
 
 
 if __name__ == "__main__":  # pragma: no cover - regeneration helper
-    DATA.parent.mkdir(exist_ok=True)
-    np.savez_compressed(DATA, newton=_render("newton"), brick=_render("brick"))
-    print(f"regenerated {DATA}")
+    import subprocess
+    import sys
+
+    sys.exit(
+        subprocess.call([sys.executable, str(Path(__file__).parent.parent / "tools" / "make_golden.py")])
+    )

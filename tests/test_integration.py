@@ -14,7 +14,6 @@ import pytest
 
 from repro.coherence import CoherentRenderer, validate_sequence
 from repro.imageio import difference_mask_image, mask_stats, pixel_set_image
-from repro.parallel import build_oracle
 from repro.render import RayTracer
 from repro.runtime import AnimationSpec, LocalRenderFarm
 from repro.scenes import brick_room_animation, newton_animation

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.parallel import AnimationCostOracle, build_oracle
+from repro.parallel import AnimationCostOracle
 from repro.render import RayTracer
 
 

@@ -1,6 +1,5 @@
 """Tests for the simulated Table-1 rendering strategies."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import ThrashModel, ncsu_testbed

@@ -1,0 +1,245 @@
+"""Unit tests for the supervised task scheduler and fault injection.
+
+These use toy task functions (picklable, module-level) so every recovery
+path — crash, hang, raise, corrupt, timeout false positive, retry
+exhaustion, degradation — is exercised in seconds, independent of the
+renderer.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.faults import FaultInjected, FaultPlan, FaultSpec, corrupt_result
+from repro.runtime.supervisor import SupervisorError, TaskSupervisor
+
+
+def _double(x):
+    return 2 * x
+
+
+def _array_task(x):
+    return (np.full(4, float(x)), int(x))
+
+
+def _validate_array(task, result):
+    arr = np.asarray(result[0])
+    return arr.shape == (4,) and bool(np.isfinite(arr).all())
+
+
+# -- basics ---------------------------------------------------------------------
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_clean_run_all_executors(executor):
+    sup = TaskSupervisor(_double, [1, 2, 3, 4, 5], executor=executor, n_workers=2)
+    out = sup.run()
+    assert out.results == [2, 4, 6, 8, 10]
+    assert out.n_retries == 0
+    assert out.n_degraded == 0
+    assert {a.outcome for a in out.attempts} == {"ok"}
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        TaskSupervisor(_double, [1], executor="nope")
+    with pytest.raises(ValueError):
+        TaskSupervisor(_double, [1], max_attempts=0)
+    with pytest.raises(ValueError):
+        TaskSupervisor(_double, [1], n_workers=0)
+
+
+def test_fault_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        FaultSpec("meteor", 0)
+
+
+def test_corrupt_result_introduces_nan():
+    good = (np.zeros(8), 3)
+    bad = corrupt_result(good)
+    assert np.isnan(bad[0]).any()
+    assert not np.isnan(good[0]).any()  # original untouched
+    assert bad[1] == 3
+
+
+def test_completed_tasks_are_skipped():
+    sup = TaskSupervisor(
+        _double, [1, 2, 3], executor="serial", completed={1: "from-checkpoint"}
+    )
+    out = sup.run()
+    assert out.results == [2, "from-checkpoint", 6]
+    assert out.n_from_checkpoint == 1
+    assert {a.task_index for a in out.attempts} == {0, 2}
+
+
+def test_on_result_fires_once_per_task():
+    seen = []
+    sup = TaskSupervisor(
+        _double, [1, 2, 3], executor="serial", on_result=lambda i, r: seen.append((i, r))
+    )
+    sup.run()
+    assert sorted(seen) == [(0, 2), (1, 4), (2, 6)]
+
+
+# -- raise faults ----------------------------------------------------------------
+def test_raise_fault_is_retried_serial():
+    plan = FaultPlan((FaultPlan.raising(1),))
+    sup = TaskSupervisor(_double, [1, 2, 3], executor="serial", fault_plan=plan)
+    out = sup.run()
+    assert out.results == [2, 4, 6]
+    assert out.n_retries == 1
+    assert any(a.outcome == "error" and "FaultInjected" in a.error for a in out.attempts)
+
+
+def test_raise_fault_is_retried_process():
+    plan = FaultPlan((FaultPlan.raising(0),))
+    sup = TaskSupervisor(_double, [1, 2, 3], executor="process", n_workers=2, fault_plan=plan)
+    out = sup.run()
+    assert out.results == [2, 4, 6]
+    assert out.n_retries == 1
+
+
+def test_fault_plan_apply_raises_inline():
+    plan = FaultPlan((FaultPlan.raising(7),))
+    with pytest.raises(FaultInjected):
+        plan.apply_before(7, 0, disruptive_ok=False)
+    plan.apply_before(7, 1, disruptive_ok=False)  # wrong attempt: no fault
+    plan.apply_before(3, 0, disruptive_ok=False)  # wrong task: no fault
+
+
+# -- corrupt faults + validation -------------------------------------------------
+@pytest.mark.parametrize("executor", ["serial", "process"])
+def test_corrupt_output_rejected_and_retried(executor):
+    plan = FaultPlan((FaultPlan.corrupting(2),))
+    sup = TaskSupervisor(
+        _array_task,
+        [1, 2, 3],
+        executor=executor,
+        n_workers=2,
+        validate=_validate_array,
+        fault_plan=plan,
+    )
+    out = sup.run()
+    assert [r[1] for r in out.results] == [1, 2, 3]
+    assert all(np.isfinite(r[0]).all() for r in out.results)
+    assert out.n_invalid == 1
+    assert out.n_retries == 1
+
+
+# -- crash faults ----------------------------------------------------------------
+def test_crash_fault_rebuilds_pool_and_recovers():
+    plan = FaultPlan((FaultPlan.crash(1),))
+    sup = TaskSupervisor(_double, [1, 2, 3, 4], executor="process", n_workers=2, fault_plan=plan)
+    out = sup.run()
+    assert out.results == [2, 4, 6, 8]
+    assert out.n_crashes >= 1
+    assert out.n_pool_rebuilds >= 1
+    assert out.n_retries >= 1
+
+
+def test_crash_fault_not_honoured_in_threads():
+    # A thread worker calling os._exit would kill the master: the plan must
+    # skip disruptive faults outside sandboxed processes.
+    plan = FaultPlan((FaultPlan.crash(0), FaultPlan.hang(1, hang_seconds=60.0)))
+    sup = TaskSupervisor(_double, [1, 2, 3], executor="thread", n_workers=2, fault_plan=plan)
+    out = sup.run()
+    assert out.results == [2, 4, 6]
+    assert out.n_crashes == 0
+    assert out.n_timeouts == 0
+
+
+def test_repeated_pool_loss_is_fatal():
+    plan = FaultPlan((FaultPlan.crash(0, attempts=(0, 1, 2)),))
+    sup = TaskSupervisor(
+        _double,
+        [1, 2],
+        executor="process",
+        n_workers=2,
+        fault_plan=plan,
+        max_pool_rebuilds=1,
+    )
+    with pytest.raises(SupervisorError, match="pool lost"):
+        sup.run()
+
+
+# -- hangs, deadlines and false positives ----------------------------------------
+def test_hang_fault_times_out_and_recovers():
+    plan = FaultPlan((FaultPlan.hang(1, hang_seconds=60.0),))
+    sup = TaskSupervisor(
+        _double,
+        [1, 2, 3],
+        executor="process",
+        n_workers=2,
+        fault_plan=plan,
+        task_timeout=0.75,
+    )
+    t0 = time.monotonic()
+    out = sup.run()
+    assert out.results == [2, 4, 6]
+    assert out.n_timeouts >= 1
+    assert out.n_retries >= 1
+    assert time.monotonic() - t0 < 30.0  # the hung worker never blocks shutdown
+
+
+def test_false_positive_deadline_duplicate_ignored():
+    # The worker is slow, not dead: it finishes after being declared lost.
+    # Exactly one completion is accepted; the other is a duplicate or the
+    # accepted late arrival.
+    plan = FaultPlan((FaultPlan.hang(0, hang_seconds=1.0),))
+    sup = TaskSupervisor(
+        _double,
+        [5, 6],
+        executor="process",
+        n_workers=2,
+        fault_plan=plan,
+        task_timeout=0.4,
+    )
+    out = sup.run()
+    assert out.results == [10, 12]
+    assert out.n_timeouts >= 1
+    accepted = [a for a in out.attempts if a.task_index == 0 and a.outcome.endswith("ok")]
+    assert len(accepted) == 1
+
+
+def test_adaptive_deadline_from_observed_durations():
+    sup = TaskSupervisor(_double, [1], executor="serial", timeout_factor=3.0, timeout_margin=1.0)
+    assert sup._current_timeout() is None  # no observations, no fixed timeout
+    sup._durations.append(2.0)
+    assert sup._current_timeout() == pytest.approx(7.0)
+    sup.task_timeout = 42.0
+    assert sup._current_timeout() == 42.0  # fixed deadline wins
+
+
+# -- retry exhaustion and degradation --------------------------------------------
+@pytest.mark.parametrize("executor", ["serial", "process"])
+def test_retry_exhaustion_degrades_to_serial(executor):
+    plan = FaultPlan((FaultPlan.raising(1, attempts=(0, 1)),))
+    sup = TaskSupervisor(
+        _double, [1, 2, 3], executor=executor, n_workers=2, fault_plan=plan, max_attempts=2
+    )
+    out = sup.run()
+    assert out.results == [2, 4, 6]
+    assert out.n_degraded == 1
+    assert any(a.outcome == "degraded-ok" for a in out.attempts)
+
+
+def test_degradation_disabled_raises():
+    plan = FaultPlan((FaultPlan.raising(0, attempts=(0, 1)),))
+    sup = TaskSupervisor(
+        _double,
+        [1],
+        executor="serial",
+        fault_plan=plan,
+        max_attempts=2,
+        degrade_serial=False,
+    )
+    with pytest.raises(SupervisorError, match="degradation is disabled"):
+        sup.run()
+
+
+def test_poisoned_task_fails_even_serial_fallback():
+    # The fault fires on every attempt including the degraded one: the
+    # supervisor must report the failure, not loop forever.
+    plan = FaultPlan((FaultPlan.raising(0, attempts=tuple(range(10))),))
+    sup = TaskSupervisor(_double, [1], executor="serial", fault_plan=plan, max_attempts=2)
+    with pytest.raises(SupervisorError, match="serial"):
+        sup.run()

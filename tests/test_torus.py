@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry import MISS, Torus, solve_quartic_batch
-from repro.rmath import Transform, normalize
+from repro.rmath import normalize
 
 
 def _shoot(obj, origin, direction):

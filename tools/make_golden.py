@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate the golden-image regression data, deterministically.
+
+Renders the two paper workloads at the pinned 40x30 size with the seed
+renderer and writes ``tests/data/golden_images.npz``.  Run this after an
+*intentional* shading/intersection/texture change:
+
+    PYTHONPATH=src python tools/make_golden.py
+
+The render is pure numpy with no randomness, so the arrays are a
+deterministic function of the scene code; only real image changes (or
+numpy summation-order changes beyond the tests' 1e-6 tolerance) alter
+the result.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.render import RayTracer  # noqa: E402
+from repro.scenes import brick_room_scene, newton_scene  # noqa: E402
+
+DATA = REPO / "tests" / "data" / "golden_images.npz"
+W, H = 40, 30
+
+
+def render(which: str) -> np.ndarray:
+    scene = (
+        newton_scene(width=W, height=H)
+        if which == "newton"
+        else brick_room_scene(width=W, height=H)
+    )
+    fb, _ = RayTracer(scene).render()
+    return fb.as_image()
+
+
+def main() -> int:
+    DATA.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {which: render(which) for which in ("newton", "brick")}
+    np.savez_compressed(DATA, **arrays)
+    with np.load(DATA) as z:  # verify the archive reads back cleanly
+        for which, img in arrays.items():
+            np.testing.assert_array_equal(z[which], img)
+    print(f"regenerated {DATA} ({DATA.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
