@@ -1,0 +1,68 @@
+"""Overhead of the telemetry spine on a real render.
+
+Instrumentation is worthless if it distorts the numbers it reports: the
+acceptance bar for the spine is **< 5 % wall-time overhead** with a full
+in-memory sink attached, and effectively zero when disabled (the ``NULL``
+path is one attribute test per call site).
+
+The workload is the ``random_spheres`` stress scene — many small objects,
+every frame dirty in patches — rendered through the single-process engine
+(the instrumentation-densest path: per-frame, per-chunk and per-sequence
+hooks all fire in one process).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _bench_utils import write_result
+
+from repro.pipeline import _render_animation
+from repro.scenes import random_spheres_animation
+from repro.telemetry import InMemorySink, Telemetry, metrics_from_events, write_bench_json
+
+KW = dict(n_frames=6, width=96, height=72)
+GRID = 16
+REPEATS = 3
+
+
+def _render(telemetry=None) -> float:
+    anim = random_spheres_animation(**KW)
+    t0 = time.perf_counter()
+    _render_animation(anim, grid_resolution=GRID, telemetry=telemetry, workload="spheres")
+    return time.perf_counter() - t0
+
+
+def _best(make_telemetry) -> tuple[float, list[dict]]:
+    """Best-of-N wall time (noise floor), plus the event log of one run."""
+    times, events = [], []
+    for _ in range(REPEATS):
+        tel = make_telemetry()
+        times.append(_render(tel))
+        if tel is not None and tel.sinks:
+            events = tel.sinks[0].events
+    return min(times), events
+
+
+def test_telemetry_overhead_under_5_percent(results_dir):
+    base, _ = _best(lambda: None)
+    instrumented, events = _best(lambda: Telemetry(sinks=[InMemorySink()]))
+    n_events = len(events)
+    overhead = (instrumented - base) / base
+    lines = [
+        "telemetry overhead (stress scene, single-process engine)",
+        f"  workload           random_spheres {KW['n_frames']}f @ {KW['width']}x{KW['height']}",
+        f"  baseline           {base:.3f} s (best of {REPEATS})",
+        f"  instrumented       {instrumented:.3f} s (best of {REPEATS}, "
+        f"{n_events} events to in-memory sink)",
+        f"  overhead           {100.0 * overhead:+.2f} %",
+    ]
+    write_result(results_dir, "telemetry_overhead.txt", "\n".join(lines))
+    write_bench_json(
+        results_dir,
+        "telemetry_overhead",
+        {**metrics_from_events(events), "wall_time": instrumented},
+        extra={"baseline_wall_time": base, "overhead_pct": 100.0 * overhead},
+    )
+    assert n_events > 0
+    assert overhead < 0.05, f"telemetry overhead {100 * overhead:.1f}% exceeds the 5% budget"

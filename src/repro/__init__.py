@@ -21,20 +21,24 @@ Layered public API:
 * :mod:`repro.scenes` — the Newton and brick-room workloads.
 * :mod:`repro.bench` — Table-1 regeneration harness.
 
-Quickstart::
+* :mod:`repro.telemetry` — structured tracing/metrics spine shared by all
+  engines.
+* :mod:`repro.api` — the unified :func:`~repro.api.render` facade.
 
-    from repro.scenes import newton_animation
-    from repro.coherence import CoherentRenderer
+Quickstart (the unified API — same call drives the single-process engine,
+the real farm, and the Table-1 simulators)::
+
+    from repro.api import RenderRequest, render
     from repro.imageio import write_targa
 
-    anim = newton_animation(n_frames=10, width=160, height=120)
-    renderer = CoherentRenderer(anim)
-    for f in range(anim.n_frames):
-        report = renderer.render_next()
-        write_targa(f"newton{f:03d}.tga", renderer.frame_image())
-        print(f"frame {f}: recomputed {report.n_computed} pixels")
+    result = render(RenderRequest(workload="newton", n_frames=10,
+                                  engine="animation", telemetry=True))
+    for f in range(result.n_frames):
+        write_targa(f"newton{f:03d}.tga", result.frames[f])
+    print(result.stats.total, "rays,", len(result.events), "telemetry events")
 """
 
+from .api import RenderRequest, RenderResult, render
 from .coherence import CoherentRenderer, ShadowCoherentRenderer, validate_sequence
 from .pipeline import AnimationRender, render_animation
 from .geometry import Box, Cylinder, Disc, Plane, RayBatch, RayKind, Sphere, Triangle, TriangleMesh
@@ -79,6 +83,9 @@ __all__ = [
     "RayKind",
     "RayStats",
     "RayTracer",
+    "RenderRequest",
+    "RenderResult",
+    "render",
     "Scene",
     "SolidColor",
     "Sphere",

@@ -1,0 +1,386 @@
+"""Unified render API: one request, three engines, one telemetry spine.
+
+The reproduction grew three ways to turn an animation into pixels:
+
+* the **animation** engine (:mod:`repro.pipeline`) — single-process frame
+  coherence, the paper's extended POV-Ray renderer;
+* the **farm** (:mod:`repro.runtime`) — real master/worker parallelism with
+  crash/hang recovery and checkpoint-resume;
+* the **simulators** (:mod:`repro.parallel`) — the discrete-event NOW model
+  behind Table 1.
+
+:func:`render` dispatches a :class:`RenderRequest` to any of them and
+returns a :class:`RenderResult`.  All three paths thread the same
+:class:`~repro.telemetry.Telemetry` through, so a real farm run and a
+simulated run of the same workload emit telemetry with an identical
+schema — compare them with ``repro telemetry <run_dir>`` or
+:func:`repro.telemetry.report_from_events`.
+
+Example::
+
+    from repro.api import RenderRequest, render
+
+    result = render(RenderRequest(workload="newton", n_frames=8,
+                                  engine="farm", n_workers=4,
+                                  telemetry=True, events_path="run/"))
+    print(result.stats.total, "rays;", len(result.events), "events")
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from .render import RayStats
+from .scene import Animation
+from .telemetry import NULL as NULL_TELEMETRY
+from .telemetry import InMemorySink, JsonlSink, Telemetry
+
+__all__ = ["RenderRequest", "RenderResult", "render", "ENGINES", "SIM_STRATEGIES"]
+
+ENGINES = ("animation", "farm", "simulate")
+
+#: CLI/Request strategy names -> Table-1 simulator entry points (resolved lazily).
+SIM_STRATEGIES = (
+    "single",
+    "single-fc",
+    "frame-division-nofc",
+    "sequence-division-nofc",
+    "sequence-division-fc",
+    "frame-division-fc",
+    "hybrid-fc",
+    "frame-division-fc-ft",
+    "sequence-division-fc-ft",
+)
+
+_WORKLOAD_FACTORIES = {
+    "newton": "repro.scenes.newton:newton_animation",
+    "brick": "repro.scenes.brick_room:brick_room_animation",
+    "spheres": "repro.scenes.stress:random_spheres_animation",
+}
+
+
+@dataclass
+class RenderRequest:
+    """Everything the facade needs to run any engine.
+
+    Only the fields relevant to the chosen ``engine`` are consulted; the
+    rest keep their defaults harmlessly.
+    """
+
+    workload: Any = "newton"  # name, Animation, or runtime.AnimationSpec
+    engine: str = "animation"
+    n_frames: int = 8
+    width: int = 160
+    height: int = 120
+    grid_resolution: int = 24
+    samples_per_axis: int = 1
+    shadow_coherence: bool = False
+    chunk_size: int = 32768
+    on_frame: Callable | None = None
+
+    # farm (engine="farm")
+    mode: str = "frame"
+    n_workers: int | None = None
+    executor: str = "process"
+    max_attempts: int = 3
+    task_timeout: float | None = None
+    run_dir: str | Path | None = None
+    resume: str | Path | None = None
+    fault_plan: Any = None
+    verify: bool = False
+
+    # simulators (engine="simulate")
+    strategy: str = "sequence-division-fc"
+    machines: list | None = None  # default: cluster.ncsu_testbed()
+    oracle: Any = None  # AnimationCostOracle, or a saved-oracle path
+    sec_per_work_unit: float = 1e-4
+    failures: list[tuple[str, float]] | None = None
+    worker_timeout: float | None = None
+
+    # telemetry / profiling
+    telemetry: Any = False  # bool, or a ready-made Telemetry instance
+    events_path: str | Path | None = None  # JSONL file or directory
+    profile_dir: str | Path | None = None
+
+
+@dataclass
+class RenderResult:
+    """Engine-independent result envelope.
+
+    ``frames``/``stats``/``reports`` are populated by the real engines;
+    ``outcome`` carries the :class:`~repro.parallel.SimulationOutcome` for
+    ``engine="simulate"``.  ``events`` holds the telemetry records captured
+    during the run (empty unless telemetry was requested).
+    """
+
+    engine: str
+    workload: str
+    n_frames: int
+    wall_time: float
+    frames: np.ndarray | None = None
+    stats: RayStats | None = None
+    mode: str = ""
+    reports: list = field(default_factory=list)
+    sequences: list = field(default_factory=list)
+    per_sequence_stats: list = field(default_factory=list)
+    shadow_rays_saved: int = 0
+    n_tasks: int = 0
+    n_workers: int = 1
+    recovery: dict = field(default_factory=dict)
+    n_from_checkpoint: int = 0
+    bit_identical: bool | None = None
+    outcome: Any = None
+    events: list = field(default_factory=list)
+    events_path: Path | None = None
+
+    def total_computed_pixels(self) -> int:
+        return sum(r.n_computed for r in self.reports)
+
+    def total_copied_pixels(self) -> int:
+        return sum(r.n_copied for r in self.reports)
+
+
+# -- request resolution ----------------------------------------------------------
+def _resolve_workload(req: RenderRequest):
+    """Return ``(label, spec_or_None, animation_or_None)``.
+
+    The animation is built lazily by callers that need it; the farm engine
+    requires a picklable spec (a name or an AnimationSpec), not a live
+    Animation object.
+    """
+    from .runtime import AnimationSpec
+
+    w = req.workload
+    if isinstance(w, str):
+        try:
+            factory = _WORKLOAD_FACTORIES[w]
+        except KeyError:
+            raise ValueError(
+                f"unknown workload {w!r}; expected one of {sorted(_WORKLOAD_FACTORIES)} "
+                "or an Animation/AnimationSpec"
+            ) from None
+        spec = AnimationSpec(
+            factory,
+            {"n_frames": req.n_frames, "width": req.width, "height": req.height},
+        )
+        return w, spec, None
+    if isinstance(w, AnimationSpec):
+        return w.factory, w, None
+    if isinstance(w, Animation):
+        if req.engine == "farm":
+            raise ValueError(
+                "engine='farm' needs a workload name or AnimationSpec "
+                "(workers rebuild the animation from a picklable recipe)"
+            )
+        return type(w).__name__, None, w
+    raise TypeError(f"workload must be str, Animation or AnimationSpec, not {type(w).__name__}")
+
+
+def _setup_telemetry(req: RenderRequest):
+    """Return ``(telemetry, memory_sink, jsonl_path, owned)``."""
+    if isinstance(req.telemetry, Telemetry):
+        return req.telemetry, None, None, False
+    want = bool(req.telemetry) or req.events_path is not None
+    if not want:
+        return NULL_TELEMETRY, None, None, False
+    target = req.events_path
+    if target is None:
+        target = req.run_dir if req.run_dir is not None else req.resume
+    mem = InMemorySink()
+    sinks = [mem]
+    jsonl_path = None
+    if target is not None:
+        jsonl_path = Path(target)
+        if jsonl_path.suffix != ".jsonl":
+            jsonl_path = jsonl_path / "events.jsonl"
+        jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+        sinks.append(JsonlSink(jsonl_path))
+    return Telemetry(sinks=sinks), mem, jsonl_path, True
+
+
+# -- engine dispatch -------------------------------------------------------------
+def _run_animation(req: RenderRequest, tel, label, spec, anim) -> RenderResult:
+    from .pipeline import _render_animation
+
+    if anim is None:
+        anim = spec.build()
+    t0 = time.perf_counter()
+    out = _render_animation(
+        anim,
+        grid_resolution=req.grid_resolution,
+        shadow_coherence=req.shadow_coherence,
+        samples_per_axis=req.samples_per_axis,
+        chunk_size=req.chunk_size,
+        on_frame=req.on_frame,
+        telemetry=tel,
+        workload=label,
+    )
+    return RenderResult(
+        engine="animation",
+        workload=label,
+        n_frames=out.n_frames,
+        wall_time=time.perf_counter() - t0,
+        frames=out.frames,
+        stats=out.stats,
+        mode="shadow-coherent" if req.shadow_coherence else "coherent",
+        reports=out.reports,
+        sequences=out.sequences,
+        per_sequence_stats=out.per_sequence_stats,
+        shadow_rays_saved=out.shadow_rays_saved,
+        n_tasks=len(out.sequences),
+    )
+
+
+def _run_farm(req: RenderRequest, tel, label, spec) -> RenderResult:
+    from .runtime import LocalRenderFarm
+
+    farm = LocalRenderFarm(
+        spec,
+        n_workers=req.n_workers,
+        mode=req.mode,
+        executor=req.executor,
+        grid_resolution=req.grid_resolution,
+        samples_per_axis=req.samples_per_axis,
+        max_attempts=req.max_attempts,
+        task_timeout=req.task_timeout,
+        fault_plan=req.fault_plan,
+        telemetry=tel,
+        profile_dir=req.profile_dir,
+    )
+    t0 = time.perf_counter()
+    out = farm.render(run_dir=req.run_dir, resume=req.resume)
+    wall = time.perf_counter() - t0
+    identical = None
+    if req.verify:
+        reference = farm.render_reference()
+        identical = bool(np.array_equal(out.frames, reference.frames))
+    recovery = {
+        "retries": out.n_retries,
+        "timeouts": out.n_timeouts,
+        "crashes": out.n_crashes,
+        "invalid": out.n_invalid,
+        "degraded": out.n_degraded,
+    }
+    return RenderResult(
+        engine="farm",
+        workload=label,
+        n_frames=out.n_frames,
+        wall_time=wall,
+        frames=out.frames,
+        stats=out.stats,
+        mode=out.mode,
+        n_tasks=out.n_tasks,
+        n_workers=farm.n_workers,
+        recovery=recovery,
+        n_from_checkpoint=out.n_from_checkpoint,
+        bit_identical=identical,
+    )
+
+
+def _run_simulate(req: RenderRequest, tel, label, spec, anim) -> RenderResult:
+    from .cluster import ncsu_testbed
+    from .parallel import (
+        AnimationCostOracle,
+        build_oracle,
+        simulate_frame_division_fc,
+        simulate_frame_division_fc_fault_tolerant,
+        simulate_frame_division_nofc,
+        simulate_hybrid_fc,
+        simulate_sequence_division_fc,
+        simulate_sequence_division_fc_fault_tolerant,
+        simulate_sequence_division_nofc,
+        simulate_single_processor,
+    )
+
+    oracle = req.oracle
+    if isinstance(oracle, (str, Path)):
+        oracle = AnimationCostOracle.load(oracle)
+    elif oracle is None:
+        if anim is None:
+            anim = spec.build()
+        oracle = build_oracle(anim, grid_resolution=req.grid_resolution)
+    machines = req.machines if req.machines is not None else ncsu_testbed()
+    if not machines:
+        raise ValueError("engine='simulate' needs at least one machine")
+
+    common = {"sec_per_work_unit": req.sec_per_work_unit, "telemetry": tel}
+    ft = {"failures": req.failures, "worker_timeout": req.worker_timeout}
+    dispatch = {
+        "single": lambda: simulate_single_processor(oracle, machines[0], **common),
+        "single-fc": lambda: simulate_single_processor(
+            oracle, machines[0], use_coherence=True, **common
+        ),
+        "frame-division-nofc": lambda: simulate_frame_division_nofc(
+            oracle, machines, **common
+        ),
+        "sequence-division-nofc": lambda: simulate_sequence_division_nofc(
+            oracle, machines, **common
+        ),
+        "sequence-division-fc": lambda: simulate_sequence_division_fc(
+            oracle, machines, **common
+        ),
+        "frame-division-fc": lambda: simulate_frame_division_fc(oracle, machines, **common),
+        "hybrid-fc": lambda: simulate_hybrid_fc(oracle, machines, **common),
+        "frame-division-fc-ft": lambda: simulate_frame_division_fc_fault_tolerant(
+            oracle, machines, **common, **ft
+        ),
+        "sequence-division-fc-ft": lambda: simulate_sequence_division_fc_fault_tolerant(
+            oracle, machines, **common, **ft
+        ),
+    }
+    try:
+        run = dispatch[req.strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {req.strategy!r}; expected one of {list(SIM_STRATEGIES)}"
+        ) from None
+    t0 = time.perf_counter()
+    outcome = run()
+    return RenderResult(
+        engine="simulate",
+        workload=label,
+        n_frames=oracle.n_frames,
+        wall_time=time.perf_counter() - t0,
+        mode=req.strategy,
+        n_tasks=0,
+        n_workers=len(machines) if not req.strategy.startswith("single") else 1,
+        outcome=outcome,
+    )
+
+
+def render(request: RenderRequest | None = None, /, **kwargs) -> RenderResult:
+    """Run ``request`` on its chosen engine and return a :class:`RenderResult`.
+
+    Accepts either a prebuilt :class:`RenderRequest`, keyword arguments for
+    one, or both (keywords override request fields)::
+
+        render(workload="brick", engine="animation", n_frames=4)
+    """
+    if request is None:
+        request = RenderRequest(**kwargs)
+    elif kwargs:
+        request = replace(request, **kwargs)
+    if request.engine not in ENGINES:
+        raise ValueError(f"unknown engine {request.engine!r}; expected one of {ENGINES}")
+
+    label, spec, anim = _resolve_workload(request)
+    tel, mem, jsonl_path, owned = _setup_telemetry(request)
+    try:
+        if request.engine == "animation":
+            result = _run_animation(request, tel, label, spec, anim)
+        elif request.engine == "farm":
+            result = _run_farm(request, tel, label, spec)
+        else:
+            result = _run_simulate(request, tel, label, spec, anim)
+    finally:
+        if owned:
+            tel.close()
+    if mem is not None:
+        result.events = list(mem.events)
+    result.events_path = jsonl_path
+    return result

@@ -6,12 +6,15 @@
     python -m repro animate newton --frames 12 --out frames/
     python -m repro validate brick --frames 4
     python -m repro table1 --width 96 --height 72 --frames 10
-    python -m repro farm newton --workers 4 --mode frame
+    python -m repro farm newton --workers 4 --mode frame --telemetry run/
+    python -m repro simulate newton --strategy frame-division-fc
+    python -m repro telemetry run/
 
 The subcommands mirror the workflow of the paper's system: render scene
 descriptions, render animations with frame coherence, check the algorithm's
-exactness, regenerate the headline table, and run the real master/worker
-farm.
+exactness, regenerate the headline table, run the real master/worker farm or
+a Table-1 simulator (both through :func:`repro.api.render`), and render a
+Table-1-style report from a run's telemetry log alone.
 """
 
 from __future__ import annotations
@@ -20,8 +23,6 @@ import argparse
 import sys
 import time
 from pathlib import Path
-
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 
@@ -69,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_size_args(p_anim)
     p_anim.add_argument("--out", type=Path, default=Path("frames"))
     p_anim.add_argument("--shadow-coherence", action="store_true")
+    p_anim.add_argument(
+        "--telemetry", type=Path, default=None, metavar="DIR",
+        help="write structured telemetry (events.jsonl) to DIR",
+    )
 
     p_val = sub.add_parser("validate", help="check exactness/conservativeness of the algorithm")
     p_val.add_argument("workload", choices=_WORKLOADS)
@@ -101,6 +106,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", type=Path, default=None, metavar="DIR",
         help="resume from a previous --run-dir, re-executing only unfinished tasks",
     )
+    p_farm.add_argument(
+        "--telemetry", type=Path, default=None, metavar="DIR",
+        help="write structured telemetry (events.jsonl) to DIR "
+             "(defaults to --run-dir when one is given)",
+    )
+    p_farm.add_argument(
+        "--profile", type=Path, default=None, metavar="DIR",
+        help="cProfile each worker task into DIR/*.prof (merge with "
+             "repro.telemetry.merge_profiles)",
+    )
+
+    p_sim = sub.add_parser(
+        "simulate", help="run one Table-1 strategy on the discrete-event NOW simulator"
+    )
+    p_sim.add_argument("workload", choices=_WORKLOADS)
+    _add_size_args(p_sim)
+    from .api import SIM_STRATEGIES
+
+    p_sim.add_argument(
+        "--strategy", choices=SIM_STRATEGIES, default="sequence-division-fc"
+    )
+    p_sim.add_argument(
+        "--oracle", type=Path, default=None, metavar="NPZ",
+        help="reuse a saved cost oracle instead of measuring one",
+    )
+    p_sim.add_argument(
+        "--telemetry", type=Path, default=None, metavar="DIR",
+        help="write structured telemetry (events.jsonl) to DIR",
+    )
+
+    p_tel = sub.add_parser(
+        "telemetry", help="render a Table-1-style report from a run's events.jsonl"
+    )
+    p_tel.add_argument(
+        "run_dir", type=Path,
+        help="a run directory containing events.jsonl, or the .jsonl file itself",
+    )
+    p_tel.add_argument(
+        "--per-frame", action="store_true", help="include the per-frame table"
+    )
 
     p_oracle = sub.add_parser(
         "oracle", help="measure per-pixel costs and print coherence analytics"
@@ -127,10 +172,9 @@ def _cmd_render(args) -> int:
 
 
 def _cmd_animate(args) -> int:
+    from .api import render
     from .imageio import write_targa
-    from .pipeline import render_animation
 
-    anim = _make_animation(args.workload, args.frames, args.width, args.height)
     args.out.mkdir(parents=True, exist_ok=True)
 
     def on_frame(f, report, image):
@@ -140,20 +184,27 @@ def _cmd_animate(args) -> int:
             f"{report.stats.total:8d} rays"
         )
 
-    t0 = time.perf_counter()
-    result = render_animation(
-        anim,
+    result = render(
+        workload=args.workload,
+        engine="animation",
+        n_frames=args.frames,
+        width=args.width,
+        height=args.height,
         grid_resolution=args.grid,
         shadow_coherence=args.shadow_coherence,
         on_frame=on_frame,
+        telemetry=args.telemetry is not None,
+        events_path=args.telemetry,
     )
     print(
-        f"\n{result.n_frames} frames in {time.perf_counter() - t0:.1f}s, "
+        f"\n{result.n_frames} frames in {result.wall_time:.1f}s, "
         f"{result.stats.total:,} rays, "
         f"{result.total_copied_pixels():,} pixel-renders avoided"
     )
     if args.shadow_coherence:
         print(f"shadow rays saved by the extension: {result.shadow_rays_saved:,}")
+    if result.events_path is not None:
+        print(f"telemetry in {result.events_path}")
     print(f"frames in {args.out}/")
     return 0
 
@@ -189,41 +240,86 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_farm(args) -> int:
-    from .runtime import AnimationSpec, LocalRenderFarm
+    from .api import render
 
-    spec = (
-        AnimationSpec.newton(n_frames=args.frames, width=args.width, height=args.height)
-        if args.workload == "newton"
-        else AnimationSpec.brick_room(n_frames=args.frames, width=args.width, height=args.height)
-    )
-    farm = LocalRenderFarm(
-        spec,
+    result = render(
+        workload=args.workload,
+        engine="farm",
+        n_frames=args.frames,
+        width=args.width,
+        height=args.height,
+        grid_resolution=args.grid,
         n_workers=args.workers,
         mode=args.mode,
         executor=args.executor,
-        grid_resolution=args.grid,
         max_attempts=args.max_attempts,
         task_timeout=args.task_timeout,
+        run_dir=args.run_dir,
+        resume=args.resume,
+        verify=True,
+        telemetry=any(d is not None for d in (args.telemetry, args.run_dir, args.resume)),
+        events_path=args.telemetry,
+        profile_dir=args.profile,
     )
-    t0 = time.perf_counter()
-    result = farm.render(run_dir=args.run_dir, resume=args.resume)
-    dt = time.perf_counter() - t0
-    reference = farm.render_reference()
-    identical = np.array_equal(result.frames, reference.frames)
+    rec = result.recovery
     print(
-        f"{args.mode} division: {result.n_tasks} tasks on {args.workers} workers in {dt:.1f}s, "
-        f"{result.stats.total:,} rays"
+        f"{args.mode} division: {result.n_tasks} tasks on {args.workers} workers "
+        f"in {result.wall_time:.1f}s, {result.stats.total:,} rays"
     )
     if result.n_from_checkpoint:
         print(f"resumed: {result.n_from_checkpoint}/{result.n_tasks} tasks from checkpoint")
-    if result.n_retries or result.n_timeouts or result.n_degraded:
+    if rec["retries"] or rec["timeouts"] or rec["degraded"]:
         print(
-            f"recovery: {result.n_retries} retries, {result.n_timeouts} timeouts, "
-            f"{result.n_crashes} crashes, {result.n_invalid} invalid results, "
-            f"{result.n_degraded} degraded to serial"
+            f"recovery: {rec['retries']} retries, {rec['timeouts']} timeouts, "
+            f"{rec['crashes']} crashes, {rec['invalid']} invalid results, "
+            f"{rec['degraded']} degraded to serial"
         )
-    print(f"bit-identical to single-renderer reference: {identical}")
-    return 0 if identical else 1
+    if result.events_path is not None:
+        print(f"telemetry in {result.events_path}")
+    print(f"bit-identical to single-renderer reference: {result.bit_identical}")
+    return 0 if result.bit_identical else 1
+
+
+def _cmd_simulate(args) -> int:
+    from .api import render
+
+    if args.oracle is None:
+        print("measuring per-pixel costs (renders the animation twice)...")
+    result = render(
+        workload=args.workload,
+        engine="simulate",
+        n_frames=args.frames,
+        width=args.width,
+        height=args.height,
+        grid_resolution=args.grid,
+        strategy=args.strategy,
+        oracle=args.oracle,
+        telemetry=args.telemetry is not None,
+        events_path=args.telemetry,
+    )
+    o = result.outcome
+    print(
+        f"{o.strategy}: {o.n_frames} frames on {result.n_workers} machines in "
+        f"{o.total_time:,.1f} virtual seconds"
+    )
+    print(
+        f"{o.total_rays:,} rays, {o.n_messages} messages, "
+        f"{o.bytes_on_wire:,} bytes on the wire, {o.n_chain_starts} chain starts"
+    )
+    if result.events_path is not None:
+        print(f"telemetry in {result.events_path}")
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    from .telemetry import format_report, read_events, report_from_events
+
+    events = read_events(args.run_dir)
+    if not events:
+        print(f"no telemetry events in {args.run_dir}")
+        return 1
+    print(format_report(report_from_events(events), per_frame=args.per_frame))
+    return 0
 
 
 def _cmd_oracle(args) -> int:
@@ -250,6 +346,8 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "table1": _cmd_table1,
         "farm": _cmd_farm,
+        "simulate": _cmd_simulate,
+        "telemetry": _cmd_telemetry,
         "oracle": _cmd_oracle,
     }
     return handlers[args.command](args)

@@ -33,10 +33,11 @@ from ..accel import UniformGrid
 from ..render import Framebuffer, RayStats, RayTracer
 from ..rmath import AABB, union
 from ..scene import Animation
+from ..telemetry import NULL as NULL_TELEMETRY
 from .change_detection import changed_voxels
 from .voxel_pixel_map import VoxelPixelMap
 
-__all__ = ["CoherentRenderer", "FrameReport", "grid_for_animation"]
+__all__ = ["CoherentRenderer", "FrameReport", "grid_for_animation", "emit_frame_telemetry"]
 
 
 def grid_for_animation(animation: Animation, resolution: int | tuple[int, int, int] = 16) -> UniformGrid:
@@ -64,11 +65,41 @@ class FrameReport:
     n_changed_voxels: int
     wall_time: float
     map_entries: int = 0
+    n_intersection_tests: int = 0
 
     @property
     def computed_fraction(self) -> float:
         total = self.n_computed + self.n_copied
         return self.n_computed / total if total else 0.0
+
+
+def emit_frame_telemetry(telemetry, report: FrameReport) -> None:
+    """Emit the canonical ``frame`` event (plus the coherence detail event)
+    for one completed frame — the shape is pinned by
+    :mod:`repro.telemetry.schema` so real and simulated runs stay
+    comparable."""
+    if not telemetry.enabled:
+        return
+    s = report.stats
+    telemetry.event(
+        "frame",
+        frame=report.frame,
+        n_computed=report.n_computed,
+        n_copied=report.n_copied,
+        rays_camera=s.camera,
+        rays_reflected=s.reflected,
+        rays_refracted=s.refracted,
+        rays_shadow=s.shadow,
+        rays_total=s.total,
+    )
+    telemetry.event(
+        "coherence.frame",
+        frame=report.frame,
+        n_changed_voxels=report.n_changed_voxels,
+        map_entries=report.map_entries,
+        n_intersection_tests=report.n_intersection_tests,
+    )
+    telemetry.counter("intersect.tests", report.n_intersection_tests)
 
 
 @dataclass
@@ -99,6 +130,11 @@ class CoherentRenderer:
     first_frame, last_frame:
         Half-open frame range rendered by this instance (sequence division
         gives each worker such a range).  Defaults to the whole animation.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; each completed frame
+        emits the canonical ``frame`` event plus a ``coherence.frame``
+        detail event (changed voxels, pixel-list entries, intersection
+        tests).  Defaults to the shared disabled instance.
     """
 
     def __init__(
@@ -111,8 +147,10 @@ class CoherentRenderer:
         chunk_size: int = 32768,
         first_frame: int = 0,
         last_frame: int | None = None,
+        telemetry=None,
     ):
         self.animation = animation
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.grid = grid if grid is not None else grid_for_animation(animation, grid_resolution)
         self.samples_per_axis = int(samples_per_axis)
         self.chunk_size = int(chunk_size)
@@ -205,10 +243,12 @@ class CoherentRenderer:
             stats = result.stats
             rays_pp = result.rays_per_pixel
             computed = result.pixel_ids
+            n_tests = result.n_intersection_tests
         else:
             stats = RayStats()
             rays_pp = np.empty(0, dtype=np.int64)
             computed = np.empty(0, dtype=np.int64)
+            n_tests = 0
 
         report = FrameReport(
             frame=frame,
@@ -220,10 +260,12 @@ class CoherentRenderer:
             n_changed_voxels=n_changed_vox,
             wall_time=time.perf_counter() - t0,
             map_entries=state.pixel_map.n_entries,
+            n_intersection_tests=n_tests,
         )
         state.reports.append(report)
         state.prev_scene = scene
         state.next_frame = frame + 1
+        emit_frame_telemetry(self.telemetry, report)
         return report
 
     def run(self) -> list[FrameReport]:

@@ -34,8 +34,9 @@ import numpy as np
 from ..accel import UniformGrid
 from ..render import Framebuffer, RayStats, RayTracer, ShadowCache
 from ..scene import Animation
+from ..telemetry import NULL as NULL_TELEMETRY
 from .change_detection import changed_voxels
-from .engine import FrameReport, grid_for_animation
+from .engine import FrameReport, emit_frame_telemetry, grid_for_animation
 from .voxel_pixel_map import VoxelPixelMap
 
 __all__ = ["ShadowCoherentRenderer", "ShadowFrameReport"]
@@ -66,8 +67,10 @@ class ShadowCoherentRenderer:
         chunk_size: int = 32768,
         first_frame: int = 0,
         last_frame: int | None = None,
+        telemetry=None,
     ):
         self.animation = animation
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.grid = grid if grid is not None else grid_for_animation(animation, grid_resolution)
         self.chunk_size = int(chunk_size)
         self.first_frame = int(first_frame)
@@ -170,10 +173,12 @@ class ShadowCoherentRenderer:
             stats = result.stats
             rays_pp = result.rays_per_pixel
             computed = result.pixel_ids
+            n_tests = result.n_intersection_tests
         else:
             stats = RayStats()
             rays_pp = np.empty(0, dtype=np.int64)
             computed = np.empty(0, dtype=np.int64)
+            n_tests = 0
 
         report = ShadowFrameReport(
             frame=frame,
@@ -187,12 +192,22 @@ class ShadowCoherentRenderer:
             map_entries=self.map_camera.n_entries
             + self.map_pshadow.n_entries
             + self.map_secondary.n_entries,
+            n_intersection_tests=n_tests,
             n_shadow_reusable=int(reusable.size),
             shadow_rays_saved=self.shadow_cache.rays_saved - saved_before,
         )
         self.reports.append(report)
         self._prev_scene = scene
         self._next_frame = frame + 1
+        emit_frame_telemetry(self.telemetry, report)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "shadow.frame",
+                frame=frame,
+                n_shadow_reusable=report.n_shadow_reusable,
+                shadow_rays_saved=report.shadow_rays_saved,
+            )
+            self.telemetry.counter("shadowcache.rays_saved", report.shadow_rays_saved)
         return report
 
     def run(self) -> list[ShadowFrameReport]:

@@ -35,7 +35,14 @@ from .config import RenderFarmConfig
 from .oracle import AnimationCostOracle
 from .outcome import SimulationOutcome
 from .partition import PixelRegion, sequence_ranges
-from .strategies import _Chain, _outcome, _RunAccounting, _spawn_farm, default_blocks
+from .strategies import (
+    _Chain,
+    _outcome,
+    _RunAccounting,
+    _SimTelemetry,
+    _spawn_farm,
+    default_blocks,
+)
 
 __all__ = [
     "simulate_frame_division_fc_fault_tolerant",
@@ -81,6 +88,7 @@ def _ft_master_factory(
     initial_chains: list[_Chain],
     worker_timeout: float,
     blocks_per_frame: int,
+    sim_tel: _SimTelemetry | None = None,
 ):
     """Deadline-supervised master shared by both fault-tolerant strategies.
 
@@ -129,6 +137,10 @@ def _ft_master_factory(
                 "ws_mb": cfg.fc_working_set_mb(size_of(chain.region_index)),
                 "reply_bytes": cfg.result_bytes(max(n_computed, 1)),
             }
+            if sim_tel is not None:
+                sim_tel.on_dispatch(
+                    payload, f, size_of(chain.region_index), rays, n_computed, pvm.sim.now
+                )
             chain.next_frame += 1
             chain.fresh = False
             return payload
@@ -167,6 +179,8 @@ def _ft_master_factory(
                     # the frame that was in flight.
                     dead.add(tid)
                     acct.n_steals += 1  # recorded as recovery events
+                    if sim_tel is not None:
+                        sim_tel.recovery("deadline", chain.region_index, worker_timeout)
                     chain.fresh = True
                     chain.next_frame = frame
                     supply.append(chain)
@@ -186,6 +200,8 @@ def _ft_master_factory(
             msg = yield Recv(tag="done", timeout=timeout / 2.0)
             now = pvm.sim.now
             if msg is not None and msg.src not in dead:
+                if sim_tel is not None:
+                    sim_tel.on_done(msg.src, msg.payload, now)
                 key = (msg.payload["region"], msg.payload["frame"])
                 if key not in completed:
                     completed.add(key)
@@ -195,6 +211,8 @@ def _ft_master_factory(
                         if cfg.write_frames:
                             yield WriteFile(frame_bytes)
                         acct.frame_done_at[f] = pvm.sim.now
+                        if sim_tel is not None:
+                            sim_tel.frame_done(f)
                 # The sender is alive and hungry regardless of duplication.
                 info = assigned.pop(msg.src, None)
                 c = info[0] if info is not None and info[0].remaining > 0 else None
@@ -242,6 +260,7 @@ def simulate_frame_division_fc_fault_tolerant(
     failures: list[tuple[str, float]] | None = None,
     worker_timeout: float | None = None,
     trace: bool = False,
+    telemetry=None,
     **ethernet_kwargs,
 ) -> SimulationOutcome:
     """Frame division + FC with deadline-based failure recovery.
@@ -259,16 +278,19 @@ def simulate_frame_division_fc_fault_tolerant(
             oracle, machines, cfg, sec_per_work_unit, thrash, regions
         )
     chains = [_Chain(ri, 0, oracle.n_frames, True) for ri in range(len(regions))]
+    sim_tel = _SimTelemetry(telemetry, oracle, "frame-division+fc+ft")
     factory = _ft_master_factory(
-        oracle, cfg, regions, chains, worker_timeout, blocks_per_frame=len(regions)
+        oracle, cfg, regions, chains, worker_timeout, blocks_per_frame=len(regions),
+        sim_tel=sim_tel,
     )
     pvm, acct = _spawn_farm(
-        machines, sec_per_work_unit, thrash, factory, trace=trace, **ethernet_kwargs
+        machines, sec_per_work_unit, thrash, factory, trace=trace, sim_tel=sim_tel,
+        **ethernet_kwargs,
     )
     for machine_name, at in failures or []:
         pvm.fail_machine(machine_name, at)
     end = pvm.run()
-    return _outcome("frame-division+fc+ft", oracle, pvm, acct, end)
+    return _outcome("frame-division+fc+ft", oracle, pvm, acct, end, sim_tel=sim_tel)
 
 
 def simulate_sequence_division_fc_fault_tolerant(
@@ -280,6 +302,7 @@ def simulate_sequence_division_fc_fault_tolerant(
     failures: list[tuple[str, float]] | None = None,
     worker_timeout: float | None = None,
     trace: bool = False,
+    telemetry=None,
     **ethernet_kwargs,
 ) -> SimulationOutcome:
     """Sequence division + FC with the same deadline-based recovery.
@@ -299,13 +322,15 @@ def simulate_sequence_division_fc_fault_tolerant(
     weights = [m.speed / th.slowdown(ws, m.memory_mb) for m in machines]
     ranges = sequence_ranges(oracle.n_frames, len(machines), weights=weights)
     chains = [_Chain(0, a, b, True) for a, b in ranges]
+    sim_tel = _SimTelemetry(telemetry, oracle, "sequence-division+fc+ft")
     factory = _ft_master_factory(
-        oracle, cfg, None, chains, worker_timeout, blocks_per_frame=1
+        oracle, cfg, None, chains, worker_timeout, blocks_per_frame=1, sim_tel=sim_tel
     )
     pvm, acct = _spawn_farm(
-        machines, sec_per_work_unit, thrash, factory, trace=trace, **ethernet_kwargs
+        machines, sec_per_work_unit, thrash, factory, trace=trace, sim_tel=sim_tel,
+        **ethernet_kwargs,
     )
     for machine_name, at in failures or []:
         pvm.fail_machine(machine_name, at)
     end = pvm.run()
-    return _outcome("sequence-division+fc+ft", oracle, pvm, acct, end)
+    return _outcome("sequence-division+fc+ft", oracle, pvm, acct, end, sim_tel=sim_tel)

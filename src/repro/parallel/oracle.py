@@ -27,6 +27,7 @@ from pathlib import Path
 import numpy as np
 
 from ..coherence import CoherentRenderer, grid_for_animation
+from ..geometry import RayKind
 from ..render import RayTracer
 from ..scene import Animation
 
@@ -43,6 +44,10 @@ class AnimationCostOracle:
     full_cost: np.ndarray  # (n_frames, n_pixels) int32, rays per pixel
     dirty_sets: list[np.ndarray]  # dirty_sets[0] is empty; [f] = recompute set for f>=1
     grid_resolution: int
+    #: Optional (n_frames, n_kinds) whole-frame ray counts by RayKind from the
+    #: full pass.  Region subsets split a frame's total proportionally by the
+    #: frame's kind mix — a modeled estimate, enough for comparable telemetry.
+    full_kind_counts: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         self.full_cost = np.asarray(self.full_cost, dtype=np.int32)
@@ -50,6 +55,10 @@ class AnimationCostOracle:
             raise ValueError("full_cost shape mismatch")
         if len(self.dirty_sets) != self.n_frames:
             raise ValueError("need one dirty set per frame")
+        if self.full_kind_counts is not None:
+            self.full_kind_counts = np.asarray(self.full_kind_counts, dtype=np.int64)
+            if self.full_kind_counts.ndim != 2 or self.full_kind_counts.shape[0] != self.n_frames:
+                raise ValueError("full_kind_counts shape mismatch")
 
     @property
     def n_pixels(self) -> int:
@@ -90,6 +99,26 @@ class AnimationCostOracle:
         """Rays of a single full-frame coherence chain over the animation."""
         return self.chain_rays(0, self.n_frames)
 
+    def kind_counts(self, frame: int, rays: int | None = None) -> np.ndarray | None:
+        """By-kind ray counts for ``frame``, or ``None`` for old oracles.
+
+        With ``rays`` given (a region/coherent subtotal), the frame's total
+        is rescaled to that many rays while keeping the frame's kind mix —
+        the proportional-split estimate used by the simulators' telemetry.
+        """
+        if self.full_kind_counts is None:
+            return None
+        row = self.full_kind_counts[frame]
+        if rays is None:
+            return row.copy()
+        total = int(row.sum())
+        if total <= 0 or rays <= 0:
+            return np.zeros_like(row)
+        scaled = np.floor(row * (rays / total)).astype(np.int64)
+        # Put the rounding remainder on camera rays so the total is exact.
+        scaled[0] += rays - int(scaled.sum())
+        return scaled
+
     def mean_dirty_fraction(self) -> float:
         if self.n_frames < 2:
             return 0.0
@@ -99,6 +128,9 @@ class AnimationCostOracle:
 
     # -- persistence ---------------------------------------------------------
     def save(self, path: str | Path) -> None:
+        extra = {}
+        if self.full_kind_counts is not None:
+            extra["full_kind_counts"] = self.full_kind_counts
         np.savez_compressed(
             path,
             width=self.width,
@@ -106,6 +138,7 @@ class AnimationCostOracle:
             n_frames=self.n_frames,
             full_cost=self.full_cost,
             grid_resolution=self.grid_resolution,
+            **extra,
             **{f"dirty_{f}": self.dirty_sets[f] for f in range(self.n_frames)},
         )
 
@@ -120,6 +153,7 @@ class AnimationCostOracle:
                 full_cost=z["full_cost"],
                 dirty_sets=[z[f"dirty_{f}"].astype(np.int64) for f in range(n_frames)],
                 grid_resolution=int(z["grid_resolution"]),
+                full_kind_counts=z["full_kind_counts"] if "full_kind_counts" in z else None,
             )
 
 
@@ -133,6 +167,7 @@ def build_oracle(
     cam = animation.camera_at(0)
     n_pixels = cam.n_pixels
     full_cost = np.zeros((animation.n_frames, n_pixels), dtype=np.int32)
+    full_kind_counts = np.zeros((animation.n_frames, len(RayKind)), dtype=np.int64)
 
     grid = grid_for_animation(animation, grid_resolution)
     coherent = CoherentRenderer(animation, grid=grid, chunk_size=chunk_size)
@@ -147,6 +182,7 @@ def build_oracle(
         tracer = RayTracer(scene, chunk_size=chunk_size)
         result = tracer.trace_pixels(cam.pixel_grid())
         full_cost[f] = result.rays_per_pixel
+        full_kind_counts[f] = result.stats.counts
         if verbose:  # pragma: no cover - console aid
             print(
                 f"oracle frame {f}: dirty={report.n_computed} "
@@ -161,4 +197,5 @@ def build_oracle(
         full_cost=full_cost,
         dirty_sets=dirty_sets,
         grid_resolution=res,
+        full_kind_counts=full_kind_counts,
     )

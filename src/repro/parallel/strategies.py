@@ -34,6 +34,8 @@ import numpy as np
 
 from ..cluster import Compute, Machine, Recv, Send, ThrashModel, VirtualPVM, WriteFile
 from ..imageio import targa_nbytes
+from ..telemetry import NULL as NULL_TELEMETRY
+from ..telemetry import VirtualClock
 from .config import RenderFarmConfig
 from .oracle import AnimationCostOracle
 from .outcome import SimulationOutcome
@@ -62,6 +64,141 @@ def default_blocks(oracle: AnimationCostOracle) -> list[PixelRegion]:
 
 
 # -- shared plumbing ----------------------------------------------------------
+class _SimTelemetry:
+    """Bridges a strategy replay onto the pinned telemetry schema.
+
+    Spans and events carry *virtual* timestamps (the telemetry clock is
+    rebound to ``pvm.sim.now`` once the farm exists), but their names and
+    attribute keys are exactly those of a real farm run — the property the
+    schema-equality acceptance test pins down.  Masters stamp dispatch
+    metadata into the task payload (``_t0``/``_rays``/...): payload contents
+    don't affect the modeled message size (``reply_bytes`` is explicit), and
+    the echo-back of the payload is what lets the master close the span.
+    """
+
+    def __init__(self, telemetry, oracle: AnimationCostOracle, mode: str):
+        self.tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.enabled = self.tel.enabled
+        self.oracle = oracle
+        self.mode = mode
+        self.names: dict[int, str] = {}  # worker tid -> machine name
+        self.tasks_of: dict[str, int] = {}
+        self.frame_rays: dict[int, int] = {}
+        self.frame_computed: dict[int, int] = {}
+        self.kind_totals = np.zeros(4, dtype=np.int64)
+        self.rays_total = 0
+        self.computed_pixels = 0
+        self.copied_pixels = 0
+        self.n_tasks = 0
+
+    def bind(self, pvm: VirtualPVM, machines: list[Machine], worker_tids: list[int]) -> None:
+        if not self.enabled:
+            return
+        self.tel.use_clock(VirtualClock(lambda: pvm.sim.now))
+        self.names = {tid: m.name for tid, m in zip(worker_tids, machines)}
+        self.tel.event(
+            "run.start",
+            engine="sim",
+            workload="oracle",
+            n_frames=self.oracle.n_frames,
+            width=self.oracle.width,
+            height=self.oracle.height,
+            n_workers=len(machines) if machines else 1,
+            mode=self.mode,
+        )
+
+    def on_dispatch(
+        self, payload: dict, frame: int, region_px: int, rays: int, n_computed: int, now: float
+    ) -> None:
+        if not self.enabled:
+            return
+        self.frame_rays[frame] = self.frame_rays.get(frame, 0) + int(rays)
+        self.frame_computed[frame] = self.frame_computed.get(frame, 0) + int(n_computed)
+        payload["_t0"] = now
+        payload["_region_px"] = int(region_px)
+        payload["_rays"] = int(rays)
+        payload["_n_computed"] = int(n_computed)
+
+    def on_done(self, src: int, payload: dict, now: float) -> None:
+        if not self.enabled:
+            return
+        worker = self.names.get(src, f"tid{src}")
+        self.n_tasks += 1
+        self.tasks_of[worker] = self.tasks_of.get(worker, 0) + 1
+        t0 = payload.get("_t0", now)
+        self.tel.emit_span(
+            "task",
+            t0,
+            now - t0,
+            worker=worker,
+            mode=self.mode,
+            frame0=int(payload["frame"]),
+            frame1=int(payload["frame"]) + 1,
+            region=payload.get("_region_px", 0),
+            rays=payload.get("_rays", 0),
+            n_computed=payload.get("_n_computed", 0),
+            attempt=0,
+        )
+
+    def frame_done(self, frame: int) -> None:
+        if not self.enabled:
+            return
+        rays = self.frame_rays.get(frame, 0)
+        computed = self.frame_computed.get(frame, 0)
+        copied = max(0, self.oracle.n_pixels - computed)
+        self.computed_pixels += computed
+        self.copied_pixels += copied
+        self.rays_total += rays
+        kinds = self.oracle.kind_counts(frame, rays)
+        if kinds is None:  # pre-kind-counts oracle: totals only
+            kinds = np.zeros(4, dtype=np.int64)
+        self.kind_totals += kinds
+        self.tel.event(
+            "frame",
+            frame=frame,
+            n_computed=computed,
+            n_copied=copied,
+            rays_camera=int(kinds[0]),
+            rays_reflected=int(kinds[1]),
+            rays_refracted=int(kinds[2]),
+            rays_shadow=int(kinds[3]),
+            rays_total=int(rays),
+        )
+
+    def recovery(self, kind: str, task: int, duration: float) -> None:
+        if not self.enabled:
+            return
+        self.tel.event("recovery", kind=kind, task=int(task), attempt=0, duration=duration)
+        self.tel.counter("recovery.events", 1)
+
+    def finish(self, pvm: VirtualPVM, total_time: float) -> None:
+        if not self.enabled:
+            return
+        busy_by_machine = pvm.cpu_busy_seconds()
+        for worker in sorted(self.tasks_of):
+            busy = busy_by_machine.get(worker, 0.0)
+            self.tel.event(
+                "worker",
+                worker=worker,
+                busy=busy,
+                n_tasks=self.tasks_of[worker],
+                utilization=(busy / total_time) if total_time > 0 else 0.0,
+            )
+        self.tel.event(
+            "run.end",
+            wall_time=total_time,
+            computed_pixels=self.computed_pixels,
+            copied_pixels=self.copied_pixels,
+            n_tasks=self.n_tasks,
+            n_workers=len(self.names) if self.names else 1,
+            rays_camera=int(self.kind_totals[0]),
+            rays_reflected=int(self.kind_totals[1]),
+            rays_refracted=int(self.kind_totals[2]),
+            rays_shadow=int(self.kind_totals[3]),
+            rays_total=int(self.rays_total),
+        )
+
+
 @dataclass
 class _RunAccounting:
     """Mutable counters the master updates while the simulation runs."""
@@ -96,6 +233,7 @@ def _spawn_farm(
     thrash: ThrashModel | None,
     master_factory,
     trace: bool = False,
+    sim_tel: _SimTelemetry | None = None,
     **ethernet_kwargs,
 ) -> tuple[VirtualPVM, _RunAccounting]:
     """Wire up master + one worker per machine; master_factory(pvm, worker_tids, acct)."""
@@ -126,6 +264,8 @@ def _spawn_farm(
     master_tid_holder.append(mtid)
     if mtid != predicted_master_tid:  # defensive: spawn order is the contract
         raise RuntimeError("tid allocation changed; master address is stale")
+    if sim_tel is not None:
+        sim_tel.bind(pvm, machines, worker_tids)
     return pvm, acct
 
 
@@ -136,7 +276,10 @@ def _outcome(
     acct: _RunAccounting,
     total_time: float,
     first_frame_time: float | None = None,
+    sim_tel: _SimTelemetry | None = None,
 ) -> SimulationOutcome:
+    if sim_tel is not None:
+        sim_tel.finish(pvm, total_time)
     timeline = None
     if pvm.tracing and pvm.events:
         from ..cluster import render_timeline
@@ -168,18 +311,26 @@ def simulate_single_processor(
     use_coherence: bool = False,
     sec_per_work_unit: float = 1e-4,
     thrash: ThrashModel | None = None,
+    telemetry=None,
 ) -> SimulationOutcome:
     """One renderer process computing and writing every frame in order."""
     cfg = cfg or RenderFarmConfig()
     pvm = VirtualPVM([machine], sec_per_work_unit=sec_per_work_unit, thrash=thrash)
     acct = _RunAccounting()
     frame_bytes = targa_nbytes(oracle.width, oracle.height)
+    name = "single+fc" if use_coherence else "single"
+    sim_tel = _SimTelemetry(telemetry, oracle, name)
+    sim_tel.bind(pvm, [machine], [])
+    sim_tel.names = {0: machine.name}  # the lone renderer is tid-less
 
     def renderer():
         for f in range(oracle.n_frames):
             if use_coherence:
                 chain_start = f == 0
-                rays = oracle.full_rays(f) if chain_start else oracle.coherent_rays(f)[0]
+                if chain_start:
+                    rays, n_computed = oracle.full_rays(f), oracle.n_pixels
+                else:
+                    rays, n_computed = oracle.coherent_rays(f)
                 units = cfg.task_units(
                     rays, True, chain_start=chain_start, region_pixels=oracle.n_pixels
                 )
@@ -188,19 +339,25 @@ def simulate_single_processor(
                     acct.n_chain_starts += 1
             else:
                 rays = oracle.full_rays(f)
+                n_computed = oracle.n_pixels
                 units = cfg.task_units(rays, False)
                 ws = cfg.nofc_working_set_mb(oracle.n_pixels)
             acct.total_rays += rays
             acct.total_units += units
+            p = {"frame": f}
+            sim_tel.on_dispatch(p, f, oracle.n_pixels, rays, n_computed, pvm.sim.now)
             yield Compute(units=units, working_set_mb=ws)
             if cfg.write_frames:
                 yield WriteFile(frame_bytes)
             acct.frame_done_at[f] = pvm.sim.now
+            sim_tel.on_done(0, p, pvm.sim.now)
+            sim_tel.frame_done(f)
 
     pvm.spawn(renderer(), machine.name, name="renderer")
     end = pvm.run()
-    name = "single+fc" if use_coherence else "single"
-    return _outcome(name, oracle, pvm, acct, end, first_frame_time=acct.frame_done_at.get(0))
+    return _outcome(
+        name, oracle, pvm, acct, end, first_frame_time=acct.frame_done_at.get(0), sim_tel=sim_tel
+    )
 
 
 # -- Table 1 columns (4)/(5): distributed, no coherence -------------------------
@@ -212,6 +369,7 @@ def simulate_frame_division_nofc(
     sec_per_work_unit: float = 1e-4,
     thrash: ThrashModel | None = None,
     trace: bool = False,
+    telemetry=None,
     **ethernet_kwargs,
 ) -> SimulationOutcome:
     """Each frame subdivided into blocks "distributed to the machines as
@@ -220,6 +378,7 @@ def simulate_frame_division_nofc(
     regions = regions if regions is not None else default_blocks(oracle)
     frame_bytes = targa_nbytes(oracle.width, oracle.height)
     region_pixels = [r.pixels for r in regions]
+    sim_tel = _SimTelemetry(telemetry, oracle, "frame-division")
 
     def master_factory(pvm: VirtualPVM, worker_tids: list[int], acct: _RunAccounting):
         tasks = deque((f, ri) for f in range(oracle.n_frames) for ri in range(len(regions)))
@@ -231,13 +390,15 @@ def simulate_frame_division_nofc(
             units = cfg.task_units(rays, False)
             acct.total_rays += rays
             acct.total_units += units
-            return {
+            p = {
                 "frame": f,
                 "region": ri,
                 "units": units,
                 "ws_mb": cfg.nofc_working_set_mb(regions[ri].n_pixels),
                 "reply_bytes": cfg.result_bytes(regions[ri].n_pixels),
             }
+            sim_tel.on_dispatch(p, f, regions[ri].n_pixels, rays, regions[ri].n_pixels, pvm.sim.now)
+            return p
 
         n_done = 0
         stopped = set()
@@ -251,12 +412,14 @@ def simulate_frame_division_nofc(
         while n_done < n_total:
             msg = yield Recv(tag="done")
             n_done += 1
+            sim_tel.on_done(msg.src, msg.payload, pvm.sim.now)
             f = msg.payload["frame"]
             remaining[f] -= 1
             if remaining[f] == 0:
                 if cfg.write_frames:
                     yield WriteFile(frame_bytes)
                 acct.frame_done_at[f] = pvm.sim.now
+                sim_tel.frame_done(f)
             if tasks:
                 nf, nri = tasks.popleft()
                 yield Send(msg.src, cfg.request_bytes, payload(nf, nri), tag="task")
@@ -267,9 +430,12 @@ def simulate_frame_division_nofc(
             if tid not in stopped:
                 yield Send(tid, cfg.msg_overhead_bytes, None, tag="stop")
 
-    pvm, acct = _spawn_farm(machines, sec_per_work_unit, thrash, master_factory, trace=trace, **ethernet_kwargs)
+    pvm, acct = _spawn_farm(
+        machines, sec_per_work_unit, thrash, master_factory, trace=trace, sim_tel=sim_tel,
+        **ethernet_kwargs,
+    )
     end = pvm.run()
-    return _outcome("frame-division", oracle, pvm, acct, end)
+    return _outcome("frame-division", oracle, pvm, acct, end, sim_tel=sim_tel)
 
 
 # -- chained (coherence) strategies: shared master -----------------------------
@@ -295,6 +461,7 @@ def _chained_master_factory(
     pending_chains: deque,
     use_coherence: bool,
     strategy_blocks_per_frame: int,
+    sim_tel: _SimTelemetry | None = None,
 ):
     """Master for chain-structured strategies (sequence/frame/hybrid division).
 
@@ -353,6 +520,8 @@ def _chained_master_factory(
                 "ws_mb": ws,
                 "reply_bytes": cfg.result_bytes(max(n_computed, 1)),
             }
+            if sim_tel is not None:
+                sim_tel.on_dispatch(p, f, region_size(chain), rays, n_computed, pvm.sim.now)
             chain.next_frame += 1
             chain.fresh = False
             return p
@@ -399,12 +568,16 @@ def _chained_master_factory(
         while n_done < total_steps:
             msg = yield Recv(tag="done")
             n_done += 1
+            if sim_tel is not None:
+                sim_tel.on_done(msg.src, msg.payload, pvm.sim.now)
             f = msg.payload["frame"]
             blocks_done_of_frame[f] += 1
             if blocks_done_of_frame[f] == strategy_blocks_per_frame:
                 if cfg.write_frames:
                     yield WriteFile(frame_bytes_full)
                 acct.frame_done_at[f] = pvm.sim.now
+                if sim_tel is not None:
+                    sim_tel.frame_done(f)
             c = next_assignment(msg.src)
             if c is None:
                 stopped.add(msg.src)
@@ -426,6 +599,7 @@ def simulate_sequence_division_fc(
     sec_per_work_unit: float = 1e-4,
     thrash: ThrashModel | None = None,
     trace: bool = False,
+    telemetry=None,
     **ethernet_kwargs,
 ) -> SimulationOutcome:
     """Whole-frame subsequences per processor, coherence inside each,
@@ -442,12 +616,17 @@ def simulate_sequence_division_fc(
     weights = [m.speed / th.slowdown(ws, m.memory_mb) for m in machines]
     ranges = sequence_ranges(oracle.n_frames, len(machines), weights=weights)
     initial = [_Chain(0, a, b, True) for a, b in ranges]
+    sim_tel = _SimTelemetry(telemetry, oracle, "sequence-division+fc")
     factory = _chained_master_factory(
-        oracle, cfg, None, initial, deque(), use_coherence=True, strategy_blocks_per_frame=1
+        oracle, cfg, None, initial, deque(), use_coherence=True, strategy_blocks_per_frame=1,
+        sim_tel=sim_tel,
     )
-    pvm, acct = _spawn_farm(machines, sec_per_work_unit, thrash, factory, trace=trace, **ethernet_kwargs)
+    pvm, acct = _spawn_farm(
+        machines, sec_per_work_unit, thrash, factory, trace=trace, sim_tel=sim_tel,
+        **ethernet_kwargs,
+    )
     end = pvm.run()
-    return _outcome("sequence-division+fc", oracle, pvm, acct, end)
+    return _outcome("sequence-division+fc", oracle, pvm, acct, end, sim_tel=sim_tel)
 
 
 def simulate_sequence_division_nofc(
@@ -457,6 +636,7 @@ def simulate_sequence_division_nofc(
     sec_per_work_unit: float = 1e-4,
     thrash: ThrashModel | None = None,
     trace: bool = False,
+    telemetry=None,
     **ethernet_kwargs,
 ) -> SimulationOutcome:
     """Ablation: subsequence assignment without coherence."""
@@ -465,12 +645,17 @@ def simulate_sequence_division_nofc(
         oracle.n_frames, len(machines), weights=[m.speed for m in machines]
     )
     initial = [_Chain(0, a, b, True) for a, b in ranges]
+    sim_tel = _SimTelemetry(telemetry, oracle, "sequence-division")
     factory = _chained_master_factory(
-        oracle, cfg, None, initial, deque(), use_coherence=False, strategy_blocks_per_frame=1
+        oracle, cfg, None, initial, deque(), use_coherence=False, strategy_blocks_per_frame=1,
+        sim_tel=sim_tel,
     )
-    pvm, acct = _spawn_farm(machines, sec_per_work_unit, thrash, factory, trace=trace, **ethernet_kwargs)
+    pvm, acct = _spawn_farm(
+        machines, sec_per_work_unit, thrash, factory, trace=trace, sim_tel=sim_tel,
+        **ethernet_kwargs,
+    )
     end = pvm.run()
-    return _outcome("sequence-division", oracle, pvm, acct, end)
+    return _outcome("sequence-division", oracle, pvm, acct, end, sim_tel=sim_tel)
 
 
 # -- Table 1 columns (8)/(9): frame division + coherence -------------------------
@@ -482,6 +667,7 @@ def simulate_frame_division_fc(
     sec_per_work_unit: float = 1e-4,
     thrash: ThrashModel | None = None,
     trace: bool = False,
+    telemetry=None,
     **ethernet_kwargs,
 ) -> SimulationOutcome:
     """80x80 subareas computed "for the entire 45 frames, or until the
@@ -492,6 +678,7 @@ def simulate_frame_division_fc(
     chains = deque(
         _Chain(ri, 0, oracle.n_frames, True) for ri in range(len(regions))
     )
+    sim_tel = _SimTelemetry(telemetry, oracle, "frame-division+fc")
     factory = _chained_master_factory(
         oracle,
         cfg,
@@ -500,10 +687,14 @@ def simulate_frame_division_fc(
         chains,
         use_coherence=True,
         strategy_blocks_per_frame=len(regions),
+        sim_tel=sim_tel,
     )
-    pvm, acct = _spawn_farm(machines, sec_per_work_unit, thrash, factory, trace=trace, **ethernet_kwargs)
+    pvm, acct = _spawn_farm(
+        machines, sec_per_work_unit, thrash, factory, trace=trace, sim_tel=sim_tel,
+        **ethernet_kwargs,
+    )
     end = pvm.run()
-    return _outcome("frame-division+fc", oracle, pvm, acct, end)
+    return _outcome("frame-division+fc", oracle, pvm, acct, end, sim_tel=sim_tel)
 
 
 # -- ablation: hybrid (subarea x subsequence) -----------------------------------
@@ -516,6 +707,7 @@ def simulate_hybrid_fc(
     sec_per_work_unit: float = 1e-4,
     thrash: ThrashModel | None = None,
     trace: bool = False,
+    telemetry=None,
     **ethernet_kwargs,
 ) -> SimulationOutcome:
     """The paper's hybrid: "each processor computes pixels in a subarea of a
@@ -529,6 +721,7 @@ def simulate_hybrid_fc(
         for ri in range(len(regions))
         for a in range(0, oracle.n_frames, frames_per_chunk)
     )
+    sim_tel = _SimTelemetry(telemetry, oracle, "hybrid+fc")
     factory = _chained_master_factory(
         oracle,
         cfg,
@@ -537,7 +730,11 @@ def simulate_hybrid_fc(
         chains,
         use_coherence=True,
         strategy_blocks_per_frame=len(regions),
+        sim_tel=sim_tel,
     )
-    pvm, acct = _spawn_farm(machines, sec_per_work_unit, thrash, factory, trace=trace, **ethernet_kwargs)
+    pvm, acct = _spawn_farm(
+        machines, sec_per_work_unit, thrash, factory, trace=trace, sim_tel=sim_tel,
+        **ethernet_kwargs,
+    )
     end = pvm.run()
-    return _outcome("hybrid+fc", oracle, pvm, acct, end)
+    return _outcome("hybrid+fc", oracle, pvm, acct, end, sim_tel=sim_tel)

@@ -5,14 +5,21 @@ stationary; any camera movement logically separates one sequence from
 another.  These shorter sequences represent the computational tasks for
 which parallelization and frame coherence will be exploited."
 
-:func:`render_animation` is that sentence as code: it splits the animation
+:func:`_render_animation` is that sentence as code: it splits the animation
 at camera cuts (:func:`repro.scene.split_coherent_sequences`), renders each
 run with a fresh coherent (or shadow-coherent) renderer, and returns the
 assembled frames with merged statistics.
+
+This module is the *animation engine* behind the unified
+:func:`repro.api.render` facade; calling :func:`render_animation` directly
+still works but raises a :class:`DeprecationWarning` pointing at the
+facade.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -21,13 +28,14 @@ import numpy as np
 from .coherence import CoherentRenderer, FrameReport, ShadowCoherentRenderer
 from .render import RayStats
 from .scene import Animation, split_coherent_sequences
+from .telemetry import NULL as NULL_TELEMETRY
 
 __all__ = ["render_animation", "AnimationRender"]
 
 
 @dataclass
 class AnimationRender:
-    """Assembled output of :func:`render_animation`."""
+    """Assembled output of the animation engine."""
 
     frames: np.ndarray  # (n_frames, H, W, 3) float64
     stats: RayStats
@@ -47,13 +55,15 @@ class AnimationRender:
         return sum(r.n_copied for r in self.reports)
 
 
-def render_animation(
+def _render_animation(
     animation: Animation,
     grid_resolution: int | tuple[int, int, int] = 24,
     shadow_coherence: bool = False,
     samples_per_axis: int = 1,
     chunk_size: int = 32768,
     on_frame: Callable[[int, FrameReport, np.ndarray], None] | None = None,
+    telemetry=None,
+    workload: str = "animation",
 ) -> AnimationRender:
     """Render every frame of ``animation`` with frame coherence.
 
@@ -68,22 +78,43 @@ def render_animation(
     on_frame:
         Optional callback ``(frame_index, report, image)`` invoked as each
         frame completes (for progress display or streaming output).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; the engine emits the
+        full core event set (run.start, one ``task`` span per coherent
+        sequence, per-frame events via the renderers, worker, run.end) so a
+        single-process render is report-compatible with a farm run.
+    workload:
+        Label stamped into the ``run.start`` event.
     """
     if shadow_coherence and samples_per_axis != 1:
         raise ValueError("shadow coherence requires samples_per_axis == 1")
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
 
     cam0 = animation.camera_at(0)
     frames = np.empty((animation.n_frames, cam0.height, cam0.width, 3), dtype=np.float64)
-    stats = RayStats()
     reports: list[FrameReport] = []
     sequences = split_coherent_sequences(animation)
     shadow_saved = 0
     per_seq: list[RayStats] = []
+    mode = "shadow-coherent" if shadow_coherence else "coherent"
+
+    t_run0 = time.perf_counter()
+    tel.event(
+        "run.start",
+        engine="animation",
+        workload=workload,
+        n_frames=int(animation.n_frames),
+        width=int(cam0.width),
+        height=int(cam0.height),
+        n_workers=1,
+        mode=mode,
+    )
 
     for start, stop in sequences:
         cam = animation.camera_at(start)
         if (cam.width, cam.height) != (cam0.width, cam0.height):
             raise ValueError("all shots must share one resolution")
+        tel.event("sequence", first_frame=int(start), last_frame=int(stop))
         if shadow_coherence:
             renderer = ShadowCoherentRenderer(
                 animation,
@@ -91,6 +122,7 @@ def render_animation(
                 chunk_size=chunk_size,
                 first_frame=start,
                 last_frame=stop,
+                telemetry=tel,
             )
         else:
             renderer = CoherentRenderer(
@@ -100,20 +132,59 @@ def render_animation(
                 chunk_size=chunk_size,
                 first_frame=start,
                 last_frame=stop,
+                telemetry=tel,
             )
-        seq_stats = RayStats()
-        for f in range(start, stop):
-            report = renderer.render_next()
-            image = renderer.frame_image()
-            frames[f] = image
-            stats += report.stats
-            seq_stats += report.stats
-            reports.append(report)
-            if on_frame is not None:
-                on_frame(f, report, image)
+        with tel.span(
+            "task",
+            worker="local",
+            mode=mode,
+            frame0=int(start),
+            frame1=int(stop),
+            region=int(cam0.n_pixels),
+            rays=0,
+            n_computed=0,
+            attempt=0,
+        ) as sp:
+            seq_reports: list[FrameReport] = []
+            for f in range(start, stop):
+                report = renderer.render_next()
+                image = renderer.frame_image()
+                frames[f] = image
+                reports.append(report)
+                seq_reports.append(report)
+                if on_frame is not None:
+                    on_frame(f, report, image)
+            seq_stats = RayStats.merge(r.stats for r in seq_reports)
+            sp.attrs["rays"] = seq_stats.total
+            sp.attrs["n_computed"] = sum(r.n_computed for r in seq_reports)
         per_seq.append(seq_stats)
         if shadow_coherence:
             shadow_saved += renderer.total_shadow_rays_saved
+
+    stats = RayStats.merge(per_seq)
+    wall = time.perf_counter() - t_run0
+    if tel.enabled:
+        busy = sum(r.wall_time for r in reports)
+        tel.event(
+            "worker",
+            worker="local",
+            busy=busy,
+            n_tasks=len(sequences),
+            utilization=(busy / wall) if wall > 0 else 0.0,
+        )
+        tel.event(
+            "run.end",
+            wall_time=wall,
+            computed_pixels=sum(r.n_computed for r in reports),
+            copied_pixels=sum(r.n_copied for r in reports),
+            n_tasks=len(sequences),
+            n_workers=1,
+            rays_camera=stats.camera,
+            rays_reflected=stats.reflected,
+            rays_refracted=stats.refracted,
+            rays_shadow=stats.shadow,
+            rays_total=stats.total,
+        )
 
     return AnimationRender(
         frames=frames,
@@ -123,3 +194,19 @@ def render_animation(
         shadow_rays_saved=shadow_saved,
         per_sequence_stats=per_seq,
     )
+
+
+def render_animation(*args, **kwargs) -> AnimationRender:
+    """Deprecated direct entry point; prefer :func:`repro.api.render`.
+
+    Behaves exactly like the engine implementation (same signature), with a
+    :class:`DeprecationWarning` — existing callers keep working.
+    """
+    warnings.warn(
+        "render_animation() is deprecated; use repro.api.render(RenderRequest(...)) "
+        "— the unified facade over the animation engine, the local farm, and "
+        "the cluster simulators",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _render_animation(*args, **kwargs)

@@ -64,6 +64,11 @@ class SceneIntersector:
 
     def __init__(self, objects: list[Primitive], cull_bounds: bool | None = None):
         self.objects = list(objects)
+        #: Running count of per-ray primitive intersection tests actually
+        #: executed (culled rays excluded).  Monotonic; readers take deltas.
+        #: The increments are O(1) integer adds on already-materialized
+        #: arrays, so the counter is always on.
+        self.n_primitive_tests = 0
         self._box_lo: list[np.ndarray | None] = []
         self._box_hi: list[np.ndarray | None] = []
         self._cull: list[bool] = []
@@ -97,6 +102,7 @@ class SceneIntersector:
                 if not np.any(sel):
                     continue
                 t_sub, n_sub = obj.intersect(batch.origins[sel], batch.dirs[sel])
+                self.n_primitive_tests += t_sub.size
                 sub_rows = rows[sel]
                 closer = t_sub < best_t[sub_rows]
                 if np.any(closer):
@@ -106,6 +112,7 @@ class SceneIntersector:
                     best_n[upd] = n_sub[closer]
             else:
                 t, nrm = obj.intersect(batch.origins, batch.dirs)
+                self.n_primitive_tests += t.size
                 closer = t < best_t
                 if np.any(closer):
                     best_t = np.where(closer, t, best_t)
@@ -147,6 +154,7 @@ class SceneIntersector:
                 if not np.any(sel):
                     continue
                 t, _ = obj.intersect(origins[sel], dirs[sel])
+                self.n_primitive_tests += t.size
                 blocking_sub = np.isfinite(t) & (t > eps) & (t < max_dist[sel] - eps)
                 if not np.any(blocking_sub):
                     continue
@@ -157,6 +165,7 @@ class SceneIntersector:
                     atten[target] = 0.0
             else:
                 t, _ = obj.intersect(origins, dirs)
+                self.n_primitive_tests += t.size
                 blocking = np.isfinite(t) & (t > eps) & (t < max_dist - eps)
                 if not np.any(blocking):
                     continue

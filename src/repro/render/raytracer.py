@@ -69,6 +69,8 @@ class TraceResult:
         ``camera`` / ``pshadow`` / ``secondary``)
     rays_per_pixel : (K,) total rays fired on behalf of each traced pixel
         (the cost signal consumed by the cluster simulator's oracle)
+    n_intersection_tests : per-ray primitive intersection tests executed
+        during this trace (telemetry; culled rays excluded)
     """
 
     pixel_ids: np.ndarray
@@ -78,6 +80,7 @@ class TraceResult:
     mark_pixels: np.ndarray
     rays_per_pixel: np.ndarray
     marks_by_class: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=_empty_marks)
+    n_intersection_tests: int = 0
 
 
 class _MarkCollector:
@@ -170,6 +173,7 @@ class RayTracer:
         rays_pp = np.zeros(n_pixels_total, dtype=np.int64)
         stats = RayStats()
         marks = _MarkCollector()
+        tests_before = self.intersector.n_primitive_tests
 
         for start in range(0, pixel_ids.size, self.chunk_size):
             chunk = pixel_ids[start : start + self.chunk_size]
@@ -185,6 +189,7 @@ class RayTracer:
             mark_pixels=all_p,
             rays_per_pixel=rays_pp[pixel_ids],
             marks_by_class=by_class,
+            n_intersection_tests=self.intersector.n_primitive_tests - tests_before,
         )
 
     def render(self, samples_per_axis: int = 1) -> tuple[Framebuffer, TraceResult]:

@@ -58,6 +58,21 @@ class RayStats:
         self.counts += other.counts
         return self
 
+    @classmethod
+    def merge(cls, items) -> "RayStats":
+        """Sum an iterable of :class:`RayStats` and/or raw count arrays.
+
+        The single aggregation path for every consumer that collects
+        per-task or per-frame counts (pipeline, real farm, simulators) —
+        hand-rolled ``+=`` loops over heterogeneous shapes drift; this
+        doesn't.
+        """
+        total = cls()
+        for item in items:
+            counts = item.counts if isinstance(item, RayStats) else item
+            total.counts += np.asarray(counts, dtype=np.int64).reshape(len(RayKind))
+        return total
+
     def copy(self) -> "RayStats":
         return RayStats(self.counts.copy())
 

@@ -46,11 +46,18 @@ from ..coherence import CoherentRenderer, grid_for_animation
 from ..geometry import RayKind
 from ..parallel.partition import PixelRegion, block_regions, sequence_ranges
 from ..render import RayStats
+from ..telemetry import NULL as NULL_TELEMETRY
+from ..telemetry import InMemorySink, Telemetry
+from ..telemetry.profiling import profile_into
 from .faults import FaultPlan
 from .spec import AnimationSpec
-from .supervisor import TaskAttempt, TaskSupervisor
+from .supervisor import TaskAttempt, TaskSupervisor, task_context
 
 __all__ = ["LocalRenderFarm", "FarmResult"]
+
+#: TaskAttempt outcomes that represent a recovery action taken by the
+#: supervisor (surfaced as ``recovery`` telemetry events).
+_RECOVERY_OUTCOMES = {"timeout", "crash", "error", "invalid", "abandoned", "degraded-ok"}
 
 # Per-process cache keyed by spec: workers build each animation once, and
 # concurrent farms with *different* specs (the thread executor shares this
@@ -84,64 +91,145 @@ def _get_anim(spec: AnimationSpec):
     return anim
 
 
+def _worker_label() -> str:
+    """Stable-within-a-run worker identity: process id (process executor)
+    plus thread id (distinguishes the thread executor's workers)."""
+    return f"{os.getpid()}.{threading.get_ident() % 100000}"
+
+
+def _worker_telemetry(enabled: bool):
+    """(telemetry, sink) for one task; disabled tasks share NULL."""
+    if not enabled:
+        return NULL_TELEMETRY, None
+    sink = InMemorySink()
+    return Telemetry(sinks=(sink,)), sink
+
+
+def _worker_profile_path(profile_dir) -> str | None:
+    if not profile_dir:
+        return None
+    idx, attempt = task_context()
+    return str(Path(profile_dir) / f"task_{idx:04d}_a{attempt}_{os.getpid()}.prof")
+
+
+def _finish_worker_events(tel: Telemetry, sink) -> str:
+    """Flush and serialize a worker task's event buffer for transport (the
+    master re-emits it into the run's sinks via ``Telemetry.absorb``)."""
+    if sink is None:
+        return ""
+    tel.close()
+    return tel.serialize_events(sink.events)
+
+
 def _render_block_task(args):
     """Frame-division worker: render one block across all frames."""
-    spec, box, grid_resolution, samples = args
+    spec, box, grid_resolution, samples, tel_on, profile_dir = args
     anim = _get_anim(spec)
     region = PixelRegion(*box, width=anim.camera_at(0).width).pixels
-    renderer = CoherentRenderer(
-        anim, region=region, grid_resolution=grid_resolution, samples_per_axis=samples
-    )
-    frames = np.empty((anim.n_frames, region.size, 3), dtype=np.float64)
-    stats = RayStats()
-    for f in range(anim.n_frames):
-        renderer.render_next()
-        frames[f] = renderer.framebuffer.gather(region)
-        stats += renderer.reports[-1].stats
-    return box, region, frames, stats.counts
+    tel, sink = _worker_telemetry(tel_on)
+    _idx, attempt = task_context()
+    with profile_into(_worker_profile_path(profile_dir)):
+        with tel.span(
+            "task",
+            worker=_worker_label(),
+            mode="frame",
+            frame0=0,
+            frame1=anim.n_frames,
+            region=int(region.size),
+            rays=0,
+            n_computed=0,
+            attempt=attempt,
+        ) as sp:
+            renderer = CoherentRenderer(
+                anim,
+                region=region,
+                grid_resolution=grid_resolution,
+                samples_per_axis=samples,
+                telemetry=tel,
+            )
+            frames = np.empty((anim.n_frames, region.size, 3), dtype=np.float64)
+            for f in range(anim.n_frames):
+                renderer.render_next()
+                frames[f] = renderer.framebuffer.gather(region)
+            stats = RayStats.merge(r.stats for r in renderer.reports)
+            sp.attrs["rays"] = stats.total
+            sp.attrs["n_computed"] = sum(r.n_computed for r in renderer.reports)
+    return box, region, frames, stats.counts, _finish_worker_events(tel, sink)
 
 
 def _render_sequence_task(args):
     """Sequence-division worker: render whole frames for one range."""
-    spec, start, stop, grid_resolution, samples = args
+    spec, start, stop, grid_resolution, samples, tel_on, profile_dir = args
     anim = _get_anim(spec)
-    renderer = CoherentRenderer(
-        anim,
-        grid_resolution=grid_resolution,
-        samples_per_axis=samples,
-        first_frame=start,
-        last_frame=stop,
-    )
+    tel, sink = _worker_telemetry(tel_on)
+    _idx, attempt = task_context()
     cam = anim.camera_at(start)
-    frames = np.empty((stop - start, cam.height, cam.width, 3), dtype=np.float64)
-    stats = RayStats()
-    for i in range(stop - start):
-        renderer.render_next()
-        frames[i] = renderer.frame_image()
-        stats += renderer.reports[-1].stats
-    return start, stop, frames, stats.counts
+    with profile_into(_worker_profile_path(profile_dir)):
+        with tel.span(
+            "task",
+            worker=_worker_label(),
+            mode="sequence",
+            frame0=int(start),
+            frame1=int(stop),
+            region=int(cam.n_pixels),
+            rays=0,
+            n_computed=0,
+            attempt=attempt,
+        ) as sp:
+            renderer = CoherentRenderer(
+                anim,
+                grid_resolution=grid_resolution,
+                samples_per_axis=samples,
+                first_frame=start,
+                last_frame=stop,
+                telemetry=tel,
+            )
+            frames = np.empty((stop - start, cam.height, cam.width, 3), dtype=np.float64)
+            for i in range(stop - start):
+                renderer.render_next()
+                frames[i] = renderer.frame_image()
+            stats = RayStats.merge(r.stats for r in renderer.reports)
+            sp.attrs["rays"] = stats.total
+            sp.attrs["n_computed"] = sum(r.n_computed for r in renderer.reports)
+    return start, stop, frames, stats.counts, _finish_worker_events(tel, sink)
 
 
 def _render_hybrid_task(args):
     """Hybrid worker: one block over one frame chunk (subarea x subsequence)."""
-    spec, box, start, stop, grid_resolution, samples = args
+    spec, box, start, stop, grid_resolution, samples, tel_on, profile_dir = args
     anim = _get_anim(spec)
     region = PixelRegion(*box, width=anim.camera_at(0).width).pixels
-    renderer = CoherentRenderer(
-        anim,
-        region=region,
-        grid_resolution=grid_resolution,
-        samples_per_axis=samples,
-        first_frame=start,
-        last_frame=stop,
-    )
-    frames = np.empty((stop - start, region.size, 3), dtype=np.float64)
-    stats = RayStats()
-    for i in range(stop - start):
-        renderer.render_next()
-        frames[i] = renderer.framebuffer.gather(region)
-        stats += renderer.reports[-1].stats
-    return box, region, start, stop, frames, stats.counts
+    tel, sink = _worker_telemetry(tel_on)
+    _idx, attempt = task_context()
+    with profile_into(_worker_profile_path(profile_dir)):
+        with tel.span(
+            "task",
+            worker=_worker_label(),
+            mode="hybrid",
+            frame0=int(start),
+            frame1=int(stop),
+            region=int(region.size),
+            rays=0,
+            n_computed=0,
+            attempt=attempt,
+        ) as sp:
+            renderer = CoherentRenderer(
+                anim,
+                region=region,
+                grid_resolution=grid_resolution,
+                samples_per_axis=samples,
+                first_frame=start,
+                last_frame=stop,
+                telemetry=tel,
+            )
+            frames = np.empty((stop - start, region.size, 3), dtype=np.float64)
+            for i in range(stop - start):
+                renderer.render_next()
+                frames[i] = renderer.framebuffer.gather(region)
+            stats = RayStats.merge(r.stats for r in renderer.reports)
+            sp.attrs["rays"] = stats.total
+            sp.attrs["n_computed"] = sum(r.n_computed for r in renderer.reports)
+    return box, region, start, stop, frames, stats.counts, _finish_worker_events(tel, sink)
 
 
 _TASK_FNS = {
@@ -151,7 +239,9 @@ _TASK_FNS = {
 }
 
 _MANIFEST_NAME = "manifest.json"
-_SPOOL_FORMAT = 1
+# Format 2 appended the serialized worker-telemetry events to every task
+# result tuple; old spools fail the manifest check and re-render.
+_SPOOL_FORMAT = 2
 
 
 def _spool_path(run_dir: Path, idx: int) -> Path:
@@ -248,6 +338,8 @@ class LocalRenderFarm:
         backoff_base: float = 0.05,
         degrade_serial: bool = True,
         fault_plan: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
+        profile_dir: str | Path | None = None,
     ):
         if mode not in ("frame", "sequence", "hybrid"):
             raise ValueError("mode must be 'frame', 'sequence' or 'hybrid'")
@@ -271,6 +363,8 @@ class LocalRenderFarm:
         self.backoff_base = backoff_base
         self.degrade_serial = degrade_serial
         self.fault_plan = fault_plan
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.profile_dir = str(profile_dir) if profile_dir is not None else None
         # Build once locally for geometry bookkeeping (cheap).
         self._anim = spec.build()
         self._cam = self._anim.camera_at(0)
@@ -283,9 +377,18 @@ class LocalRenderFarm:
         return block_regions(w, h, bw, bh)
 
     def _tasks(self):
+        tel_on = self.telemetry.enabled
+        prof = self.profile_dir
         if self.mode == "frame":
             return [
-                (self.spec, (r.x0, r.y0, r.x1, r.y1), self.grid_resolution, self.samples_per_axis)
+                (
+                    self.spec,
+                    (r.x0, r.y0, r.x1, r.y1),
+                    self.grid_resolution,
+                    self.samples_per_axis,
+                    tel_on,
+                    prof,
+                )
                 for r in self._block_layout()
             ]
         if self.mode == "hybrid":
@@ -302,13 +405,16 @@ class LocalRenderFarm:
                     b,
                     self.grid_resolution,
                     self.samples_per_axis,
+                    tel_on,
+                    prof,
                 )
                 for r in self._block_layout()
                 for a, b in chunks
             ]
         ranges = sequence_ranges(self._anim.n_frames, self.n_workers)
         return [
-            (self.spec, a, b, self.grid_resolution, self.samples_per_axis) for a, b in ranges
+            (self.spec, a, b, self.grid_resolution, self.samples_per_axis, tel_on, prof)
+            for a, b in ranges
         ]
 
     # -- output validity ----------------------------------------------------------
@@ -329,25 +435,26 @@ class LocalRenderFarm:
             if not isinstance(result, tuple):
                 return False
             if mode == "frame":
-                if len(result) != 4:
+                if len(result) != 5:
                     return False
-                _box, region, frames, counts = result
+                _box, region, frames, counts, events = result
                 expected = (n_frames, np.asarray(region).size, 3)
             elif mode == "sequence":
-                if len(result) != 4:
+                if len(result) != 5:
                     return False
-                start, stop, frames, counts = result
+                start, stop, frames, counts, events = result
                 expected = (int(stop) - int(start), height, width, 3)
             else:
-                if len(result) != 6:
+                if len(result) != 7:
                     return False
-                _box, region, start, stop, frames, counts = result
+                _box, region, start, stop, frames, counts, events = result
                 expected = (int(stop) - int(start), np.asarray(region).size, 3)
             frames = np.asarray(frames)
             return (
                 frames.shape == expected
                 and bool(np.isfinite(frames).all())
                 and counts_ok(counts)
+                and isinstance(events, str)
             )
 
         return validate
@@ -404,8 +511,22 @@ class LocalRenderFarm:
 
         anim = self._anim
         cam = self._cam
+        tel = self.telemetry
         tasks = self._tasks()
         validate = self._make_validator()
+        if self.profile_dir:
+            Path(self.profile_dir).mkdir(parents=True, exist_ok=True)
+
+        tel.event(
+            "run.start",
+            engine="farm",
+            workload=self.spec.factory,
+            n_frames=int(anim.n_frames),
+            width=int(cam.width),
+            height=int(cam.height),
+            n_workers=self.n_workers,
+            mode=self.mode,
+        )
 
         completed: dict[int, tuple] = {}
         on_result = None
@@ -421,6 +542,8 @@ class LocalRenderFarm:
                         "(manifest mismatch); refusing to mix checkpoints"
                     )
                 completed = self._load_spooled(run_path, tasks, validate)
+                for idx in sorted(completed):
+                    tel.event("checkpoint", task=idx, action="loaded")
             else:
                 tmp = manifest_path.with_suffix(".json.tmp")
                 tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
@@ -428,6 +551,7 @@ class LocalRenderFarm:
 
             def on_result(idx: int, result: tuple) -> None:
                 _save_task_result(_spool_path(run_path, idx), result)
+                tel.event("checkpoint", task=idx, action="saved")
 
         supervisor = TaskSupervisor(
             _TASK_FNS[self.mode],
@@ -450,21 +574,21 @@ class LocalRenderFarm:
         out = supervisor.run()
 
         frames = np.zeros((anim.n_frames, cam.height, cam.width, 3), dtype=np.float64)
-        stats = RayStats()
         if self.mode == "frame":
             flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
-            for _box, region, block_frames, counts in out.results:
+            for _box, region, block_frames, _counts, _ev in out.results:
                 flat[:, np.asarray(region), :] = block_frames
-                stats += RayStats(counts)
         elif self.mode == "hybrid":
             flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
-            for _box, region, start, stop, chunk_frames, counts in out.results:
+            for _box, region, start, stop, chunk_frames, _counts, _ev in out.results:
                 flat[int(start) : int(stop)][:, np.asarray(region), :] = chunk_frames
-                stats += RayStats(counts)
         else:
-            for start, stop, seq_frames, counts in out.results:
+            for start, stop, seq_frames, _counts, _ev in out.results:
                 frames[int(start) : int(stop)] = seq_frames
-                stats += RayStats(counts)
+        stats = RayStats.merge(res[-2] for res in out.results)
+
+        if tel.enabled:
+            self._emit_run_telemetry(out, stats, len(tasks))
 
         return FarmResult(
             frames=frames,
@@ -480,6 +604,75 @@ class LocalRenderFarm:
             attempts=out.attempts,
         )
 
+    def _emit_run_telemetry(self, out, stats: RayStats, n_tasks: int) -> None:
+        """Absorb worker event buffers and emit the run-level events
+        (task.attempt / recovery timeline, per-worker utilization,
+        run.end totals) into the farm's telemetry session."""
+        tel = self.telemetry
+        worker_busy: dict[str, list] = {}  # worker -> [busy_seconds, n_tasks]
+        computed = copied = 0
+        for res in out.results:
+            payload = res[-1]
+            if not payload:
+                continue
+            try:
+                events = json.loads(payload)
+            except (TypeError, ValueError):
+                continue
+            tel.absorb(events)
+            for rec in events:
+                name, attrs = rec.get("name"), rec.get("attrs") or {}
+                if rec.get("type") == "span" and name == "task":
+                    w = str(attrs.get("worker", "?"))
+                    busy = worker_busy.setdefault(w, [0.0, 0])
+                    busy[0] += float(rec.get("dur", 0.0))
+                    busy[1] += 1
+                elif rec.get("type") == "event" and name == "frame":
+                    computed += int(attrs.get("n_computed", 0))
+                    copied += int(attrs.get("n_copied", 0))
+
+        for a in out.attempts:
+            tel.event(
+                "task.attempt",
+                task=a.task_index,
+                attempt=a.attempt,
+                outcome=a.outcome,
+                duration=a.duration,
+                started=a.started,
+            )
+            tel.histogram("task.duration", a.duration)
+            if a.outcome in _RECOVERY_OUTCOMES:
+                kind = "degraded" if a.outcome == "degraded-ok" else a.outcome
+                tel.event(
+                    "recovery", kind=kind, task=a.task_index, attempt=a.attempt, duration=a.duration
+                )
+
+        wall = out.wall_time
+        for w in sorted(worker_busy):
+            busy, n = worker_busy[w]
+            tel.event(
+                "worker",
+                worker=w,
+                busy=busy,
+                n_tasks=n,
+                utilization=(busy / wall) if wall > 0 else 0.0,
+            )
+        if self.profile_dir:
+            tel.event("profile", path=self.profile_dir)
+        tel.event(
+            "run.end",
+            wall_time=wall,
+            computed_pixels=computed,
+            copied_pixels=copied,
+            n_tasks=n_tasks,
+            n_workers=self.n_workers,
+            rays_camera=stats.camera,
+            rays_reflected=stats.reflected,
+            rays_refracted=stats.refracted,
+            rays_shadow=stats.shadow,
+            rays_total=stats.total,
+        )
+
     def render_reference(self) -> FarmResult:
         """Single coherent renderer over the whole animation (ground truth)."""
         anim = self._anim
@@ -490,9 +683,8 @@ class LocalRenderFarm:
             samples_per_axis=self.samples_per_axis,
         )
         frames = np.empty((anim.n_frames, cam.height, cam.width, 3), dtype=np.float64)
-        stats = RayStats()
         for f in range(anim.n_frames):
             renderer.render_next()
             frames[f] = renderer.frame_image()
-            stats += renderer.reports[-1].stats
+        stats = RayStats.merge(r.stats for r in renderer.reports)
         return FarmResult(frames=frames, stats=stats, n_tasks=1, mode="reference")

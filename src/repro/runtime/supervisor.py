@@ -31,6 +31,7 @@ decomposition (and directly testable with toy tasks).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from concurrent.futures import (
@@ -44,7 +45,26 @@ from dataclasses import dataclass, field
 
 from .faults import FaultPlan
 
-__all__ = ["TaskSupervisor", "TaskAttempt", "SupervisorOutcome", "SupervisorError"]
+__all__ = [
+    "TaskSupervisor",
+    "TaskAttempt",
+    "SupervisorOutcome",
+    "SupervisorError",
+    "task_context",
+]
+
+# Which (task_index, attempt) this worker is currently executing.  Task
+# functions that emit telemetry read it via task_context(); thread-local so
+# the thread executor's concurrent workers don't trample each other.
+_TASK_CONTEXT = threading.local()
+
+
+def task_context() -> tuple[int, int]:
+    """(task_index, attempt) of the task running in the calling worker."""
+    return (
+        getattr(_TASK_CONTEXT, "index", -1),
+        getattr(_TASK_CONTEXT, "attempt", 0),
+    )
 
 
 class SupervisorError(RuntimeError):
@@ -60,6 +80,7 @@ class TaskAttempt:
     outcome: str  # ok | late-ok | degraded-ok | duplicate | timeout | crash | error | invalid
     duration: float
     error: str = ""
+    started: float = 0.0  # seconds after supervisor start this attempt began
 
 
 @dataclass
@@ -82,6 +103,8 @@ class SupervisorOutcome:
 def _run_task(payload):
     """Worker entry point: consult the fault plan, compute, consult again."""
     fn, task, task_index, attempt, plan, disruptive_ok = payload
+    _TASK_CONTEXT.index = task_index
+    _TASK_CONTEXT.attempt = attempt
     if plan is not None:
         plan.apply_before(task_index, attempt, disruptive_ok)
     result = fn(task)
@@ -180,11 +203,12 @@ class TaskSupervisor:
         self._durations: list[float] = []
         self._results: dict[int, object] = {}
         self._pending: deque = deque()
+        self._t0 = 0.0
         self._out = SupervisorOutcome(results=[None] * len(self.tasks))
 
     # -- public entry ----------------------------------------------------------
     def run(self) -> SupervisorOutcome:
-        t0 = time.monotonic()
+        t0 = self._t0 = time.monotonic()
         out = self._out
         out.n_from_checkpoint = len(self.completed)
         self._results.update(self.completed)
@@ -425,7 +449,10 @@ class TaskSupervisor:
             self.on_result(idx, result)
 
     def _record(self, idx: int, attempt: int, outcome: str, dur: float, err: str = "") -> None:
-        self._out.attempts.append(TaskAttempt(idx, attempt, outcome, dur, err))
+        # Recorded at attempt end, so its start is "now minus duration" on
+        # the supervisor's clock — the worker-utilization timeline's x-axis.
+        started = max(0.0, time.monotonic() - dur - self._t0)
+        self._out.attempts.append(TaskAttempt(idx, attempt, outcome, dur, err, started))
 
     def _attempt_inline(self, idx: int, attempt: int):
         """Run one task in-process (serial executor and degradation path)."""

@@ -1,0 +1,58 @@
+"""Opt-in cProfile hooks (the ``--profile`` flag).
+
+Per-worker profiling of a multiprocessing render farm cannot use one
+global profiler — each worker process profiles its own task into a
+``.prof`` file, and the master merges them afterwards with ``pstats``.
+The same helpers serve the single-process pipeline (one profile for the
+whole render).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["profile_into", "merge_profiles", "profile_summary"]
+
+
+@contextmanager
+def profile_into(path: str | Path | None):
+    """Profile the enclosed block into ``path`` (no-op when ``path`` is None)."""
+    if path is None:
+        yield
+        return
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield
+    finally:
+        prof.disable()
+        prof.dump_stats(str(path))
+
+
+def merge_profiles(profile_dir: str | Path) -> pstats.Stats | None:
+    """Merge every ``*.prof`` under ``profile_dir`` into one Stats object."""
+    paths = sorted(Path(profile_dir).glob("*.prof"))
+    if not paths:
+        return None
+    stats = pstats.Stats(str(paths[0]))
+    for p in paths[1:]:
+        stats.add(str(p))
+    return stats
+
+
+def profile_summary(profile_dir: str | Path, top: int = 15) -> str:
+    """Human summary of the merged profiles (top functions by cumulative time)."""
+    stats = merge_profiles(profile_dir)
+    if stats is None:
+        return f"no profiles found under {profile_dir}"
+    buf = io.StringIO()
+    stats.stream = buf
+    stats.sort_stats("cumulative").print_stats(top)
+    header = f"merged profile of {len(list(Path(profile_dir).glob('*.prof')))} task(s):"
+    return header + "\n" + buf.getvalue()

@@ -1,0 +1,181 @@
+"""Render a telemetry event log into a Table-1-style report.
+
+The paper's Table 1 is the template: total rays (by kind), how much work
+frame coherence avoided (computed vs copied pixels), and how well the
+machines were used (per-worker utilization).  This module reconstructs all
+of it from the JSONL event log *alone* — no live objects — so a finished
+(or crashed) run directory is fully analyzable after the fact:
+
+``python -m repro telemetry <run_dir>``
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .schema import RAY_KEYS
+
+__all__ = ["TelemetryReport", "read_events", "report_from_events", "format_report"]
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Load an events.jsonl file (a run directory is accepted directly)."""
+    p = Path(path)
+    if p.is_dir():
+        p = p / "events.jsonl"
+    if not p.exists():
+        raise FileNotFoundError(f"no event log at {p}")
+    events = []
+    with open(p, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+@dataclass
+class TelemetryReport:
+    """Aggregated view of one run's event log."""
+
+    engine: str = "?"
+    workload: str = "?"
+    mode: str = "?"
+    n_frames: int = 0
+    width: int = 0
+    height: int = 0
+    n_workers: int = 0
+    wall_time: float = 0.0
+    rays: dict[str, int] = field(default_factory=dict)  # kind -> count
+    computed_pixels: int = 0
+    copied_pixels: int = 0
+    n_tasks: int = 0
+    per_frame: dict[int, dict[str, int]] = field(default_factory=dict)
+    workers: list[dict] = field(default_factory=list)
+    recovery: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def computed_fraction(self) -> float:
+        total = self.computed_pixels + self.copied_pixels
+        return self.computed_pixels / total if total else 0.0
+
+
+_KINDS = ("camera", "reflected", "refracted", "shadow", "total")
+
+
+def report_from_events(events: list[dict]) -> TelemetryReport:
+    """Aggregate an event list (as loaded by :func:`read_events`)."""
+    rep = TelemetryReport(rays={k: 0 for k in _KINDS})
+    saw_run_end = False
+    for rec in events:
+        rtype, name = rec.get("type"), rec.get("name")
+        attrs = rec.get("attrs") or {}
+        if name == "run.start":
+            rep.engine = str(attrs.get("engine", rep.engine))
+            rep.workload = str(attrs.get("workload", rep.workload))
+            rep.mode = str(attrs.get("mode", rep.mode))
+            rep.n_frames = int(attrs.get("n_frames", rep.n_frames))
+            rep.width = int(attrs.get("width", rep.width))
+            rep.height = int(attrs.get("height", rep.height))
+            rep.n_workers = int(attrs.get("n_workers", rep.n_workers))
+        elif name == "frame":
+            f = int(attrs.get("frame", -1))
+            row = rep.per_frame.setdefault(
+                f, {"n_computed": 0, "n_copied": 0, **{k: 0 for k in RAY_KEYS}}
+            )
+            row["n_computed"] += int(attrs.get("n_computed", 0))
+            row["n_copied"] += int(attrs.get("n_copied", 0))
+            for key in RAY_KEYS:
+                row[key] += int(attrs.get(key, 0))
+        elif name == "task":
+            rep.n_tasks += 1
+        elif name == "worker":
+            rep.workers.append(
+                {
+                    "worker": str(attrs.get("worker", "?")),
+                    "busy": float(attrs.get("busy", 0.0)),
+                    "n_tasks": int(attrs.get("n_tasks", 0)),
+                    "utilization": float(attrs.get("utilization", 0.0)),
+                }
+            )
+        elif name == "recovery":
+            kind = str(attrs.get("kind", "?"))
+            rep.recovery[kind] = rep.recovery.get(kind, 0) + 1
+        elif name == "run.end":
+            saw_run_end = True
+            rep.wall_time = float(attrs.get("wall_time", rep.wall_time))
+            for kind in _KINDS:
+                rep.rays[kind] = int(attrs.get(f"rays_{kind}", 0))
+            rep.computed_pixels = int(attrs.get("computed_pixels", 0))
+            rep.copied_pixels = int(attrs.get("copied_pixels", 0))
+            if attrs.get("n_tasks"):
+                rep.n_tasks = int(attrs["n_tasks"])
+        elif rtype == "counter":
+            rep.counters[name] = rep.counters.get(name, 0) + rec.get("value", 0)
+    if not saw_run_end:
+        # Crashed / partial run: rebuild totals from the per-frame rows.
+        for row in rep.per_frame.values():
+            rep.computed_pixels += row["n_computed"]
+            rep.copied_pixels += row["n_copied"]
+            for kind in _KINDS:
+                rep.rays[kind] += row[f"rays_{kind}"]
+    rep.workers.sort(key=lambda w: w["worker"])
+    return rep
+
+
+def _fmt_int(n: int) -> str:
+    return f"{n:,}"
+
+
+def format_report(rep: TelemetryReport, per_frame: bool = False) -> str:
+    """The Table-1-style text rendering of a run report."""
+    lines = []
+    lines.append(
+        f"== telemetry report: {rep.workload} "
+        f"[{rep.engine}/{rep.mode}] "
+        f"{rep.n_frames} frames @ {rep.width}x{rep.height}, {rep.n_workers} workers =="
+    )
+    lines.append("")
+    lines.append("rays by kind")
+    for kind in _KINDS:
+        lines.append(f"  {kind:<10} {_fmt_int(rep.rays.get(kind, 0)):>14}")
+    lines.append("")
+    total_px = rep.computed_pixels + rep.copied_pixels
+    pct = 100.0 * rep.computed_fraction
+    lines.append("pixels")
+    lines.append(f"  computed   {_fmt_int(rep.computed_pixels):>14}  ({pct:.1f}% of {_fmt_int(total_px)})")
+    lines.append(f"  copied     {_fmt_int(rep.copied_pixels):>14}")
+    lines.append("")
+    if rep.workers:
+        lines.append("per-worker utilization")
+        lines.append(f"  {'worker':<18} {'busy(s)':>10} {'tasks':>6} {'util%':>7}")
+        for w in rep.workers:
+            lines.append(
+                f"  {w['worker']:<18} {w['busy']:>10.3f} {w['n_tasks']:>6} "
+                f"{100.0 * w['utilization']:>6.1f}%"
+            )
+        lines.append("")
+    if rep.recovery:
+        parts = [f"{rep.recovery[k]} {k}" for k in sorted(rep.recovery)]
+        lines.append(f"recovery events: {', '.join(parts)}")
+        lines.append("")
+    if rep.counters:
+        lines.append("counters")
+        for name in sorted(rep.counters):
+            lines.append(f"  {name:<28} {_fmt_int(int(rep.counters[name])):>14}")
+        lines.append("")
+    if per_frame and rep.per_frame:
+        lines.append("per-frame")
+        lines.append(f"  {'frame':>5} {'computed':>10} {'copied':>10} {'rays':>12}")
+        for f in sorted(rep.per_frame):
+            row = rep.per_frame[f]
+            lines.append(
+                f"  {f:>5} {row['n_computed']:>10} {row['n_copied']:>10} "
+                f"{row['rays_total']:>12}"
+            )
+        lines.append("")
+    lines.append(f"tasks: {rep.n_tasks}    wall time: {rep.wall_time:.3f} s")
+    return "\n".join(lines)

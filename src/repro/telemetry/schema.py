@@ -1,0 +1,132 @@
+"""The versioned telemetry event schema.
+
+The acceptance contract of the telemetry spine is that a *real* farm run
+and a *simulated* strategy replay of the same animation emit logs of the
+same shape: every named span/event carries exactly the attribute keys
+pinned here, so the report renderer (and any downstream tooling) can
+consume either log without knowing which system produced it.
+
+``validate_events`` is strict on purpose — an attr added or dropped at one
+emission site without updating this table is a schema drift, and the CI
+smoke job fails on it rather than letting the logs silently diverge.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_SCHEMA",
+    "CORE_EVENTS",
+    "SchemaError",
+    "validate_events",
+    "schema_of_events",
+]
+
+#: Bump when any EVENT_SCHEMA entry changes shape.
+SCHEMA_VERSION = 1
+
+#: Ray-kind attr keys shared by ``frame`` and ``run.end``.
+RAY_KEYS = ("rays_camera", "rays_reflected", "rays_refracted", "rays_shadow", "rays_total")
+
+#: name -> exact attribute key set.  Every span/event with one of these
+#: names must carry exactly these attrs (values are unconstrained).
+EVENT_SCHEMA: dict[str, frozenset[str]] = {
+    # -- emitted by every engine (real farm, pipeline, simulators) ---------
+    "run.start": frozenset(
+        {"engine", "workload", "n_frames", "width", "height", "n_workers", "mode"}
+    ),
+    "task": frozenset(
+        {"worker", "mode", "frame0", "frame1", "region", "rays", "n_computed", "attempt"}
+    ),
+    "frame": frozenset({"frame", "n_computed", "n_copied", *RAY_KEYS}),
+    "worker": frozenset({"worker", "busy", "n_tasks", "utilization"}),
+    "run.end": frozenset(
+        {"wall_time", "computed_pixels", "copied_pixels", "n_tasks", "n_workers", *RAY_KEYS}
+    ),
+    # -- real-renderer detail events ---------------------------------------
+    "sequence": frozenset({"first_frame", "last_frame"}),
+    "coherence.frame": frozenset(
+        {"frame", "n_changed_voxels", "map_entries", "n_intersection_tests"}
+    ),
+    "shadow.frame": frozenset({"frame", "n_shadow_reusable", "shadow_rays_saved"}),
+    # -- supervision / robustness ------------------------------------------
+    "task.attempt": frozenset({"task", "attempt", "outcome", "duration", "started"}),
+    "recovery": frozenset({"kind", "task", "attempt", "duration"}),
+    "checkpoint": frozenset({"task", "action"}),
+    "profile": frozenset({"path"}),
+}
+
+#: The run-shape every engine must cover for two logs to be comparable.
+CORE_EVENTS = ("run.start", "task", "frame", "worker", "run.end")
+
+
+class SchemaError(ValueError):
+    """An event log violates the pinned telemetry schema."""
+
+
+def _problems(events) -> list[str]:
+    problems: list[str] = []
+    for i, rec in enumerate(events):
+        if not isinstance(rec, dict):
+            problems.append(f"record {i}: not a dict")
+            continue
+        rtype = rec.get("type")
+        name = rec.get("name")
+        if rtype not in ("span", "event", "counter", "gauge", "histogram"):
+            problems.append(f"record {i}: unknown type {rtype!r}")
+            continue
+        if not isinstance(name, str) or not name:
+            problems.append(f"record {i}: missing name")
+            continue
+        if "t" not in rec:
+            problems.append(f"record {i} ({name}): missing timestamp 't'")
+        if rtype == "span" and "dur" not in rec:
+            problems.append(f"record {i} ({name}): span without 'dur'")
+        if rtype in ("counter", "gauge", "histogram"):
+            if "value" not in rec:
+                problems.append(f"record {i} ({name}): {rtype} without 'value'")
+            continue  # metric names are free-form
+        expected = EVENT_SCHEMA.get(name)
+        if expected is None:
+            problems.append(f"record {i}: unregistered event name {name!r}")
+            continue
+        got = frozenset((rec.get("attrs") or {}).keys())
+        if got != expected:
+            missing = sorted(expected - got)
+            extra = sorted(got - expected)
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extra:
+                detail.append(f"extra {extra}")
+            problems.append(f"record {i} ({name}): attr drift — {', '.join(detail)}")
+    return problems
+
+
+def validate_events(events) -> None:
+    """Raise :class:`SchemaError` if any record drifts from the schema."""
+    problems = _problems(events)
+    if problems:
+        shown = "\n  ".join(problems[:20])
+        more = f"\n  ... and {len(problems) - 20} more" if len(problems) > 20 else ""
+        raise SchemaError(f"telemetry schema violations:\n  {shown}{more}")
+
+
+def schema_of_events(events) -> dict[str, tuple[str, ...]]:
+    """Observed name -> sorted attr keys for span/event records.
+
+    Two logs have "the same schema" when these maps agree on every shared
+    name and both cover :data:`CORE_EVENTS` — the property the farm/simulator
+    equivalence test asserts.
+    """
+    seen: dict[str, tuple[str, ...]] = {}
+    for rec in events:
+        if rec.get("type") in ("span", "event"):
+            name = rec.get("name", "")
+            keys = tuple(sorted((rec.get("attrs") or {}).keys()))
+            prev = seen.setdefault(name, keys)
+            if prev != keys:
+                raise SchemaError(
+                    f"event {name!r} emitted with inconsistent attrs: {prev} vs {keys}"
+                )
+    return seen

@@ -1,0 +1,75 @@
+"""Telemetry sinks: where emitted records go.
+
+A sink is anything with ``emit(record: dict)``; ``close()`` is optional.
+Three are provided: an in-memory buffer (tests, report generation in the
+same process), an append-only JSONL file (the durable event log the
+``repro telemetry`` subcommand replays), and a human stream summary.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["InMemorySink", "JsonlSink", "StreamSink"]
+
+
+class InMemorySink:
+    """Buffers every record in a list (``sink.events``)."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.events.append(record)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlSink:
+    """Appends one compact JSON object per record to a file.
+
+    The file handle is opened lazily on first emit (so constructing a
+    telemetry config never litters the filesystem) and flushed per record
+    — an interrupted render keeps every event that was reported before
+    the crash, which is exactly when you want the log most.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = None
+
+    def emit(self, record: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class StreamSink:
+    """Human-oriented one-line-per-record rendering (progress displays)."""
+
+    def __init__(self, stream=None, types: tuple[str, ...] = ("event", "span")):
+        self.stream = stream if stream is not None else sys.stderr
+        self.types = types
+
+    def emit(self, record: dict) -> None:
+        if record.get("type") not in self.types:
+            return
+        attrs = record.get("attrs") or {}
+        parts = [f"{k}={attrs[k]}" for k in sorted(attrs)]
+        dur = f" dur={record['dur']:.4f}s" if "dur" in record else ""
+        print(
+            f"[telemetry] {record.get('type')}:{record.get('name')}"
+            f" t={record.get('t', 0.0):.4f}{dur} {' '.join(parts)}",
+            file=self.stream,
+        )

@@ -1,0 +1,175 @@
+"""The unified render facade: one request shape for all three engines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import ENGINES, SIM_STRATEGIES, RenderRequest, RenderResult, render
+from repro.telemetry import CORE_EVENTS, schema_of_events, validate_events
+
+SMALL = dict(workload="newton", n_frames=3, width=48, height=36, grid_resolution=12)
+
+
+# -- dispatch --------------------------------------------------------------------
+def test_animation_engine_matches_pipeline():
+    from repro.pipeline import _render_animation
+    from repro.scenes import newton_animation
+
+    result = render(RenderRequest(engine="animation", **SMALL))
+    assert isinstance(result, RenderResult)
+    assert result.engine == "animation" and result.workload == "newton"
+    anim = newton_animation(n_frames=3, width=48, height=36)
+    reference = _render_animation(anim, grid_resolution=12)
+    assert np.array_equal(result.frames, reference.frames)
+    assert result.stats.total == reference.stats.total
+    assert result.total_copied_pixels() == reference.total_copied_pixels()
+
+
+def test_farm_engine_bit_identical(tmp_path):
+    result = render(
+        RenderRequest(
+            engine="farm", executor="thread", n_workers=2, mode="frame",
+            verify=True, telemetry=True, run_dir=tmp_path / "run", **SMALL,
+        )
+    )
+    assert result.engine == "farm"
+    assert result.bit_identical is True
+    assert result.n_tasks > 0 and result.n_workers == 2
+    assert result.recovery["retries"] == 0
+    assert (tmp_path / "run" / "events.jsonl").exists()
+
+
+def test_simulate_engine_returns_outcome():
+    result = render(RenderRequest(engine="simulate", strategy="frame-division-fc", **SMALL))
+    assert result.engine == "simulate" and result.mode == "frame-division-fc"
+    assert result.outcome is not None
+    assert result.outcome.total_time > 0
+    assert result.frames is None  # the simulator models time, not pixels
+
+
+def test_kwargs_override_request():
+    req = RenderRequest(engine="animation", **SMALL)
+    result = render(req, n_frames=2)
+    assert result.n_frames == 2
+
+
+def test_bad_engine_strategy_workload_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        render(RenderRequest(engine="warp"))
+    with pytest.raises(ValueError, match="unknown strategy"):
+        render(RenderRequest(engine="simulate", strategy="psychic", **SMALL))
+    with pytest.raises(ValueError, match="unknown workload"):
+        render(RenderRequest(workload="doom"))
+    with pytest.raises(ValueError, match="picklable"):
+        from repro.scenes import newton_animation
+
+        render(RenderRequest(workload=newton_animation(n_frames=2), engine="farm"))
+    assert set(ENGINES) == {"animation", "farm", "simulate"}
+    assert "sequence-division-fc" in SIM_STRATEGIES
+
+
+def test_render_animation_entry_point_deprecated():
+    from repro.pipeline import render_animation
+    from repro.scenes import newton_animation
+
+    anim = newton_animation(n_frames=2, width=32, height=24)
+    with pytest.warns(DeprecationWarning, match="repro.api.render"):
+        out = render_animation(anim, grid_resolution=12)
+    assert out.n_frames == 2
+
+
+# -- the telemetry acceptance criterion ------------------------------------------
+def test_farm_and_simulator_emit_identical_schema(tmp_path):
+    """A real farm run and a simulated run of the same Newton spec must be
+    schema-identical on every event name they share, and both must cover
+    the core event set."""
+    farm = render(
+        RenderRequest(
+            engine="farm", executor="thread", n_workers=2, mode="sequence",
+            telemetry=True, **SMALL,
+        )
+    )
+    sim = render(
+        RenderRequest(engine="simulate", strategy="sequence-division-fc",
+                      telemetry=True, **SMALL)
+    )
+    validate_events(farm.events)
+    validate_events(sim.events)
+    farm_schema = schema_of_events(farm.events)
+    sim_schema = schema_of_events(sim.events)
+    assert set(CORE_EVENTS) <= set(farm_schema)
+    assert set(CORE_EVENTS) <= set(sim_schema)
+    shared = set(farm_schema) & set(sim_schema)
+    for name in shared:
+        assert frozenset(farm_schema[name]) == frozenset(sim_schema[name]), name
+
+
+def test_animation_engine_core_events_and_jsonl(tmp_path):
+    result = render(
+        RenderRequest(engine="animation", telemetry=True,
+                      events_path=tmp_path / "log.jsonl", **SMALL)
+    )
+    validate_events(result.events)
+    names = {e["name"] for e in result.events}
+    assert set(CORE_EVENTS) <= names
+    on_disk = [json.loads(s) for s in Path(result.events_path).read_text().splitlines()]
+    assert on_disk == result.events
+    # run.end totals agree with the returned stats object.
+    end = next(e for e in result.events if e["name"] == "run.end")
+    assert end["attrs"]["rays_total"] == result.stats.total
+    assert end["attrs"]["computed_pixels"] == result.total_computed_pixels()
+
+
+def test_no_telemetry_means_no_events():
+    result = render(RenderRequest(engine="animation", **SMALL))
+    assert result.events == [] and result.events_path is None
+
+
+def test_farm_profile_dir_produces_mergeable_profiles(tmp_path):
+    from repro.telemetry import merge_profiles
+
+    result = render(
+        RenderRequest(
+            engine="farm", executor="serial", n_workers=1, mode="sequence",
+            telemetry=True, profile_dir=tmp_path / "prof", **SMALL,
+        )
+    )
+    profs = sorted((tmp_path / "prof").glob("*.prof"))
+    assert profs, "each task should leave a .prof file"
+    assert merge_profiles(tmp_path / "prof") is not None
+    names = {e["name"] for e in result.events}
+    assert "profile" in names
+
+
+# -- the CLI surface -------------------------------------------------------------
+def test_cli_telemetry_subcommand(tmp_path, capsys):
+    from repro.cli import main
+
+    run_dir = tmp_path / "run"
+    render(
+        RenderRequest(engine="farm", executor="thread", n_workers=2,
+                      telemetry=True, run_dir=run_dir, **SMALL)
+    )
+    assert main(["telemetry", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry report" in out
+    assert "rays by kind" in out
+    assert "per-worker utilization" in out
+    assert main(["telemetry", str(run_dir / "events.jsonl")]) == 0
+
+
+def test_cli_simulate_subcommand(capsys):
+    from repro.cli import main
+
+    rc = main(
+        ["simulate", "newton", "--frames", "3", "--width", "48", "--height", "36",
+         "--grid", "12", "--strategy", "frame-division-fc"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "frame-division+fc" in out
+    assert "virtual seconds" in out

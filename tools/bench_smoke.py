@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""CI benchmark smoke: a tiny instrumented render, gated on the bench contract.
+
+Runs one small farm render through the unified API with telemetry on,
+distills the event log into the required bench metrics, writes
+``BENCH_smoke.json``, and exits non-zero if anything drifts:
+
+* the event log violates the pinned telemetry schema,
+* the core event set is not covered,
+* the bench payload loses a required metric key,
+* the render produced no work (zero rays or pixels).
+
+Usage::
+
+    python tools/bench_smoke.py [--out benchmarks/results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import RenderRequest, render  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    CORE_EVENTS,
+    REQUIRED_BENCH_METRICS,
+    SchemaError,
+    metrics_from_events,
+    validate_bench,
+    validate_events,
+    write_bench_json,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", type=Path, default=Path("benchmarks/results"))
+    ap.add_argument("--frames", type=int, default=3)
+    ap.add_argument("--width", type=int, default=48)
+    ap.add_argument("--height", type=int, default=36)
+    args = ap.parse_args(argv)
+
+    result = render(
+        RenderRequest(
+            workload="newton",
+            engine="farm",
+            executor="thread",
+            n_workers=2,
+            mode="frame",
+            n_frames=args.frames,
+            width=args.width,
+            height=args.height,
+            grid_resolution=12,
+            verify=True,
+            telemetry=True,
+        )
+    )
+    if result.bit_identical is not True:
+        print("FAIL: farm output not bit-identical to the serial reference")
+        return 1
+
+    try:
+        validate_events(result.events)
+    except SchemaError as exc:
+        print(f"FAIL: telemetry schema drift: {exc}")
+        return 1
+    names = {e["name"] for e in result.events}
+    missing = set(CORE_EVENTS) - names
+    if missing:
+        print(f"FAIL: core telemetry events missing: {sorted(missing)}")
+        return 1
+
+    metrics = metrics_from_events(result.events)
+    try:
+        path = write_bench_json(args.out, "smoke", metrics, extra={"engine": "farm"})
+        validate_bench(json.loads(path.read_text()))
+    except ValueError as exc:
+        print(f"FAIL: bench payload drift: {exc}")
+        return 1
+    if metrics["rays_total"] <= 0 or metrics["computed_pixels"] <= 0:
+        print(f"FAIL: smoke render did no work: {metrics}")
+        return 1
+
+    print(f"OK: {path}")
+    for key in REQUIRED_BENCH_METRICS:
+        print(f"  {key:<18} {metrics[key]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
