@@ -87,6 +87,8 @@ class RenderRequest:
     mode: str = "frame"
     n_workers: int | None = None
     executor: str = "process"
+    schedule: str = "static"
+    segment_frames: int | None = None
     max_attempts: int = 3
     task_timeout: float | None = None
     run_dir: str | Path | None = None
@@ -244,6 +246,8 @@ def _run_farm(req: RenderRequest, tel, label, spec) -> RenderResult:
         n_workers=req.n_workers,
         mode=req.mode,
         executor=req.executor,
+        schedule=req.schedule,
+        segment_frames=req.segment_frames,
         grid_resolution=req.grid_resolution,
         samples_per_axis=req.samples_per_axis,
         max_attempts=req.max_attempts,

@@ -91,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("process", "thread", "serial"), default="process"
     )
     p_farm.add_argument(
+        "--schedule", choices=("static", "demand", "adaptive"), default="static",
+        help="task scheduling: static upfront list, demand-driven block queue, "
+             "or adaptive sequence chains with tail-stealing",
+    )
+    p_farm.add_argument(
+        "--segment-frames", type=int, default=None, metavar="N",
+        help="frames per dispatched segment for --schedule adaptive "
+             "(default: executor-dependent)",
+    )
+    p_farm.add_argument(
         "--max-attempts", type=int, default=3,
         help="pool attempts per task before degrading to in-process serial execution",
     )
@@ -252,6 +262,8 @@ def _cmd_farm(args) -> int:
         n_workers=args.workers,
         mode=args.mode,
         executor=args.executor,
+        schedule=args.schedule,
+        segment_frames=args.segment_frames,
         max_attempts=args.max_attempts,
         task_timeout=args.task_timeout,
         run_dir=args.run_dir,
@@ -263,7 +275,7 @@ def _cmd_farm(args) -> int:
     )
     rec = result.recovery
     print(
-        f"{args.mode} division: {result.n_tasks} tasks on {args.workers} workers "
+        f"{result.mode}: {result.n_tasks} tasks on {args.workers} workers "
         f"in {result.wall_time:.1f}s, {result.stats.total:,} rays"
     )
     if result.n_from_checkpoint:

@@ -1,11 +1,6 @@
 """Parallel rendering: partitioning, cost oracle, simulated strategies."""
 
 from .config import RenderFarmConfig
-from .fault_tolerance import (
-    default_worker_timeout,
-    simulate_frame_division_fc_fault_tolerant,
-    simulate_sequence_division_fc_fault_tolerant,
-)
 from .oracle import AnimationCostOracle, build_oracle
 from .outcome import SimulationOutcome, format_hms, load_imbalance
 from .partition import (
@@ -17,15 +12,32 @@ from .partition import (
     sequence_ranges,
     strip_regions,
 )
-from .strategies import (
-    default_blocks,
-    simulate_frame_division_fc,
-    simulate_frame_division_nofc,
-    simulate_hybrid_fc,
-    simulate_sequence_division_fc,
-    simulate_sequence_division_nofc,
-    simulate_single_processor,
-)
+
+# strategies / fault_tolerance sit on top of repro.sched, which itself
+# builds on this package's config/oracle/partition layers; loading them
+# lazily keeps `import repro.parallel` (or any repro.sched entry point)
+# from chasing that loop back into a partially initialized module.
+_LAZY = {
+    "default_blocks": "strategies",
+    "simulate_frame_division_fc": "strategies",
+    "simulate_frame_division_nofc": "strategies",
+    "simulate_hybrid_fc": "strategies",
+    "simulate_sequence_division_fc": "strategies",
+    "simulate_sequence_division_nofc": "strategies",
+    "simulate_single_processor": "strategies",
+    "default_worker_timeout": "fault_tolerance",
+    "simulate_frame_division_fc_fault_tolerant": "fault_tolerance",
+    "simulate_sequence_division_fc_fault_tolerant": "fault_tolerance",
+}
+
+
+def __getattr__(name: str):
+    modname = _LAZY.get(name)
+    if modname is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{modname}", __name__), name)
 
 __all__ = [
     "AnimationCostOracle",

@@ -31,18 +31,24 @@ from collections import deque
 
 from ..cluster import Machine, Recv, Send, ThrashModel, WriteFile
 from ..imageio import targa_nbytes
+from ..sched.core import Chain as _Chain
+from ..sched.sim import (
+    RunAccounting as _RunAccounting,
+)
+from ..sched.sim import (
+    SimTelemetry as _SimTelemetry,
+)
+from ..sched.sim import (
+    outcome_from as _outcome,
+)
+from ..sched.sim import (
+    spawn_farm as _spawn_farm,
+)
 from .config import RenderFarmConfig
 from .oracle import AnimationCostOracle
 from .outcome import SimulationOutcome
 from .partition import PixelRegion, sequence_ranges
-from .strategies import (
-    _Chain,
-    _outcome,
-    _RunAccounting,
-    _SimTelemetry,
-    _spawn_farm,
-    default_blocks,
-)
+from .strategies import default_blocks
 
 __all__ = [
     "simulate_frame_division_fc_fault_tolerant",
@@ -180,7 +186,12 @@ def _ft_master_factory(
                     dead.add(tid)
                     acct.n_steals += 1  # recorded as recovery events
                     if sim_tel is not None:
-                        sim_tel.recovery("deadline", chain.region_index, worker_timeout)
+                        sim_tel.recovery(
+                            "deadline",
+                            chain.region_index,
+                            worker_timeout,
+                            worker=sim_tel.names.get(tid, f"tid{tid}"),
+                        )
                     chain.fresh = True
                     chain.next_frame = frame
                     supply.append(chain)

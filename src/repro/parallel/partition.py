@@ -26,6 +26,7 @@ import numpy as np
 __all__ = [
     "PixelRegion",
     "block_regions",
+    "default_block_layout",
     "strip_regions",
     "pixel_regions",
     "sequence_ranges",
@@ -93,6 +94,21 @@ def block_regions(width: int, height: int, block_w: int = 80, block_h: int = 80)
                 )
             )
     return regions
+
+
+def default_block_layout(
+    width: int, height: int, block_w: int | None = None, block_h: int | None = None
+) -> list[PixelRegion]:
+    """The canonical farm/simulator block tiling.
+
+    The paper renders 320x240 frames in 80x80 blocks — a 4x3 grid; scaled
+    to any resolution that is ``width//4 x height//3`` blocks.  Both the
+    simulator's ``default_blocks`` and the real farm's frame-division
+    layout call this, so the two systems always partition identically.
+    """
+    bw = block_w or max(1, width // 4)
+    bh = block_h or max(1, height // 3)
+    return block_regions(width, height, block_w=bw, block_h=bh)
 
 
 def strip_regions(width: int, height: int, n: int) -> list[PixelRegion]:

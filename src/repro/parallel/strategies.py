@@ -1,11 +1,12 @@
 """The rendering strategies of Table 1, as simulated PVM programs.
 
-Each ``simulate_*`` function stands up a :class:`~repro.cluster.VirtualPVM`
-with a master task (which owns the strategy's scheduling policy and writes
-finished frames to disk) and one generic worker task per machine, replays
+Each ``simulate_*`` function builds the pure scheduling policy for its
+Table-1 column (:mod:`repro.sched.core`) and replays it over the
+discrete-event :class:`~repro.cluster.VirtualPVM` via
+:class:`~repro.sched.sim.SimTransport`, pricing every assignment with
 the animation's measured costs (from the
-:class:`~repro.parallel.oracle.AnimationCostOracle`) through it, and
-returns a :class:`~repro.parallel.outcome.SimulationOutcome`.
+:class:`~repro.parallel.oracle.AnimationCostOracle`) and returning a
+:class:`~repro.parallel.outcome.SimulationOutcome`.
 
 Strategies:
 
@@ -22,24 +23,27 @@ Strategies:
 The master always runs on the first (fastest) machine and performs no
 compute, only scheduling and file output; a worker runs on *every* machine,
 including the master's — matching the paper's three-machine testbed.
+The same policy objects drive the real multiprocessing farm through
+:class:`~repro.sched.process.ProcessTransport`, which is what makes a
+simulated schedule directly comparable to an executed one.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Iterator
-
-import numpy as np
-
-from ..cluster import Compute, Machine, Recv, Send, ThrashModel, VirtualPVM, WriteFile
-from ..imageio import targa_nbytes
-from ..telemetry import NULL as NULL_TELEMETRY
-from ..telemetry import VirtualClock
+from ..cluster import Machine, ThrashModel
+from ..sched.core import Chain, make_policy, single_processor_policy
+from ..sched.sim import (
+    RunAccounting,
+    SimTelemetry,
+    SimTransport,
+    outcome_from,
+    spawn_farm,
+    worker_program,
+)
 from .config import RenderFarmConfig
 from .oracle import AnimationCostOracle
 from .outcome import SimulationOutcome
-from .partition import PixelRegion, block_regions, sequence_ranges
+from .partition import PixelRegion, default_block_layout, sequence_ranges
 
 __all__ = [
     "simulate_single_processor",
@@ -51,256 +55,32 @@ __all__ = [
     "default_blocks",
 ]
 
+# Back-compat aliases: fault_tolerance and external callers grew up on the
+# underscore names this module used before the plumbing moved to repro.sched.
+_Chain = Chain
+_SimTelemetry = SimTelemetry
+_RunAccounting = RunAccounting
+_spawn_farm = spawn_farm
+_worker_program = worker_program
+_outcome = outcome_from
+
 
 def default_blocks(oracle: AnimationCostOracle) -> list[PixelRegion]:
     """The paper's 80x80-of-320x240 block layout, scaled to the oracle's
     resolution: a 4x3 grid of equal blocks."""
-    return block_regions(
-        oracle.width,
-        oracle.height,
-        block_w=max(1, oracle.width // 4),
-        block_h=max(1, oracle.height // 3),
-    )
+    return default_block_layout(oracle.width, oracle.height)
 
 
-# -- shared plumbing ----------------------------------------------------------
-class _SimTelemetry:
-    """Bridges a strategy replay onto the pinned telemetry schema.
-
-    Spans and events carry *virtual* timestamps (the telemetry clock is
-    rebound to ``pvm.sim.now`` once the farm exists), but their names and
-    attribute keys are exactly those of a real farm run — the property the
-    schema-equality acceptance test pins down.  Masters stamp dispatch
-    metadata into the task payload (``_t0``/``_rays``/...): payload contents
-    don't affect the modeled message size (``reply_bytes`` is explicit), and
-    the echo-back of the payload is what lets the master close the span.
-    """
-
-    def __init__(self, telemetry, oracle: AnimationCostOracle, mode: str):
-        self.tel = telemetry if telemetry is not None else NULL_TELEMETRY
-        self.enabled = self.tel.enabled
-        self.oracle = oracle
-        self.mode = mode
-        self.names: dict[int, str] = {}  # worker tid -> machine name
-        self.tasks_of: dict[str, int] = {}
-        self.frame_rays: dict[int, int] = {}
-        self.frame_computed: dict[int, int] = {}
-        self.kind_totals = np.zeros(4, dtype=np.int64)
-        self.rays_total = 0
-        self.computed_pixels = 0
-        self.copied_pixels = 0
-        self.n_tasks = 0
-
-    def bind(self, pvm: VirtualPVM, machines: list[Machine], worker_tids: list[int]) -> None:
-        if not self.enabled:
-            return
-        self.tel.use_clock(VirtualClock(lambda: pvm.sim.now))
-        self.names = {tid: m.name for tid, m in zip(worker_tids, machines)}
-        self.tel.event(
-            "run.start",
-            engine="sim",
-            workload="oracle",
-            n_frames=self.oracle.n_frames,
-            width=self.oracle.width,
-            height=self.oracle.height,
-            n_workers=len(machines) if machines else 1,
-            mode=self.mode,
-        )
-
-    def on_dispatch(
-        self, payload: dict, frame: int, region_px: int, rays: int, n_computed: int, now: float
-    ) -> None:
-        if not self.enabled:
-            return
-        self.frame_rays[frame] = self.frame_rays.get(frame, 0) + int(rays)
-        self.frame_computed[frame] = self.frame_computed.get(frame, 0) + int(n_computed)
-        payload["_t0"] = now
-        payload["_region_px"] = int(region_px)
-        payload["_rays"] = int(rays)
-        payload["_n_computed"] = int(n_computed)
-
-    def on_done(self, src: int, payload: dict, now: float) -> None:
-        if not self.enabled:
-            return
-        worker = self.names.get(src, f"tid{src}")
-        self.n_tasks += 1
-        self.tasks_of[worker] = self.tasks_of.get(worker, 0) + 1
-        t0 = payload.get("_t0", now)
-        self.tel.emit_span(
-            "task",
-            t0,
-            now - t0,
-            worker=worker,
-            mode=self.mode,
-            frame0=int(payload["frame"]),
-            frame1=int(payload["frame"]) + 1,
-            region=payload.get("_region_px", 0),
-            rays=payload.get("_rays", 0),
-            n_computed=payload.get("_n_computed", 0),
-            attempt=0,
-        )
-
-    def frame_done(self, frame: int) -> None:
-        if not self.enabled:
-            return
-        rays = self.frame_rays.get(frame, 0)
-        computed = self.frame_computed.get(frame, 0)
-        copied = max(0, self.oracle.n_pixels - computed)
-        self.computed_pixels += computed
-        self.copied_pixels += copied
-        self.rays_total += rays
-        kinds = self.oracle.kind_counts(frame, rays)
-        if kinds is None:  # pre-kind-counts oracle: totals only
-            kinds = np.zeros(4, dtype=np.int64)
-        self.kind_totals += kinds
-        self.tel.event(
-            "frame",
-            frame=frame,
-            n_computed=computed,
-            n_copied=copied,
-            rays_camera=int(kinds[0]),
-            rays_reflected=int(kinds[1]),
-            rays_refracted=int(kinds[2]),
-            rays_shadow=int(kinds[3]),
-            rays_total=int(rays),
-        )
-
-    def recovery(self, kind: str, task: int, duration: float) -> None:
-        if not self.enabled:
-            return
-        self.tel.event("recovery", kind=kind, task=int(task), attempt=0, duration=duration)
-        self.tel.counter("recovery.events", 1)
-
-    def finish(self, pvm: VirtualPVM, total_time: float) -> None:
-        if not self.enabled:
-            return
-        busy_by_machine = pvm.cpu_busy_seconds()
-        for worker in sorted(self.tasks_of):
-            busy = busy_by_machine.get(worker, 0.0)
-            self.tel.event(
-                "worker",
-                worker=worker,
-                busy=busy,
-                n_tasks=self.tasks_of[worker],
-                utilization=(busy / total_time) if total_time > 0 else 0.0,
-            )
-        self.tel.event(
-            "run.end",
-            wall_time=total_time,
-            computed_pixels=self.computed_pixels,
-            copied_pixels=self.copied_pixels,
-            n_tasks=self.n_tasks,
-            n_workers=len(self.names) if self.names else 1,
-            rays_camera=int(self.kind_totals[0]),
-            rays_reflected=int(self.kind_totals[1]),
-            rays_refracted=int(self.kind_totals[2]),
-            rays_shadow=int(self.kind_totals[3]),
-            rays_total=int(self.rays_total),
-        )
-
-
-@dataclass
-class _RunAccounting:
-    """Mutable counters the master updates while the simulation runs."""
-
-    total_rays: int = 0
-    total_units: float = 0.0
-    n_chain_starts: int = 0
-    n_steals: int = 0
-    frame_done_at: dict[int, float] = field(default_factory=dict)
-
-
-def _worker_program(master_tid: int) -> Iterator:
-    """The generic slave: receive a task, compute it, return the result.
-
-    The payload carries precomputed ``units`` (from the oracle) and the
-    modelled working-set size; the worker is strategy-agnostic, exactly like
-    the paper's slaves ("the slaves themselves do not need to communicate
-    with each other").
-    """
-    while True:
-        msg = yield Recv()
-        if msg.tag == "stop":
-            return
-        p = msg.payload
-        yield Compute(units=p["units"], working_set_mb=p["ws_mb"])
-        yield Send(master_tid, p["reply_bytes"], payload=p, tag="done")
-
-
-def _spawn_farm(
-    machines: list[Machine],
-    sec_per_work_unit: float,
+def effective_speed_weights(
+    machines: list[Machine], cfg: RenderFarmConfig, oracle: AnimationCostOracle,
     thrash: ThrashModel | None,
-    master_factory,
-    trace: bool = False,
-    sim_tel: _SimTelemetry | None = None,
-    **ethernet_kwargs,
-) -> tuple[VirtualPVM, _RunAccounting]:
-    """Wire up master + one worker per machine; master_factory(pvm, worker_tids, acct)."""
-    pvm = VirtualPVM(
-        machines, sec_per_work_unit=sec_per_work_unit, thrash=thrash, **ethernet_kwargs
-    )
-    pvm.tracing = bool(trace)
-    acct = _RunAccounting()
-    # Reserve tid 1 for the master so workers can address it: spawn order
-    # matters, so create the master generator lazily after worker tids exist.
-    # Trick: master tid is allocated first by spawning a placeholder-free
-    # design — instead we spawn workers first and pass their tids in.
-    worker_tids: list[int] = []
-    master_tid_holder: list[int] = []
-
-    def late_master():
-        # Delegate to the strategy program once spawned.
-        yield from master_factory(pvm, worker_tids, acct)
-
-    # Workers address the master through its (future) tid; since tids are
-    # assigned sequentially we can predict it: workers take 1..n, master n+1.
-    predicted_master_tid = len(machines) + 1
-    for m in machines:
-        worker_tids.append(
-            pvm.spawn(_worker_program(predicted_master_tid), m.name, name=f"worker-{m.name}")
-        )
-    mtid = pvm.spawn(late_master(), machines[0].name, name="master")
-    master_tid_holder.append(mtid)
-    if mtid != predicted_master_tid:  # defensive: spawn order is the contract
-        raise RuntimeError("tid allocation changed; master address is stale")
-    if sim_tel is not None:
-        sim_tel.bind(pvm, machines, worker_tids)
-    return pvm, acct
-
-
-def _outcome(
-    strategy: str,
-    oracle: AnimationCostOracle,
-    pvm: VirtualPVM,
-    acct: _RunAccounting,
-    total_time: float,
-    first_frame_time: float | None = None,
-    sim_tel: _SimTelemetry | None = None,
-) -> SimulationOutcome:
-    if sim_tel is not None:
-        sim_tel.finish(pvm, total_time)
-    timeline = None
-    if pvm.tracing and pvm.events:
-        from ..cluster import render_timeline
-
-        timeline = render_timeline(pvm)
-    return SimulationOutcome(
-        strategy=strategy,
-        n_frames=oracle.n_frames,
-        total_time=total_time,
-        first_frame_time=first_frame_time,
-        frame_completion_times=dict(acct.frame_done_at),
-        total_rays=acct.total_rays,
-        total_units=acct.total_units,
-        machine_busy_seconds=pvm.cpu_busy_seconds(),
-        ethernet_busy_seconds=pvm.ethernet.busy_seconds,
-        n_messages=pvm.ethernet.n_messages,
-        bytes_on_wire=pvm.ethernet.bytes_carried,
-        n_chain_starts=acct.n_chain_starts,
-        n_steals=acct.n_steals,
-        timeline=timeline,
-    )
+) -> list[float]:
+    """Raw speed divided by the expected thrash factor of a full-frame
+    coherence chain — the paper's "matching the computation of a
+    subproblem to the most appropriate processor" on a heterogeneous NOW."""
+    th = thrash if thrash is not None else ThrashModel(alpha=0.0)
+    ws = cfg.fc_working_set_mb(oracle.n_pixels)
+    return [m.speed / th.slowdown(ws, m.memory_mb) for m in machines]
 
 
 # -- Table 1 columns (1) and (2): single processor ------------------------------
@@ -315,49 +95,20 @@ def simulate_single_processor(
 ) -> SimulationOutcome:
     """One renderer process computing and writing every frame in order."""
     cfg = cfg or RenderFarmConfig()
-    pvm = VirtualPVM([machine], sec_per_work_unit=sec_per_work_unit, thrash=thrash)
-    acct = _RunAccounting()
-    frame_bytes = targa_nbytes(oracle.width, oracle.height)
     name = "single+fc" if use_coherence else "single"
-    sim_tel = _SimTelemetry(telemetry, oracle, name)
-    sim_tel.bind(pvm, [machine], [])
-    sim_tel.names = {0: machine.name}  # the lone renderer is tid-less
-
-    def renderer():
-        for f in range(oracle.n_frames):
-            if use_coherence:
-                chain_start = f == 0
-                if chain_start:
-                    rays, n_computed = oracle.full_rays(f), oracle.n_pixels
-                else:
-                    rays, n_computed = oracle.coherent_rays(f)
-                units = cfg.task_units(
-                    rays, True, chain_start=chain_start, region_pixels=oracle.n_pixels
-                )
-                ws = cfg.fc_working_set_mb(oracle.n_pixels)
-                if chain_start:
-                    acct.n_chain_starts += 1
-            else:
-                rays = oracle.full_rays(f)
-                n_computed = oracle.n_pixels
-                units = cfg.task_units(rays, False)
-                ws = cfg.nofc_working_set_mb(oracle.n_pixels)
-            acct.total_rays += rays
-            acct.total_units += units
-            p = {"frame": f}
-            sim_tel.on_dispatch(p, f, oracle.n_pixels, rays, n_computed, pvm.sim.now)
-            yield Compute(units=units, working_set_mb=ws)
-            if cfg.write_frames:
-                yield WriteFile(frame_bytes)
-            acct.frame_done_at[f] = pvm.sim.now
-            sim_tel.on_done(0, p, pvm.sim.now)
-            sim_tel.frame_done(f)
-
-    pvm.spawn(renderer(), machine.name, name="renderer")
-    end = pvm.run()
-    return _outcome(
-        name, oracle, pvm, acct, end, first_frame_time=acct.frame_done_at.get(0), sim_tel=sim_tel
+    policy = single_processor_policy(oracle.n_frames, use_coherence=use_coherence)
+    transport = SimTransport(
+        policy,
+        oracle,
+        [machine],
+        cfg,
+        label=name,
+        sec_per_work_unit=sec_per_work_unit,
+        thrash=thrash,
+        telemetry=telemetry,
+        single=True,
     )
+    return transport.run()
 
 
 # -- Table 1 columns (4)/(5): distributed, no coherence -------------------------
@@ -376,219 +127,21 @@ def simulate_frame_division_nofc(
     they request them" — pure demand-driven, every task full cost."""
     cfg = cfg or RenderFarmConfig()
     regions = regions if regions is not None else default_blocks(oracle)
-    frame_bytes = targa_nbytes(oracle.width, oracle.height)
-    region_pixels = [r.pixels for r in regions]
-    sim_tel = _SimTelemetry(telemetry, oracle, "frame-division")
-
-    def master_factory(pvm: VirtualPVM, worker_tids: list[int], acct: _RunAccounting):
-        tasks = deque((f, ri) for f in range(oracle.n_frames) for ri in range(len(regions)))
-        remaining = {f: len(regions) for f in range(oracle.n_frames)}
-        n_total = len(tasks)
-
-        def payload(f: int, ri: int) -> dict:
-            rays = oracle.full_rays(f, region_pixels[ri])
-            units = cfg.task_units(rays, False)
-            acct.total_rays += rays
-            acct.total_units += units
-            p = {
-                "frame": f,
-                "region": ri,
-                "units": units,
-                "ws_mb": cfg.nofc_working_set_mb(regions[ri].n_pixels),
-                "reply_bytes": cfg.result_bytes(regions[ri].n_pixels),
-            }
-            sim_tel.on_dispatch(p, f, regions[ri].n_pixels, rays, regions[ri].n_pixels, pvm.sim.now)
-            return p
-
-        n_done = 0
-        stopped = set()
-        for tid in worker_tids:
-            if tasks:
-                f, ri = tasks.popleft()
-                yield Send(tid, cfg.request_bytes, payload(f, ri), tag="task")
-            else:
-                stopped.add(tid)
-                yield Send(tid, cfg.msg_overhead_bytes, None, tag="stop")
-        while n_done < n_total:
-            msg = yield Recv(tag="done")
-            n_done += 1
-            sim_tel.on_done(msg.src, msg.payload, pvm.sim.now)
-            f = msg.payload["frame"]
-            remaining[f] -= 1
-            if remaining[f] == 0:
-                if cfg.write_frames:
-                    yield WriteFile(frame_bytes)
-                acct.frame_done_at[f] = pvm.sim.now
-                sim_tel.frame_done(f)
-            if tasks:
-                nf, nri = tasks.popleft()
-                yield Send(msg.src, cfg.request_bytes, payload(nf, nri), tag="task")
-            else:
-                stopped.add(msg.src)
-                yield Send(msg.src, cfg.msg_overhead_bytes, None, tag="stop")
-        for tid in worker_tids:
-            if tid not in stopped:
-                yield Send(tid, cfg.msg_overhead_bytes, None, tag="stop")
-
-    pvm, acct = _spawn_farm(
-        machines, sec_per_work_unit, thrash, master_factory, trace=trace, sim_tel=sim_tel,
+    policy = make_policy("frame-division-nofc", oracle.n_frames, n_regions=len(regions))
+    transport = SimTransport(
+        policy,
+        oracle,
+        machines,
+        cfg,
+        regions=regions,
+        label="frame-division",
+        sec_per_work_unit=sec_per_work_unit,
+        thrash=thrash,
+        trace=trace,
+        telemetry=telemetry,
         **ethernet_kwargs,
     )
-    end = pvm.run()
-    return _outcome("frame-division", oracle, pvm, acct, end, sim_tel=sim_tel)
-
-
-# -- chained (coherence) strategies: shared master -----------------------------
-@dataclass
-class _Chain:
-    """A coherence chain: frames [next, end) over one region, owned by a worker."""
-
-    region_index: int  # index into the regions list (0 == whole frame)
-    next_frame: int
-    end_frame: int
-    fresh: bool  # next dispatch is a chain start (full render)
-
-    @property
-    def remaining(self) -> int:
-        return self.end_frame - self.next_frame
-
-
-def _chained_master_factory(
-    oracle: AnimationCostOracle,
-    cfg: RenderFarmConfig,
-    regions: list[PixelRegion] | None,
-    initial_chains: list[_Chain],
-    pending_chains: deque,
-    use_coherence: bool,
-    strategy_blocks_per_frame: int,
-    sim_tel: _SimTelemetry | None = None,
-):
-    """Master for chain-structured strategies (sequence/frame/hybrid division).
-
-    ``initial_chains`` are handed to workers in order; ``pending_chains``
-    supplies further chains on demand; when both run dry, idle workers
-    *steal* the tail half of the chain with the most remaining frames
-    (the paper's adaptive subdivision), paying a fresh chain start.
-    """
-    region_pixels = (
-        [r.pixels for r in regions] if regions is not None else None
-    )
-    frame_bytes_full = None  # bound in factory below
-
-    def factory(pvm: VirtualPVM, worker_tids: list[int], acct: _RunAccounting):
-        nonlocal frame_bytes_full
-        frame_bytes_full = targa_nbytes(oracle.width, oracle.height)
-        chains: dict[int, _Chain] = {}
-        blocks_done_of_frame: dict[int, int] = {f: 0 for f in range(oracle.n_frames)}
-        supply = deque(initial_chains)
-        supply.extend(pending_chains)
-
-        total_steps = sum(c.remaining for c in supply)
-        n_done = 0
-
-        def region_of(chain: _Chain) -> np.ndarray | None:
-            return None if region_pixels is None else region_pixels[chain.region_index]
-
-        def region_size(chain: _Chain) -> int:
-            return oracle.n_pixels if regions is None else regions[chain.region_index].n_pixels
-
-        def dispatch_payload(chain: _Chain) -> dict:
-            f = chain.next_frame
-            reg = region_of(chain)
-            if use_coherence:
-                if chain.fresh:
-                    rays = oracle.full_rays(f, reg)
-                    n_computed = region_size(chain)
-                    acct.n_chain_starts += 1
-                else:
-                    rays, n_computed = oracle.coherent_rays(f, reg)
-                units = cfg.task_units(
-                    rays, True, chain_start=chain.fresh, region_pixels=region_size(chain)
-                )
-                ws = cfg.fc_working_set_mb(region_size(chain))
-            else:
-                rays = oracle.full_rays(f, reg)
-                n_computed = region_size(chain)
-                units = cfg.task_units(rays, False)
-                ws = cfg.nofc_working_set_mb(region_size(chain))
-            acct.total_rays += rays
-            acct.total_units += units
-            p = {
-                "frame": f,
-                "region": chain.region_index,
-                "units": units,
-                "ws_mb": ws,
-                "reply_bytes": cfg.result_bytes(max(n_computed, 1)),
-            }
-            if sim_tel is not None:
-                sim_tel.on_dispatch(p, f, region_size(chain), rays, n_computed, pvm.sim.now)
-            chain.next_frame += 1
-            chain.fresh = False
-            return p
-
-        def next_assignment(tid: int) -> _Chain | None:
-            """Continue the worker's chain, take a fresh one, or steal."""
-            c = chains.get(tid)
-            if c is not None and c.remaining > 0:
-                return c
-            if supply:
-                chains[tid] = supply.popleft()
-                return chains[tid]
-            # Adaptive subdivision: split the largest remaining chain.
-            victim_tid, victim = None, None
-            for otid, oc in chains.items():
-                if otid == tid or oc.remaining < cfg.min_steal_frames:
-                    continue
-                if victim is None or oc.remaining > victim.remaining:
-                    victim_tid, victim = otid, oc
-            if victim is None:
-                return None
-            keep = max(1, victim.remaining // 2)
-            mid = victim.next_frame + keep
-            stolen = _Chain(
-                region_index=victim.region_index,
-                next_frame=mid,
-                end_frame=victim.end_frame,
-                fresh=True,
-            )
-            victim.end_frame = mid
-            acct.n_steals += 1
-            chains[tid] = stolen
-            return stolen
-
-        stopped: set[int] = set()
-        for tid in worker_tids:
-            c = next_assignment(tid)
-            if c is None:
-                stopped.add(tid)
-                yield Send(tid, cfg.msg_overhead_bytes, None, tag="stop")
-            else:
-                yield Send(tid, cfg.request_bytes, dispatch_payload(c), tag="task")
-
-        while n_done < total_steps:
-            msg = yield Recv(tag="done")
-            n_done += 1
-            if sim_tel is not None:
-                sim_tel.on_done(msg.src, msg.payload, pvm.sim.now)
-            f = msg.payload["frame"]
-            blocks_done_of_frame[f] += 1
-            if blocks_done_of_frame[f] == strategy_blocks_per_frame:
-                if cfg.write_frames:
-                    yield WriteFile(frame_bytes_full)
-                acct.frame_done_at[f] = pvm.sim.now
-                if sim_tel is not None:
-                    sim_tel.frame_done(f)
-            c = next_assignment(msg.src)
-            if c is None:
-                stopped.add(msg.src)
-                yield Send(msg.src, cfg.msg_overhead_bytes, None, tag="stop")
-            else:
-                yield Send(msg.src, cfg.request_bytes, dispatch_payload(c), tag="task")
-        for tid in worker_tids:
-            if tid not in stopped:
-                yield Send(tid, cfg.msg_overhead_bytes, None, tag="stop")
-
-    return factory
+    return transport.run()
 
 
 # -- Table 1 columns (6)/(7): sequence division + coherence ----------------------
@@ -611,22 +164,27 @@ def simulate_sequence_division_fc(
     processor" on a heterogeneous NOW.
     """
     cfg = cfg or RenderFarmConfig()
-    th = thrash if thrash is not None else ThrashModel(alpha=0.0)
-    ws = cfg.fc_working_set_mb(oracle.n_pixels)
-    weights = [m.speed / th.slowdown(ws, m.memory_mb) for m in machines]
+    weights = effective_speed_weights(machines, cfg, oracle, thrash)
     ranges = sequence_ranges(oracle.n_frames, len(machines), weights=weights)
-    initial = [_Chain(0, a, b, True) for a, b in ranges]
-    sim_tel = _SimTelemetry(telemetry, oracle, "sequence-division+fc")
-    factory = _chained_master_factory(
-        oracle, cfg, None, initial, deque(), use_coherence=True, strategy_blocks_per_frame=1,
-        sim_tel=sim_tel,
+    policy = make_policy(
+        "sequence-division-fc",
+        oracle.n_frames,
+        sequence_ranges=ranges,
+        min_steal_frames=cfg.min_steal_frames,
     )
-    pvm, acct = _spawn_farm(
-        machines, sec_per_work_unit, thrash, factory, trace=trace, sim_tel=sim_tel,
+    transport = SimTransport(
+        policy,
+        oracle,
+        machines,
+        cfg,
+        label="sequence-division+fc",
+        sec_per_work_unit=sec_per_work_unit,
+        thrash=thrash,
+        trace=trace,
+        telemetry=telemetry,
         **ethernet_kwargs,
     )
-    end = pvm.run()
-    return _outcome("sequence-division+fc", oracle, pvm, acct, end, sim_tel=sim_tel)
+    return transport.run()
 
 
 def simulate_sequence_division_nofc(
@@ -644,18 +202,25 @@ def simulate_sequence_division_nofc(
     ranges = sequence_ranges(
         oracle.n_frames, len(machines), weights=[m.speed for m in machines]
     )
-    initial = [_Chain(0, a, b, True) for a, b in ranges]
-    sim_tel = _SimTelemetry(telemetry, oracle, "sequence-division")
-    factory = _chained_master_factory(
-        oracle, cfg, None, initial, deque(), use_coherence=False, strategy_blocks_per_frame=1,
-        sim_tel=sim_tel,
+    policy = make_policy(
+        "sequence-division-nofc",
+        oracle.n_frames,
+        sequence_ranges=ranges,
+        min_steal_frames=cfg.min_steal_frames,
     )
-    pvm, acct = _spawn_farm(
-        machines, sec_per_work_unit, thrash, factory, trace=trace, sim_tel=sim_tel,
+    transport = SimTransport(
+        policy,
+        oracle,
+        machines,
+        cfg,
+        label="sequence-division",
+        sec_per_work_unit=sec_per_work_unit,
+        thrash=thrash,
+        trace=trace,
+        telemetry=telemetry,
         **ethernet_kwargs,
     )
-    end = pvm.run()
-    return _outcome("sequence-division", oracle, pvm, acct, end, sim_tel=sim_tel)
+    return transport.run()
 
 
 # -- Table 1 columns (8)/(9): frame division + coherence -------------------------
@@ -675,26 +240,26 @@ def simulate_frame_division_fc(
     demand-driven block assignment, time-axis stealing for stragglers."""
     cfg = cfg or RenderFarmConfig()
     regions = regions if regions is not None else default_blocks(oracle)
-    chains = deque(
-        _Chain(ri, 0, oracle.n_frames, True) for ri in range(len(regions))
+    policy = make_policy(
+        "frame-division-fc",
+        oracle.n_frames,
+        n_regions=len(regions),
+        min_steal_frames=cfg.min_steal_frames,
     )
-    sim_tel = _SimTelemetry(telemetry, oracle, "frame-division+fc")
-    factory = _chained_master_factory(
+    transport = SimTransport(
+        policy,
         oracle,
+        machines,
         cfg,
-        regions,
-        [],
-        chains,
-        use_coherence=True,
-        strategy_blocks_per_frame=len(regions),
-        sim_tel=sim_tel,
-    )
-    pvm, acct = _spawn_farm(
-        machines, sec_per_work_unit, thrash, factory, trace=trace, sim_tel=sim_tel,
+        regions=regions,
+        label="frame-division+fc",
+        sec_per_work_unit=sec_per_work_unit,
+        thrash=thrash,
+        trace=trace,
+        telemetry=telemetry,
         **ethernet_kwargs,
     )
-    end = pvm.run()
-    return _outcome("frame-division+fc", oracle, pvm, acct, end, sim_tel=sim_tel)
+    return transport.run()
 
 
 # -- ablation: hybrid (subarea x subsequence) -----------------------------------
@@ -713,28 +278,25 @@ def simulate_hybrid_fc(
     """The paper's hybrid: "each processor computes pixels in a subarea of a
     frame for a subsequence of the entire animation"."""
     cfg = cfg or RenderFarmConfig()
-    if frames_per_chunk < 1:
-        raise ValueError("frames_per_chunk must be >= 1")
     regions = regions if regions is not None else default_blocks(oracle)
-    chains = deque(
-        _Chain(ri, a, min(a + frames_per_chunk, oracle.n_frames), True)
-        for ri in range(len(regions))
-        for a in range(0, oracle.n_frames, frames_per_chunk)
+    policy = make_policy(
+        "hybrid-fc",
+        oracle.n_frames,
+        n_regions=len(regions),
+        frames_per_chunk=frames_per_chunk,
+        min_steal_frames=cfg.min_steal_frames,
     )
-    sim_tel = _SimTelemetry(telemetry, oracle, "hybrid+fc")
-    factory = _chained_master_factory(
+    transport = SimTransport(
+        policy,
         oracle,
+        machines,
         cfg,
-        regions,
-        [],
-        chains,
-        use_coherence=True,
-        strategy_blocks_per_frame=len(regions),
-        sim_tel=sim_tel,
-    )
-    pvm, acct = _spawn_farm(
-        machines, sec_per_work_unit, thrash, factory, trace=trace, sim_tel=sim_tel,
+        regions=regions,
+        label="hybrid+fc",
+        sec_per_work_unit=sec_per_work_unit,
+        thrash=thrash,
+        trace=trace,
+        telemetry=telemetry,
         **ethernet_kwargs,
     )
-    end = pvm.run()
-    return _outcome("hybrid+fc", oracle, pvm, acct, end, sim_tel=sim_tel)
+    return transport.run()

@@ -20,6 +20,15 @@ Executors: ``process`` (fork-based multiprocessing; the real thing),
 ``thread`` (shared-memory; numpy releases the GIL enough to help), and
 ``serial`` (deterministic in-process reference).
 
+Scheduling: the default ``schedule="static"`` builds the task list
+upfront (one task per block / range / chunk).  ``"demand"`` and
+``"adaptive"`` instead drive the supervisor through a pure scheduling
+policy (:mod:`repro.sched`) — the same state machines the cluster
+simulator replays: demand-driven (block x frame-chunk) distribution, and
+adaptive sequence subdivision with tail-stealing plus a worker-side
+renderer-continuation cache so a chain's coherence survives across its
+segment tasks on the thread/serial executors.
+
 Dispatch is **supervised** (:mod:`repro.runtime.supervisor`): tasks are
 submitted individually with per-task deadlines, crashed or hung workers
 are detected and their tasks re-queued with capped retries, corrupted
@@ -44,7 +53,7 @@ import numpy as np
 
 from ..coherence import CoherentRenderer, grid_for_animation
 from ..geometry import RayKind
-from ..parallel.partition import PixelRegion, block_regions, sequence_ranges
+from ..parallel.partition import PixelRegion, default_block_layout, sequence_ranges
 from ..render import RayStats
 from ..telemetry import NULL as NULL_TELEMETRY
 from ..telemetry import InMemorySink, Telemetry
@@ -232,6 +241,91 @@ def _render_hybrid_task(args):
     return box, region, start, stop, frames, stats.counts, _finish_worker_events(tel, sink)
 
 
+# Renderer-continuation cache for the dynamic schedules: an adaptive
+# chain's segments arrive as separate tasks, and on the thread/serial
+# executors (shared memory) the renderer that just finished frame f-1 is
+# parked here so the task rendering frame f continues it coherently
+# instead of starting fresh.  Keyed by (animation, region, quality) plus
+# the frame the renderer is positioned at; pop-on-acquire, so a failed
+# attempt leaves no stale entry behind and its retry falls back to a
+# fresh full render.  Entries orphaned by steals age out via the cap.
+_SEGMENT_CACHE: dict[tuple, CoherentRenderer] = {}
+_SEGMENT_CACHE_LOCK = threading.Lock()
+_SEGMENT_CACHE_MAX = 16
+
+
+def _segment_cache_key(spec, box, grid_resolution, samples, frame) -> tuple:
+    return (_spec_key(spec), box, int(grid_resolution), int(samples), int(frame))
+
+
+def _render_segment_task(args):
+    """Policy-scheduled worker: render frames ``[f0, f1)`` of one region.
+
+    ``fresh`` marks a chain start (full render of ``f0``); a non-fresh
+    segment tries to continue the renderer parked at ``f0`` by the chain's
+    previous segment, rendering fresh when the cache misses (different
+    process, evicted, or the previous attempt failed).
+    """
+    spec, box, f0, f1, fresh, label, grid_resolution, samples, tel_on, profile_dir = args
+    anim = _get_anim(spec)
+    cam = anim.camera_at(0)
+    region = None if box is None else PixelRegion(*box, width=cam.width).pixels
+    n_px = int(cam.n_pixels if region is None else region.size)
+    tel, sink = _worker_telemetry(tel_on)
+    _idx, attempt = task_context()
+    renderer = None
+    if not fresh:
+        with _SEGMENT_CACHE_LOCK:
+            renderer = _SEGMENT_CACHE.pop(
+                _segment_cache_key(spec, box, grid_resolution, samples, f0), None
+            )
+    with profile_into(_worker_profile_path(profile_dir)):
+        with tel.span(
+            "task",
+            worker=_worker_label(),
+            mode=label,
+            frame0=int(f0),
+            frame1=int(f1),
+            region=n_px,
+            rays=0,
+            n_computed=0,
+            attempt=attempt,
+        ) as sp:
+            if renderer is None:
+                renderer = CoherentRenderer(
+                    anim,
+                    region=region,
+                    grid_resolution=grid_resolution,
+                    samples_per_axis=samples,
+                    first_frame=f0,
+                    last_frame=anim.n_frames,
+                    telemetry=tel,
+                )
+            else:
+                renderer.telemetry = tel
+            n_new = f1 - f0
+            if region is None:
+                frames = np.empty((n_new, cam.height, cam.width, 3), dtype=np.float64)
+                for i in range(n_new):
+                    renderer.render_next()
+                    frames[i] = renderer.frame_image()
+            else:
+                frames = np.empty((n_new, region.size, 3), dtype=np.float64)
+                for i in range(n_new):
+                    renderer.render_next()
+                    frames[i] = renderer.framebuffer.gather(region)
+            reports = renderer.reports[-n_new:]
+            stats = RayStats.merge(r.stats for r in reports)
+            sp.attrs["rays"] = stats.total
+            sp.attrs["n_computed"] = sum(r.n_computed for r in reports)
+    if f1 < anim.n_frames:
+        with _SEGMENT_CACHE_LOCK:
+            _SEGMENT_CACHE[_segment_cache_key(spec, box, grid_resolution, samples, f1)] = renderer
+            while len(_SEGMENT_CACHE) > _SEGMENT_CACHE_MAX:
+                del _SEGMENT_CACHE[next(iter(_SEGMENT_CACHE))]
+    return box, f0, f1, frames, stats.counts, _finish_worker_events(tel, sink)
+
+
 _TASK_FNS = {
     "frame": _render_block_task,
     "sequence": _render_sequence_task,
@@ -301,6 +395,18 @@ class LocalRenderFarm:
         ``"frame"`` (block per task) or ``"sequence"`` (frame range per task).
     executor:
         ``"process"``, ``"thread"`` or ``"serial"``.
+    schedule:
+        ``"static"`` (the upfront task list above), ``"demand"``
+        (demand-driven block x frame-chunk units from a shared queue) or
+        ``"adaptive"`` (sequence chains with tail-stealing).  The dynamic
+        schedules run the :mod:`repro.sched` policies — the same state
+        machines the cluster simulator replays — through the supervisor's
+        feed hook.
+    segment_frames:
+        Frames per dispatched segment for ``schedule="adaptive"``.
+        Default: 1 on the thread/serial executors (segments continue the
+        cached renderer, preserving coherence), coarser on the process
+        executor (each segment renders fresh; fewer, bigger tasks).
     block_w, block_h:
         Frame-division block size (defaults to a 4x3 tiling like the paper's
         80x80-of-320x240).
@@ -326,6 +432,8 @@ class LocalRenderFarm:
         n_workers: int | None = None,
         mode: str = "frame",
         executor: str = "process",
+        schedule: str = "static",
+        segment_frames: int | None = None,
         block_w: int | None = None,
         block_h: int | None = None,
         grid_resolution: int = 24,
@@ -345,9 +453,13 @@ class LocalRenderFarm:
             raise ValueError("mode must be 'frame', 'sequence' or 'hybrid'")
         if executor not in ("process", "thread", "serial"):
             raise ValueError("executor must be 'process', 'thread' or 'serial'")
+        if schedule not in ("static", "demand", "adaptive"):
+            raise ValueError("schedule must be 'static', 'demand' or 'adaptive'")
         self.spec = spec
         self.mode = mode
         self.executor = executor
+        self.schedule = schedule
+        self.segment_frames = segment_frames
         self.n_workers = min(os.cpu_count() or 2, 8) if n_workers is None else int(n_workers)
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -371,10 +483,9 @@ class LocalRenderFarm:
 
     # -- task construction -----------------------------------------------------
     def _block_layout(self):
-        w, h = self._cam.width, self._cam.height
-        bw = self.block_w or max(1, w // 4)
-        bh = self.block_h or max(1, h // 3)
-        return block_regions(w, h, bw, bh)
+        return default_block_layout(
+            self._cam.width, self._cam.height, self.block_w, self.block_h
+        )
 
     def _tasks(self):
         tel_on = self.telemetry.enabled
@@ -417,6 +528,41 @@ class LocalRenderFarm:
             for a, b in ranges
         ]
 
+    def _sched_policy(self):
+        """Build the scheduling policy (and its region table) for this run."""
+        from ..sched.core import AdaptiveChainPolicy, Chain, DemandDrivenPolicy
+
+        n_frames = self._anim.n_frames
+        if self.schedule == "demand":
+            regions = self._block_layout()
+            chunk = self.frames_per_chunk or max(1, n_frames // 2)
+            chunks = [(a, min(a + chunk, n_frames)) for a in range(0, n_frames, chunk)]
+            units = [(ri, a, b) for ri in range(len(regions)) for a, b in chunks]
+            policy = DemandDrivenPolicy(
+                units, use_coherence=True, units_per_frame=len(regions)
+            )
+            return policy, regions
+        # adaptive: whole-frame chains over pre-split ranges, tail-stealing on.
+        if self.segment_frames is not None:
+            seg = max(1, int(self.segment_frames))
+        elif self.executor == "process":
+            seg = max(1, -(-n_frames // (4 * self.n_workers)))
+        else:
+            seg = 1
+        chains = [
+            Chain(-1, a, b, fresh=True)
+            for a, b in sequence_ranges(n_frames, self.n_workers)
+        ]
+        policy = AdaptiveChainPolicy(
+            chains,
+            use_coherence=True,
+            units_per_frame=1,
+            min_steal_frames=max(2, seg + 1),
+            segment_frames=seg,
+            continuation_fresh=(self.executor == "process"),
+        )
+        return policy, None
+
     # -- output validity ----------------------------------------------------------
     def _make_validator(self):
         """Shape/finiteness check applied before a task result is accepted
@@ -454,6 +600,33 @@ class LocalRenderFarm:
                 frames.shape == expected
                 and bool(np.isfinite(frames).all())
                 and counts_ok(counts)
+                and isinstance(events, str)
+            )
+
+        return validate
+
+    def _make_sched_validator(self):
+        """Same corruption gate for the policy-scheduled segment results."""
+        height, width = self._cam.height, self._cam.width
+        n_kinds = len(RayKind)
+
+        def validate(task, result) -> bool:
+            if not isinstance(result, tuple) or len(result) != 6:
+                return False
+            box, f0, f1, frames, counts, events = result
+            n_new = int(f1) - int(f0)
+            if box is None:
+                expected = (n_new, height, width, 3)
+            else:
+                x0, y0, x1, y1 = box
+                expected = (n_new, (int(x1) - int(x0)) * (int(y1) - int(y0)), 3)
+            frames = np.asarray(frames)
+            c = np.asarray(counts)
+            return (
+                frames.shape == expected
+                and bool(np.isfinite(frames).all())
+                and c.shape == (n_kinds,)
+                and c.dtype.kind in "iu"
                 and isinstance(events, str)
             )
 
@@ -503,6 +676,13 @@ class LocalRenderFarm:
         ``resume`` points at such a directory and skips the tasks it
         already holds (implies spooling new completions there too).
         """
+        if self.schedule != "static":
+            if run_dir is not None or resume is not None:
+                raise ValueError(
+                    "checkpoint spooling (run_dir/resume) requires schedule='static'; "
+                    "dynamic schedules decide the task list at run time"
+                )
+            return self._render_scheduled()
         if resume is not None:
             if run_dir is not None and Path(run_dir) != Path(resume):
                 raise ValueError("pass either run_dir or resume, not two different dirs")
@@ -604,6 +784,91 @@ class LocalRenderFarm:
             attempts=out.attempts,
         )
 
+    def _render_scheduled(self) -> FarmResult:
+        """Render under a dynamic (policy-driven) schedule.
+
+        The policy decides every dispatch; the supervised pool executes
+        them via :class:`~repro.sched.process.ProcessTransport`, one
+        assignment in flight per lane.  No spooling: the task list does
+        not exist upfront, so checkpoints have nothing stable to key on.
+        """
+        from ..sched.process import ProcessTransport
+
+        anim, cam, tel = self._anim, self._cam, self.telemetry
+        policy, regions = self._sched_policy()
+        validate = self._make_sched_validator()
+        if self.profile_dir:
+            Path(self.profile_dir).mkdir(parents=True, exist_ok=True)
+
+        tel.event(
+            "run.start",
+            engine="farm",
+            workload=self.spec.factory,
+            n_frames=int(anim.n_frames),
+            width=int(cam.width),
+            height=int(cam.height),
+            n_workers=self.n_workers,
+            mode=self.schedule,
+        )
+
+        spec, grid, samples = self.spec, self.grid_resolution, self.samples_per_axis
+        tel_on, prof, label = tel.enabled, self.profile_dir, self.schedule
+
+        def materialize(a, lane):
+            box = None
+            if regions is not None and a.region_index >= 0:
+                r = regions[a.region_index]
+                box = (r.x0, r.y0, r.x1, r.y1)
+            return (spec, box, int(a.frame0), int(a.frame1), bool(a.fresh), label,
+                    grid, samples, tel_on, prof)
+
+        transport = ProcessTransport(
+            policy,
+            _render_segment_task,
+            materialize,
+            n_workers=self.n_workers,
+            executor=self.executor,
+            initializer=_worker_init,
+            initargs=(self.spec,),
+            validate=validate,
+            max_attempts=self.max_attempts,
+            task_timeout=self.task_timeout,
+            timeout_factor=self.timeout_factor,
+            startup_timeout=self.startup_timeout,
+            backoff_base=self.backoff_base,
+            degrade_serial=self.degrade_serial,
+            fault_plan=self.fault_plan,
+        )
+        out = transport.run()
+
+        frames = np.zeros((anim.n_frames, cam.height, cam.width, 3), dtype=np.float64)
+        flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
+        for box, f0, f1, seg_frames, _counts, _ev in out.results:
+            f0, f1 = int(f0), int(f1)
+            if box is None:
+                frames[f0:f1] = seg_frames
+            else:
+                region = PixelRegion(*box, width=cam.width).pixels
+                flat[f0:f1][:, region, :] = seg_frames
+        stats = RayStats.merge(res[-2] for res in out.results)
+
+        sup = out.supervisor
+        if tel.enabled:
+            self._emit_run_telemetry(sup, stats, len(out.assignments))
+        return FarmResult(
+            frames=frames,
+            stats=stats,
+            n_tasks=len(out.assignments),
+            mode=self.schedule,
+            n_retries=sup.n_retries,
+            n_timeouts=sup.n_timeouts,
+            n_crashes=sup.n_crashes,
+            n_invalid=sup.n_invalid,
+            n_degraded=sup.n_degraded,
+            n_from_checkpoint=0,
+            attempts=sup.attempts,
+        )
+
     def _emit_run_telemetry(self, out, stats: RayStats, n_tasks: int) -> None:
         """Absorb worker event buffers and emit the run-level events
         (task.attempt / recovery timeline, per-worker utilization,
@@ -643,8 +908,15 @@ class LocalRenderFarm:
             tel.histogram("task.duration", a.duration)
             if a.outcome in _RECOVERY_OUTCOMES:
                 kind = "degraded" if a.outcome == "degraded-ok" else a.outcome
+                # The pool doesn't say which OS worker held the attempt, so
+                # the farm can't attribute the loss the way the simulator can.
                 tel.event(
-                    "recovery", kind=kind, task=a.task_index, attempt=a.attempt, duration=a.duration
+                    "recovery",
+                    kind=kind,
+                    task=a.task_index,
+                    attempt=a.attempt,
+                    duration=a.duration,
+                    worker="?",
                 )
 
         wall = out.wall_time

@@ -144,6 +144,14 @@ class TaskSupervisor:
     on_result:
         ``on_result(task_index, result)`` called once per accepted
         result, in completion order — the farm spools checkpoints here.
+    feed:
+        Optional ``feed() -> list | None`` called whenever the pending
+        queue is empty and worker slots are free: a list of new task
+        arguments extends ``tasks`` (indices keep growing), ``[]`` means
+        "nothing right now, ask again after the next completion", and
+        ``None`` means the source is exhausted.  This is how a
+        scheduling policy drives the supervisor demand-style instead of
+        handing it a static upfront list.
     """
 
     def __init__(
@@ -169,6 +177,7 @@ class TaskSupervisor:
         fault_plan: FaultPlan | None = None,
         completed: dict | None = None,
         on_result=None,
+        feed=None,
     ):
         if executor not in ("process", "thread", "serial"):
             raise ValueError("executor must be 'process', 'thread' or 'serial'")
@@ -196,6 +205,8 @@ class TaskSupervisor:
         self.fault_plan = fault_plan
         self.completed = dict(completed or {})
         self.on_result = on_result
+        self.feed = feed
+        self._feed_done = feed is None
 
         self._pool = None
         self._inflight: dict = {}  # Future -> (task_index, attempt, submitted_at)
@@ -226,10 +237,35 @@ class TaskSupervisor:
         out.wall_time = time.monotonic() - t0
         return out
 
+    # -- feed plumbing -----------------------------------------------------------
+    def _pull_feed(self) -> int:
+        """Ask the feed for more tasks; returns how many were added."""
+        if self._feed_done:
+            return 0
+        new = self.feed()
+        if new is None:
+            self._feed_done = True
+            return 0
+        added = 0
+        for task in new:
+            idx = len(self.tasks)
+            self.tasks.append(task)
+            self._pending.append((idx, 0, 0.0))
+            added += 1
+        return added
+
     # -- serial reference path -------------------------------------------------
     def _run_serial(self) -> None:
         pending = self._pending
-        while pending:
+        while pending or not self._feed_done:
+            if not pending:
+                if self._pull_feed() == 0:
+                    if self._feed_done:
+                        break
+                    raise SupervisorError(
+                        "supervisor stalled: feed returned no work with none in flight"
+                    )
+                continue
             idx, attempt, not_before = pending.popleft()
             if idx in self._results:
                 continue
@@ -252,11 +288,13 @@ class TaskSupervisor:
     def _run_pooled(self) -> None:
         pending = self._pending
         self._pool = self._make_pool()
-        n_tasks = len(self.tasks)
-        while len(self._results) < n_tasks:
+        while len(self._results) < len(self.tasks) or not self._feed_done:
             now = time.monotonic()
-            # Fill free slots with ready pending work.
-            while pending and len(self._inflight) < self.n_workers:
+            # Fill free slots with ready pending work, pulling the feed
+            # when the queue runs dry.
+            while len(self._inflight) < self.n_workers:
+                if not pending and self._pull_feed() == 0:
+                    break
                 idx, attempt, not_before = pending[0]
                 if not_before > now:
                     break
@@ -272,7 +310,15 @@ class TaskSupervisor:
                 if pending:  # everything is backing off; wait for the head
                     time.sleep(max(0.0, min(pending[0][2] - now, self.backoff_cap)))
                     continue
-                if len(self._results) < n_tasks:  # pragma: no cover - invariant
+                if not self._feed_done:
+                    if self._pull_feed() > 0:
+                        continue
+                    if self._feed_done:
+                        continue  # loop condition decides whether we are done
+                    raise SupervisorError(
+                        "supervisor stalled: feed returned no work with none in flight"
+                    )
+                if len(self._results) < len(self.tasks):  # pragma: no cover - invariant
                     raise SupervisorError("supervisor stalled with no work in flight")
                 break
             done, _ = wait(watched, timeout=self._tick(now), return_when=FIRST_COMPLETED)
@@ -287,7 +333,7 @@ class TaskSupervisor:
             # Every worker slot presumed hung: only a fresh pool can make
             # progress on whatever is still queued or unfinished.
             hung = sum(1 for f in self._late if not f.done())
-            if hung >= self.n_workers and len(self._results) < n_tasks:
+            if hung >= self.n_workers and len(self._results) < len(self.tasks):
                 self._rebuild_pool(outcome="abandoned")
 
     # -- pool plumbing -----------------------------------------------------------

@@ -1,0 +1,386 @@
+"""Pure scheduling policies for the Table-1 partitioning schemes.
+
+A policy is a transport-agnostic state machine.  The transport (simulator
+or process farm) tells it about the world through three callbacks —
+
+* ``next_assignment(worker)`` — a worker is hungry; hand it the next
+  :class:`Assignment` (or ``None`` when nothing can be dispatched now);
+* ``on_result(worker, assignment)`` — the worker finished an assignment;
+* ``on_worker_lost(worker)`` — the worker died / timed out; its in-flight
+  work is requeued fresh (a new chain start, as the paper's master must
+  re-render from scratch when a slave disappears);
+
+and reads its conclusions from ``log`` (every assignment in dispatch
+order), ``n_chain_starts`` / ``n_steals`` / ``n_reassigned`` and
+``finished``.  Policies never touch I/O, clocks, or numpy — region
+indices are opaque integers; pricing an assignment is the cost model's
+job (:mod:`repro.sched.cost`).
+
+The chained policy reproduces the adaptive-subdivision master of the
+original simulator exactly: per-worker chain affinity, a FIFO supply of
+unstarted chains, and tail-stealing of the largest active chain (keep
+``max(1, remaining // 2)`` frames, stolen half restarts fresh) when the
+supply runs dry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+__all__ = [
+    "Assignment",
+    "Chain",
+    "SchedulingPolicy",
+    "AdaptiveChainPolicy",
+    "DemandDrivenPolicy",
+    "single_processor_policy",
+    "make_policy",
+    "STRATEGY_POLICIES",
+]
+
+Worker = Hashable
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One unit of dispatched work: frames ``[frame0, frame1)`` of a region.
+
+    ``region_index`` indexes the transport's region list; ``-1`` means the
+    whole frame (sequence division / single processor).  ``fresh`` marks a
+    chain start — the worker must render the first frame from scratch;
+    subsequent frames of the same assignment (and later non-fresh
+    assignments of the same chain) reuse frame coherence when ``coherent``.
+    ``seq`` is the global dispatch ordinal: the equivalence artifact two
+    transports are compared on.
+    """
+
+    seq: int
+    worker: Worker
+    region_index: int
+    frame0: int
+    frame1: int
+    fresh: bool
+    coherent: bool
+
+    @property
+    def n_frames(self) -> int:
+        return self.frame1 - self.frame0
+
+    def key(self) -> tuple:
+        """Transport-independent identity (drops the worker binding)."""
+        return (self.seq, self.region_index, self.frame0, self.frame1, self.fresh, self.coherent)
+
+
+@dataclass
+class Chain:
+    """A coherence chain: frames ``[next, end)`` over one region."""
+
+    region_index: int
+    next_frame: int
+    end_frame: int
+    fresh: bool = True
+
+    @property
+    def remaining(self) -> int:
+        return self.end_frame - self.next_frame
+
+
+class SchedulingPolicy:
+    """Shared bookkeeping: dispatch log, completion set, loss accounting."""
+
+    #: number of (region, frame) units a frame needs before it is complete
+    units_per_frame: int = 1
+    use_coherence: bool = False
+
+    def __init__(self) -> None:
+        self.log: list[Assignment] = []
+        self.n_chain_starts = 0
+        self.n_steals = 0
+        self.n_reassigned = 0
+        self._completed: set[tuple[int, int]] = set()
+        self._inflight: dict[Worker, Assignment] = {}
+        self.total_units = 0
+
+    # -- transport-facing protocol ---------------------------------------
+    def on_worker_ready(self, worker: Worker) -> Assignment | None:
+        """Alias: a newly available worker asks for work."""
+        return self.next_assignment(worker)
+
+    def next_assignment(self, worker: Worker) -> Assignment | None:
+        raise NotImplementedError
+
+    def on_result(self, worker: Worker, assignment: Assignment) -> None:
+        """Mark the assignment's units done.  Idempotent: a duplicate result
+        (e.g. from a presumed-dead worker that answered late) only frees the
+        worker, it never double-counts."""
+        self._inflight.pop(worker, None)
+        for f in range(assignment.frame0, assignment.frame1):
+            self._completed.add((assignment.region_index, f))
+
+    def on_worker_lost(self, worker: Worker) -> Assignment | None:
+        """Forget the worker; requeue its unfinished work as a fresh unit.
+
+        Returns the in-flight assignment that was abandoned (if any) so the
+        transport can account for it.
+        """
+        raise NotImplementedError
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def completed_units(self) -> int:
+        return len(self._completed)
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_units >= self.total_units
+
+    def unit_completed(self, region_index: int, frame: int) -> bool:
+        return (region_index, frame) in self._completed
+
+    # -- shared helpers ----------------------------------------------------
+    def _emit(
+        self, worker: Worker, region_index: int, frame0: int, frame1: int, fresh: bool
+    ) -> Assignment:
+        a = Assignment(
+            seq=len(self.log),
+            worker=worker,
+            region_index=region_index,
+            frame0=frame0,
+            frame1=frame1,
+            fresh=fresh,
+            coherent=self.use_coherence,
+        )
+        self.log.append(a)
+        self._inflight[worker] = a
+        if self.use_coherence and fresh:
+            self.n_chain_starts += 1
+        return a
+
+
+class DemandDrivenPolicy(SchedulingPolicy):
+    """A flat FIFO queue of independent units, handed out on demand.
+
+    Covers frame-division-without-coherence (one unit per (frame, block),
+    frame-major — Table 1 columns 4/5) and the real farm's ``demand``
+    schedule (block x frame-chunk units).  No worker affinity: any unit
+    suits any worker, so a lost worker's unit simply goes back in the
+    queue (fresh).
+    """
+
+    def __init__(
+        self,
+        units: Sequence[tuple[int, int, int]],
+        *,
+        use_coherence: bool = False,
+        units_per_frame: int = 1,
+    ) -> None:
+        super().__init__()
+        self.use_coherence = bool(use_coherence)
+        self.units_per_frame = int(units_per_frame)
+        self._queue: deque[tuple[int, int, int]] = deque(
+            (int(ri), int(f0), int(f1)) for ri, f0, f1 in units
+        )
+        self.total_units = sum(f1 - f0 for _, f0, f1 in self._queue)
+
+    def next_assignment(self, worker: Worker) -> Assignment | None:
+        if worker in self._inflight:
+            raise RuntimeError(f"worker {worker!r} asked for work with a unit in flight")
+        if not self._queue:
+            return None
+        ri, f0, f1 = self._queue.popleft()
+        return self._emit(worker, ri, f0, f1, fresh=True)
+
+    def on_worker_lost(self, worker: Worker) -> Assignment | None:
+        a = self._inflight.pop(worker, None)
+        if a is not None:
+            self._queue.append((a.region_index, a.frame0, a.frame1))
+            self.n_reassigned += 1
+        return a
+
+
+class AdaptiveChainPolicy(SchedulingPolicy):
+    """Chain-structured scheduling with worker affinity and tail stealing.
+
+    Covers single-processor (one chain, one worker), sequence division
+    (one whole-frame chain per initial range), frame division with
+    coherence (one chain per block) and the hybrid (block x frame-chunk
+    chains).  A worker keeps stepping its own chain one segment at a time;
+    when the chain ends it takes the next from the supply; when the supply
+    is dry it steals the tail half of the largest active chain (if that
+    chain still has at least ``min_steal_frames`` frames) — the stolen
+    half restarts fresh, which is the coherence cost of adaptive
+    subdivision the paper describes.
+
+    ``segment_frames`` > 1 dispatches multi-frame steps (the real farm's
+    process executor wants coarser tasks); ``continuation_fresh=True``
+    makes every segment a fresh render (no cross-task renderer state — the
+    process-pool case), while ``False`` relies on the transport to carry
+    renderer state between consecutive segments of a chain.
+    """
+
+    def __init__(
+        self,
+        chains: Sequence[Chain],
+        *,
+        use_coherence: bool,
+        units_per_frame: int = 1,
+        min_steal_frames: int = 2,
+        steal: bool = True,
+        segment_frames: int = 1,
+        continuation_fresh: bool = False,
+    ) -> None:
+        super().__init__()
+        self.use_coherence = bool(use_coherence)
+        self.units_per_frame = int(units_per_frame)
+        self.min_steal_frames = int(min_steal_frames)
+        self.steal = bool(steal)
+        self.segment_frames = max(1, int(segment_frames))
+        self.continuation_fresh = bool(continuation_fresh)
+        self._supply: deque[Chain] = deque(chains)
+        self._active: dict[Worker, Chain] = {}
+        self._lost: set[Worker] = set()
+        self.total_units = sum(c.remaining for c in self._supply)
+
+    def next_assignment(self, worker: Worker) -> Assignment | None:
+        if worker in self._inflight:
+            raise RuntimeError(f"worker {worker!r} asked for work with a unit in flight")
+        if worker in self._lost:
+            return None
+        c = self._active.get(worker)
+        if c is None or c.remaining <= 0:
+            c = None
+            while self._supply:
+                cand = self._supply.popleft()
+                if cand.remaining > 0:
+                    c = cand
+                    break
+            if c is None and self.steal:
+                c = self._steal_tail(worker)
+            if c is not None:
+                self._active[worker] = c
+        if c is None or c.remaining <= 0:
+            return None
+        f0 = c.next_frame
+        f1 = min(c.end_frame, f0 + self.segment_frames)
+        fresh = c.fresh or self.continuation_fresh
+        c.next_frame = f1
+        c.fresh = False
+        return self._emit(worker, c.region_index, f0, f1, fresh)
+
+    def _steal_tail(self, worker: Worker) -> Chain | None:
+        victim: Chain | None = None
+        for other, oc in self._active.items():
+            if other == worker or oc.remaining < self.min_steal_frames:
+                continue
+            if victim is None or oc.remaining > victim.remaining:
+                victim = oc
+        if victim is None:
+            return None
+        keep = max(1, victim.remaining // 2)
+        mid = victim.next_frame + keep
+        stolen = Chain(victim.region_index, mid, victim.end_frame, fresh=True)
+        victim.end_frame = mid
+        self.n_steals += 1
+        return stolen
+
+    def on_worker_lost(self, worker: Worker) -> Assignment | None:
+        a = self._inflight.pop(worker, None)
+        c = self._active.pop(worker, None)
+        self._lost.add(worker)
+        if c is not None or a is not None:
+            region = a.region_index if a is not None else c.region_index
+            next_frame = a.frame0 if a is not None else c.next_frame
+            end = c.end_frame if c is not None else a.frame1
+            end = max(end, a.frame1 if a is not None else end)
+            if next_frame < end:
+                self._supply.append(Chain(region, next_frame, end, fresh=True))
+                self.n_reassigned += 1
+        return a
+
+
+def single_processor_policy(n_frames: int, *, use_coherence: bool) -> AdaptiveChainPolicy:
+    """Table 1 columns (1)/(2): one worker walking the whole sequence."""
+    return AdaptiveChainPolicy(
+        [Chain(-1, 0, n_frames, fresh=True)],
+        use_coherence=use_coherence,
+        units_per_frame=1,
+        steal=False,
+    )
+
+
+#: Table-1 strategy name -> builder; see :func:`make_policy`.
+STRATEGY_POLICIES = (
+    "single",
+    "single-fc",
+    "frame-division-nofc",
+    "sequence-division-nofc",
+    "sequence-division-fc",
+    "frame-division-fc",
+    "hybrid-fc",
+)
+
+
+def make_policy(
+    strategy: str,
+    n_frames: int,
+    *,
+    n_regions: int = 1,
+    sequence_ranges: Sequence[tuple[int, int]] | None = None,
+    frames_per_chunk: int = 10,
+    min_steal_frames: int = 2,
+    segment_frames: int = 1,
+    continuation_fresh: bool = False,
+) -> SchedulingPolicy:
+    """Build the policy behind a Table-1 strategy name.
+
+    ``sequence_ranges`` (for the sequence-division strategies) are the
+    pre-weighted initial frame ranges; region-indexed strategies take
+    ``n_regions`` blocks.  The caller owns the region geometry — policies
+    only ever see indices.
+    """
+    if strategy in ("single", "single-fc"):
+        return single_processor_policy(n_frames, use_coherence=strategy.endswith("-fc"))
+    if strategy == "frame-division-nofc":
+        units = [(ri, f, f + 1) for f in range(n_frames) for ri in range(n_regions)]
+        return DemandDrivenPolicy(units, use_coherence=False, units_per_frame=n_regions)
+    if strategy in ("sequence-division-fc", "sequence-division-nofc"):
+        if sequence_ranges is None:
+            raise ValueError(f"{strategy} needs sequence_ranges")
+        chains = [Chain(-1, a, b, fresh=True) for a, b in sequence_ranges]
+        return AdaptiveChainPolicy(
+            chains,
+            use_coherence=strategy.endswith("-fc"),
+            units_per_frame=1,
+            min_steal_frames=min_steal_frames,
+            segment_frames=segment_frames,
+            continuation_fresh=continuation_fresh,
+        )
+    if strategy == "frame-division-fc":
+        chains = [Chain(ri, 0, n_frames, fresh=True) for ri in range(n_regions)]
+        return AdaptiveChainPolicy(
+            chains,
+            use_coherence=True,
+            units_per_frame=n_regions,
+            min_steal_frames=min_steal_frames,
+            segment_frames=segment_frames,
+            continuation_fresh=continuation_fresh,
+        )
+    if strategy == "hybrid-fc":
+        if frames_per_chunk < 1:
+            raise ValueError("frames_per_chunk must be >= 1")
+        chains = [
+            Chain(ri, a, min(a + frames_per_chunk, n_frames), fresh=True)
+            for ri in range(n_regions)
+            for a in range(0, n_frames, frames_per_chunk)
+        ]
+        return AdaptiveChainPolicy(
+            chains,
+            use_coherence=True,
+            units_per_frame=n_regions,
+            min_steal_frames=min_steal_frames,
+            segment_frames=segment_frames,
+            continuation_fresh=continuation_fresh,
+        )
+    raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGY_POLICIES}")

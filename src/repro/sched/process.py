@@ -1,0 +1,148 @@
+"""Drive a scheduling policy over the supervised multiprocessing executor.
+
+Where :class:`~repro.sched.sim.SimTransport` replays assignments against
+modelled costs in virtual time, this transport executes them for real:
+each :class:`~repro.sched.core.Assignment` is materialized into a
+picklable task argument and run by a
+:class:`~repro.runtime.supervisor.TaskSupervisor` worker pool.  The
+policy stays in charge of *what runs next* — the transport feeds the
+supervisor through its dynamic ``feed`` hook, maintaining ``n_workers``
+logical *lanes* so chain affinity survives the trip through a thread or
+process pool: a lane asks the policy for work, carries exactly one
+assignment at a time, and is freed when that assignment's result is
+accepted.  Dispatch order (``policy.log``) is therefore determined by
+the policy alone, which is what makes a process run comparable
+assignment-for-assignment with a simulated one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..runtime.supervisor import SupervisorOutcome, TaskSupervisor
+from .core import Assignment, SchedulingPolicy
+
+__all__ = ["ProcessTransport", "SchedOutcome", "assignment_echo_task"]
+
+
+def assignment_echo_task(args):
+    """Picklable no-op task: returns its assignment tuple unchanged.
+
+    Used by the equivalence tests and the bench-smoke transport diff,
+    where only the *dispatch decisions* matter, not the pixels.
+    """
+    return args
+
+
+@dataclass
+class SchedOutcome:
+    """What a policy-driven supervised run produced."""
+
+    results: list  # per-assignment results, dispatch order
+    assignments: list[Assignment]  # dispatch order (== policy.log)
+    supervisor: SupervisorOutcome
+    n_chain_starts: int = 0
+    n_steals: int = 0
+    n_reassigned: int = 0
+    lanes_of: dict = field(default_factory=dict)  # assignment seq -> lane
+
+
+class ProcessTransport:
+    """Runs one policy through a :class:`TaskSupervisor`.
+
+    Parameters
+    ----------
+    policy:
+        The scheduling state machine; consumed (policies are single-use).
+    fn:
+        Picklable function of one materialized task argument.
+    materialize:
+        ``materialize(assignment, lane) -> task argument``.  The lane
+        label rides along so renderer-continuation caches (thread/serial
+        executors) and benchmarks that skew per-lane speed can key on it.
+    supervisor_kwargs:
+        Passed through to :class:`TaskSupervisor` (executor, n_workers,
+        validate, timeouts, fault_plan, on_result, ...).  ``n_workers``
+        bounds the number of lanes; the transport's ``feed`` keeps at
+        most one assignment in flight per lane.
+    """
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        fn,
+        materialize,
+        *,
+        n_workers: int = 2,
+        on_result=None,
+        **supervisor_kwargs,
+    ) -> None:
+        self.policy = policy
+        self.fn = fn
+        self.materialize = materialize
+        self.n_workers = max(1, int(n_workers))
+        self._user_on_result = on_result
+        self.supervisor_kwargs = supervisor_kwargs
+        self.lanes = [f"lane{i}" for i in range(self.n_workers)]
+        self._free: deque[str] = deque(self.lanes)
+        self._busy: dict[str, Assignment] = {}
+        self._meta: dict[int, tuple[str, Assignment]] = {}  # task idx -> (lane, assignment)
+        self._next_idx = 0
+
+    # -- supervisor feed ---------------------------------------------------
+    def _feed(self):
+        policy = self.policy
+        out = []
+        # Ask every free lane, not just the head of the queue: with chain
+        # affinity one lane may have nothing while the lane behind it still
+        # owns a chain to continue.  Lanes the policy declines stay free and
+        # are asked again after the next completion.
+        for lane in list(self._free):
+            a = policy.next_assignment(lane)
+            if a is None:
+                continue
+            self._free.remove(lane)
+            self._busy[lane] = a
+            self._meta[self._next_idx] = (lane, a)
+            out.append(self.materialize(a, lane))
+            self._next_idx += 1
+        if out:
+            return out
+        if self._busy:
+            return []  # results in flight may unlock continuations/steals
+        return None  # nothing running, nothing dispatchable: exhausted
+
+    def _on_result(self, idx: int, result) -> None:
+        lane, a = self._meta[idx]
+        self.policy.on_result(lane, a)
+        if self._busy.get(lane) is a:
+            del self._busy[lane]
+            self._free.append(lane)
+        if self._user_on_result is not None:
+            self._user_on_result(a, result)
+
+    # -- entry -------------------------------------------------------------
+    def run(self) -> SchedOutcome:
+        sup = TaskSupervisor(
+            self.fn,
+            [],
+            n_workers=self.n_workers,
+            feed=self._feed,
+            on_result=self._on_result,
+            **self.supervisor_kwargs,
+        )
+        out = sup.run()
+        policy = self.policy
+        if not policy.finished:
+            missing = policy.total_units - policy.completed_units
+            raise RuntimeError(f"scheduler finished with {missing} units incomplete")
+        return SchedOutcome(
+            results=out.results,
+            assignments=list(policy.log),
+            supervisor=out,
+            n_chain_starts=policy.n_chain_starts,
+            n_steals=policy.n_steals,
+            n_reassigned=policy.n_reassigned,
+            lanes_of={a.seq: lane for _i, (lane, a) in self._meta.items()},
+        )

@@ -23,7 +23,11 @@ __all__ = [
 ]
 
 #: Bump when any EVENT_SCHEMA entry changes shape.
-SCHEMA_VERSION = 1
+#: v2: ``recovery`` gained ``worker`` — the simulator always knew which
+#: machine it declared dead but didn't say, and the farm said nothing; the
+#: two systems now describe a worker-loss recovery with the same fields
+#: (``worker`` is ``"?"`` where the transport can't attribute the loss).
+SCHEMA_VERSION = 2
 
 #: Ray-kind attr keys shared by ``frame`` and ``run.end``.
 RAY_KEYS = ("rays_camera", "rays_reflected", "rays_refracted", "rays_shadow", "rays_total")
@@ -51,7 +55,7 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "shadow.frame": frozenset({"frame", "n_shadow_reusable", "shadow_rays_saved"}),
     # -- supervision / robustness ------------------------------------------
     "task.attempt": frozenset({"task", "attempt", "outcome", "duration", "started"}),
-    "recovery": frozenset({"kind", "task", "attempt", "duration"}),
+    "recovery": frozenset({"kind", "task", "attempt", "duration", "worker"}),
     "checkpoint": frozenset({"task", "action"}),
     "profile": frozenset({"path"}),
 }

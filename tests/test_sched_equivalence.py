@@ -1,0 +1,262 @@
+"""One scheduler, two transports: the policy/transport equivalence tests.
+
+The tentpole property of :mod:`repro.sched`: a Table-1 policy is a pure
+state machine, so driving the *same* policy through the discrete-event
+simulator (:class:`SimTransport`) and through the supervised process
+farm (:class:`ProcessTransport`) must produce identical task-assignment
+sequences and identical modelled ray totals.  Plus the scheduler edge
+cases — single worker, more workers than units, zero-dirty FC frames,
+a worker lost mid-chain — exercised against both transports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ThrashModel, ncsu_testbed
+from repro.parallel.config import RenderFarmConfig
+from repro.parallel.oracle import AnimationCostOracle
+from repro.parallel.partition import sequence_ranges
+from repro.parallel.fault_tolerance import default_worker_timeout
+from repro.parallel.strategies import default_blocks
+from repro.runtime import AnimationSpec, LocalRenderFarm
+from repro.runtime.faults import FaultPlan
+from repro.sched import (
+    DemandDrivenPolicy,
+    OracleCostModel,
+    ProcessTransport,
+    SimTransport,
+    assignment_echo_task,
+    make_policy,
+)
+
+SPU = 1e-4
+NO_THRASH = ThrashModel(alpha=0.0)
+
+
+@pytest.fixture(scope="module")
+def machines():
+    return ncsu_testbed()
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return RenderFarmConfig()
+
+
+def _run_sim(policy, oracle, regions, machines, label, single=False, **kw):
+    transport = SimTransport(
+        policy,
+        oracle,
+        machines,
+        RenderFarmConfig(),
+        regions=regions,
+        label=label,
+        sec_per_work_unit=SPU,
+        thrash=NO_THRASH,
+        single=single,
+        **kw,
+    )
+    return transport.run()
+
+
+def _run_process(policy, n_workers, **kw):
+    transport = ProcessTransport(
+        policy,
+        assignment_echo_task,
+        lambda a, lane: (a.seq, lane),
+        n_workers=n_workers,
+        executor="serial",
+        **kw,
+    )
+    return transport.run()
+
+
+def _build(strategy, oracle, n_workers):
+    """(policy, regions) for one Table-1 strategy over the oracle's geometry."""
+    n = oracle.n_frames
+    if strategy in ("single", "single-fc"):
+        return make_policy(strategy, n), None
+    if strategy in ("sequence-division-fc", "sequence-division-nofc"):
+        ranges = sequence_ranges(n, max(2, n_workers))
+        return make_policy(strategy, n, sequence_ranges=ranges), None
+    regions = default_blocks(oracle)
+    return (
+        make_policy(strategy, n, n_regions=len(regions), frames_per_chunk=2),
+        regions,
+    )
+
+
+# -- the acceptance property -----------------------------------------------------
+FIVE_STRATEGIES = (
+    "single-fc",
+    "frame-division-nofc",
+    "sequence-division-fc",
+    "frame-division-fc",
+    "hybrid-fc",
+)
+
+
+@pytest.mark.parametrize("strategy", FIVE_STRATEGIES)
+def test_transports_produce_identical_assignment_sequences(
+    strategy, tiny_oracle, machines, cfg
+):
+    """Same policy, both transports: identical dispatch logs and ray totals.
+
+    Demand-driven distribution is queue-ordered, so any worker count gives
+    the same sequence; the chained policies are driven by one worker, where
+    the dispatch order is completion-order independent.
+    """
+    n_workers = 3 if strategy == "frame-division-nofc" else 1
+    p_sim, regions = _build(strategy, tiny_oracle, n_workers)
+    p_proc, _ = _build(strategy, tiny_oracle, n_workers)
+
+    sim_out = _run_sim(
+        p_sim,
+        tiny_oracle,
+        regions,
+        machines[:n_workers],
+        strategy,
+        single=(strategy == "single-fc"),
+    )
+    proc_out = _run_process(p_proc, n_workers)
+
+    assert p_sim.finished and p_proc.finished
+    assert [a.key() for a in p_sim.log] == [a.key() for a in p_proc.log]
+
+    cost = OracleCostModel(tiny_oracle, cfg, regions)
+    rays = cost.total_rays_of_log(p_sim.log)
+    assert rays == cost.total_rays_of_log(p_proc.log)
+    # and the simulator's payload accounting agrees with the cost model
+    assert sim_out.total_rays == rays
+    assert len(proc_out.assignments) == len(p_proc.log)
+
+
+def test_multiworker_chains_cover_every_frame_once(tiny_oracle, machines):
+    """With several workers the interleaving (and steal points) may differ
+    between transports, but each dispatches every frame exactly once."""
+    n = tiny_oracle.n_frames
+    for run in ("sim", "process"):
+        policy = make_policy(
+            "sequence-division-fc", n, sequence_ranges=sequence_ranges(n, 3)
+        )
+        if run == "sim":
+            _run_sim(policy, tiny_oracle, None, machines[:3], "seq-fc")
+        else:
+            _run_process(policy, 3)
+        assert policy.finished
+        dispatched = sorted(f for a in policy.log for f in range(a.frame0, a.frame1))
+        assert dispatched == list(range(n))
+
+
+# -- edge cases, against both transports ------------------------------------------
+@pytest.fixture(params=["sim", "process"])
+def run_policy(request, machines):
+    """Drive a policy to completion on the transport named by the param."""
+
+    def run(policy, oracle, regions=None, n_workers=2, **kw):
+        if request.param == "sim":
+            return _run_sim(
+                policy, oracle, regions, machines[:n_workers], "edge", **kw
+            )
+        return _run_process(policy, n_workers, **kw)
+
+    run.transport = request.param
+    return run
+
+
+def test_single_worker_drains_every_chain(run_policy, tiny_oracle):
+    n = tiny_oracle.n_frames
+    policy = make_policy(
+        "sequence-division-fc", n, sequence_ranges=sequence_ranges(n, 3)
+    )
+    run_policy(policy, tiny_oracle, n_workers=1)
+    assert policy.finished
+    assert policy.n_steals == 0  # nobody to steal from
+    assert sum(a.fresh for a in policy.log) == 3  # one fresh start per chain
+
+
+def test_more_workers_than_units(run_policy, tiny_oracle):
+    units = [(ri, 0, 1) for ri in range(2)]
+    policy = DemandDrivenPolicy(units, use_coherence=False, units_per_frame=2)
+    run_policy(policy, tiny_oracle, n_workers=3)
+    assert policy.finished
+    assert len(policy.log) == 2  # the surplus worker never gets an assignment
+
+
+def _static_oracle(n_frames=4, width=4, height=3):
+    """A perfectly static animation: every frame past the first has an
+    empty recompute set, so coherent steps cost zero rays."""
+    n_px = width * height
+    full = np.full((n_frames, n_px), 2, dtype=np.int32)
+    dirty = [np.array([], dtype=np.int64) for _ in range(n_frames)]
+    return AnimationCostOracle(width, height, n_frames, full, dirty, grid_resolution=4)
+
+
+def test_zero_dirty_frames_still_complete(run_policy, cfg):
+    oracle = _static_oracle()
+    n = oracle.n_frames
+    policy = make_policy("sequence-division-fc", n, sequence_ranges=[(0, n)])
+    run_policy(policy, oracle, n_workers=1)
+    assert policy.finished
+    cost = OracleCostModel(oracle, cfg)
+    assert cost.total_rays_of_log(policy.log) == oracle.full_rays(0)
+    assert all(cost.assignment_cost(a).rays == 0 for a in policy.log[1:])
+
+
+def test_worker_lost_mid_chain_sim(tiny_oracle, machines):
+    """Simulator transport: a failed machine trips the deadline sweep and
+    the policy requeues its chain fresh on the survivors."""
+    n = tiny_oracle.n_frames
+    policy = make_policy(
+        "sequence-division-fc", n, sequence_ranges=sequence_ranges(n, 2)
+    )
+    timeout = default_worker_timeout(
+        tiny_oracle, machines[:2], RenderFarmConfig(), SPU, NO_THRASH
+    )
+    out = _run_sim(
+        policy,
+        tiny_oracle,
+        None,
+        machines[:2],
+        "lost",
+        worker_timeout=timeout,
+        # machines[0] also hosts the master task; fail the other machine
+        failures=[(machines[1].name, 0.01)],
+    )
+    assert policy.finished
+    assert policy.n_reassigned >= 1
+    assert len(out.frame_completion_times) == n
+
+
+def test_worker_fault_mid_chain_process(tiny_oracle):
+    """Process transport: a faulting attempt is retried on the same lane,
+    so chain affinity survives and nothing is reassigned."""
+    n = tiny_oracle.n_frames
+    policy = make_policy(
+        "sequence-division-fc", n, sequence_ranges=sequence_ranges(n, 2)
+    )
+    plan = FaultPlan([FaultPlan.raising(1, attempts=(0,))])
+    out = _run_process(policy, 2, fault_plan=plan, max_attempts=3, backoff_base=0.0)
+    assert policy.finished
+    assert out.supervisor.n_retries >= 1
+    assert policy.n_reassigned == 0
+
+
+# -- the real farm under dynamic schedules ----------------------------------------
+def test_farm_dynamic_schedules_bit_identical():
+    spec = AnimationSpec.newton(n_frames=3, width=24, height=18)
+    ref = LocalRenderFarm(spec, executor="serial", grid_resolution=12).render_reference()
+    for schedule in ("demand", "adaptive"):
+        farm = LocalRenderFarm(
+            spec, n_workers=2, executor="serial", schedule=schedule, grid_resolution=12
+        )
+        out = farm.render()
+        assert out.mode == schedule
+        assert np.array_equal(out.frames, ref.frames)
+
+
+def test_dynamic_schedule_rejects_spooling(tmp_path):
+    spec = AnimationSpec.newton(n_frames=2, width=16, height=12)
+    farm = LocalRenderFarm(spec, executor="serial", schedule="demand")
+    with pytest.raises(ValueError, match="static"):
+        farm.render(run_dir=tmp_path)

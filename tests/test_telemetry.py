@@ -11,6 +11,7 @@ from repro.telemetry import (
     EVENT_SCHEMA,
     NULL,
     REQUIRED_BENCH_METRICS,
+    SCHEMA_VERSION,
     InMemorySink,
     JsonlSink,
     SchemaError,
@@ -199,7 +200,7 @@ def _sample_events() -> list[dict]:
     )
     tel.event("worker", worker="w1", busy=1.0, n_tasks=1, utilization=0.5)
     tel.event("worker", worker="w2", busy=1.5, n_tasks=1, utilization=0.75)
-    tel.event("recovery", kind="timeout", task=1, attempt=0, duration=0.5)
+    tel.event("recovery", kind="timeout", task=1, attempt=0, duration=0.5, worker="w2")
     tel.event(
         "run.end", wall_time=2.0, computed_pixels=56, copied_pixels=40,
         n_tasks=2, n_workers=2, rays_camera=110, rays_reflected=45,
@@ -282,7 +283,7 @@ def test_bench_json_round_trip(tmp_path):
 
 def test_validate_bench_rejects_drift():
     metrics = metrics_from_events(_sample_events())
-    good = {"bench": "x", "schema_version": 1, "metrics": metrics}
+    good = {"bench": "x", "schema_version": SCHEMA_VERSION, "metrics": metrics}
     validate_bench(good)
     with pytest.raises(ValueError, match="missing required keys"):
         validate_bench({**good, "metrics": {"rays_total": 1}})

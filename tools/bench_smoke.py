@@ -8,7 +8,10 @@ distills the event log into the required bench metrics, writes
 * the event log violates the pinned telemetry schema,
 * the core event set is not covered,
 * the bench payload loses a required metric key,
-* the render produced no work (zero rays or pixels).
+* the render produced no work (zero rays or pixels),
+* a scheduling policy dispatches differently on the simulator transport
+  than on the process transport (per-task assignment-log diff for one
+  demand-driven and one adaptive policy).
 
 Usage::
 
@@ -34,6 +37,71 @@ from repro.telemetry import (  # noqa: E402
     validate_events,
     write_bench_json,
 )
+
+
+def _diff_transport_logs() -> list[str]:
+    """Run one demand-driven and one adaptive policy on BOTH transports
+    (simulator vs. supervised process pool) over a tiny synthetic oracle
+    and diff the per-task assignment logs.  Returns human-readable
+    mismatch lines; empty means the scheduling core is transport-agnostic.
+    """
+    import numpy as np
+
+    from repro.cluster import ThrashModel, ncsu_testbed
+    from repro.parallel.config import RenderFarmConfig
+    from repro.parallel.oracle import AnimationCostOracle
+    from repro.sched import (
+        OracleCostModel,
+        ProcessTransport,
+        SimTransport,
+        assignment_echo_task,
+        make_policy,
+    )
+
+    n_frames, width, height = 6, 6, 4
+    n_px = width * height
+    rng_costs = (np.arange(n_frames * n_px, dtype=np.int32).reshape(n_frames, n_px) % 5) + 1
+    dirty = [np.array([], dtype=np.int64)] + [
+        np.arange(f % n_px, dtype=np.int64) for f in range(1, n_frames)
+    ]
+    oracle = AnimationCostOracle(width, height, n_frames, rng_costs, dirty, grid_resolution=4)
+    machines = ncsu_testbed()
+    cfg = RenderFarmConfig()
+
+    cases = {
+        # queue-ordered: any worker count dispatches identically
+        "demand-driven": (
+            lambda: make_policy("frame-division-nofc", n_frames, n_regions=1),
+            2,
+        ),
+        # chain-ordered: one worker walks the chains deterministically
+        "adaptive": (
+            lambda: make_policy(
+                "sequence-division-fc", n_frames, sequence_ranges=[(0, 3), (3, 6)]
+            ),
+            1,
+        ),
+    }
+    problems: list[str] = []
+    for name, (build, n_workers) in cases.items():
+        p_sim, p_proc = build(), build()
+        SimTransport(
+            p_sim, oracle, machines[:n_workers], cfg,
+            label=name, sec_per_work_unit=1e-4, thrash=ThrashModel(alpha=0.0),
+        ).run()
+        ProcessTransport(
+            p_proc, assignment_echo_task, lambda a, lane: a.key(),
+            n_workers=n_workers, executor="serial",
+        ).run()
+        sim_log = [a.key() for a in p_sim.log]
+        proc_log = [a.key() for a in p_proc.log]
+        if sim_log != proc_log:
+            problems.append(f"{name}: sim dispatched {sim_log} but process {proc_log}")
+            continue
+        cost = OracleCostModel(oracle, cfg)
+        if cost.total_rays_of_log(p_sim.log) != cost.total_rays_of_log(p_proc.log):
+            problems.append(f"{name}: transports disagree on modelled ray totals")
+    return problems
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,6 +152,14 @@ def main(argv: list[str] | None = None) -> int:
     if metrics["rays_total"] <= 0 or metrics["computed_pixels"] <= 0:
         print(f"FAIL: smoke render did no work: {metrics}")
         return 1
+
+    mismatches = _diff_transport_logs()
+    if mismatches:
+        print("FAIL: scheduler transports diverged:")
+        for line in mismatches:
+            print(f"  {line}")
+        return 1
+    print("OK: sim and process transports dispatch identically (demand + adaptive)")
 
     print(f"OK: {path}")
     for key in REQUIRED_BENCH_METRICS:
