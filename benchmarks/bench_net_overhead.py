@@ -1,0 +1,116 @@
+"""What the wire costs: process pool vs. TCP loopback, and compression.
+
+The TCP transport's claim is *fidelity*, not speed — on one host it
+re-renders the same adaptive schedule as the process pool, plus socket
+framing, heartbeats, and daemon startup.  This benchmark pins down that
+overhead (wall-time ratio on a small Newton render) and measures the
+other axis the paper's shared-Ethernet testbed cared about: bytes on the
+wire, with and without per-array zlib tile compression (smooth
+framebuffers shrink a lot; the encoder keeps incompressible buffers raw).
+
+Emits ``BENCH_net.json`` (metrics distilled from the TCP run's telemetry
+log, wall times and byte counts in ``extra``) and ``net_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _bench_utils import write_result
+
+from repro.net.master import TcpTransport
+from repro.net.tasks import spec_to_wire
+from repro.runtime import AnimationSpec, LocalRenderFarm
+from repro.sched import make_policy
+from repro.telemetry import InMemorySink, Telemetry, metrics_from_events, write_bench_json
+
+KW = dict(n_frames=4, width=48, height=36)
+GRID = 12
+N_WORKERS = 2
+
+
+def _farm_run(transport: str):
+    """One adaptive-schedule Newton render; returns (wall, events)."""
+    sink = InMemorySink()
+    tel = Telemetry(sinks=(sink,))
+    farm = LocalRenderFarm(
+        AnimationSpec.newton(**KW),
+        n_workers=N_WORKERS,
+        schedule="adaptive",
+        transport=transport,
+        grid_resolution=GRID,
+        telemetry=tel,
+    )
+    t0 = time.perf_counter()
+    farm.render()
+    wall = time.perf_counter() - t0
+    tel.close()
+    return wall, sink.events
+
+
+def _tcp_bytes(compress: bool):
+    """Drive the render task over a raw TcpTransport and return NetStats."""
+    spec_wire = spec_to_wire(AnimationSpec.newton(**KW))
+    policy = make_policy(
+        "sequence-division-fc", KW["n_frames"], sequence_ranges=[(0, KW["n_frames"])]
+    )
+
+    def materialize(a, lane):
+        return (spec_wire, None, int(a.frame0), int(a.frame1), bool(a.fresh),
+                "bench", GRID, 1, False, None)
+
+    out = TcpTransport(
+        policy,
+        "render_segment",
+        materialize,
+        n_workers=N_WORKERS,
+        compress=compress,
+        startup_timeout=120.0,
+    ).run()
+    assert policy.finished and out.net.n_losses == 0
+    return out.net
+
+
+def test_net_overhead_and_bytes(results_dir):
+    proc_wall, _ = _farm_run("process")
+    tcp_wall, tcp_events = _farm_run("tcp")
+
+    raw = _tcp_bytes(compress=False)
+    packed = _tcp_bytes(compress=True)
+    # RESULT frames carry the framebuffers; Newton's smooth background
+    # must compress, and the encoder never ships a grown buffer.
+    assert packed.bytes_received < raw.bytes_received
+    assert packed.n_results == raw.n_results
+
+    metrics = metrics_from_events(tcp_events)
+    write_bench_json(
+        results_dir,
+        "net",
+        metrics,
+        extra={
+            "process_wall": proc_wall,
+            "tcp_wall": tcp_wall,
+            "tcp_over_process": tcp_wall / proc_wall,
+            "bytes_on_wire_raw": raw.bytes_sent + raw.bytes_received,
+            "bytes_on_wire_compressed": packed.bytes_sent + packed.bytes_received,
+            "result_bytes_raw": raw.bytes_received,
+            "result_bytes_compressed": packed.bytes_received,
+            "n_workers": N_WORKERS,
+        },
+    )
+
+    ratio = raw.bytes_received / max(1, packed.bytes_received)
+    lines = [
+        "network transport overhead (newton "
+        f"{KW['n_frames']}f @ {KW['width']}x{KW['height']}, "
+        f"{N_WORKERS} workers, adaptive schedule)",
+        f"  process pool       {proc_wall:.3f} s",
+        f"  tcp loopback       {tcp_wall:.3f} s  "
+        f"({tcp_wall / proc_wall:.2f}x; includes daemon startup)",
+        "  bytes on wire (master<->workers, render task only):",
+        f"    uncompressed     {raw.bytes_sent + raw.bytes_received:,} "
+        f"(results {raw.bytes_received:,})",
+        f"    zlib tiles       {packed.bytes_sent + packed.bytes_received:,} "
+        f"(results {packed.bytes_received:,}, {ratio:.1f}x smaller)",
+    ]
+    write_result(results_dir, "net_overhead.txt", "\n".join(lines))

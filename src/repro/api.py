@@ -88,6 +88,8 @@ class RenderRequest:
     n_workers: int | None = None
     executor: str = "process"
     schedule: str = "static"
+    transport: str = "process"  # "process" pool, or "tcp" loopback network farm
+    net_die_after: dict | None = None  # tcp fault drill: worker idx -> kill point
     segment_frames: int | None = None
     max_attempts: int = 3
     task_timeout: float | None = None
@@ -247,6 +249,8 @@ def _run_farm(req: RenderRequest, tel, label, spec) -> RenderResult:
         mode=req.mode,
         executor=req.executor,
         schedule=req.schedule,
+        transport=req.transport,
+        net_die_after=req.net_die_after,
         segment_frames=req.segment_frames,
         grid_resolution=req.grid_resolution,
         samples_per_axis=req.samples_per_axis,

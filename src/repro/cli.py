@@ -91,9 +91,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("process", "thread", "serial"), default="process"
     )
     p_farm.add_argument(
-        "--schedule", choices=("static", "demand", "adaptive"), default="static",
+        "--schedule", choices=("static", "demand", "adaptive"), default=None,
         help="task scheduling: static upfront list, demand-driven block queue, "
-             "or adaptive sequence chains with tail-stealing",
+             "or adaptive sequence chains with tail-stealing "
+             "(default: static for --transport process, adaptive for tcp)",
+    )
+    p_farm.add_argument(
+        "--transport", choices=("process", "tcp"), default="process",
+        help="process: supervised pool on this host; tcp: loopback network farm "
+             "(master on 127.0.0.1 + worker daemons over real sockets)",
     )
     p_farm.add_argument(
         "--segment-frames", type=int, default=None, metavar="N",
@@ -163,6 +169,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_oracle.add_argument("workload", choices=_WORKLOADS)
     _add_size_args(p_oracle)
     p_oracle.add_argument("--save", type=Path, help="also save the oracle as .npz")
+
+    p_worker = sub.add_parser(
+        "worker", help="join a repro.net farm as a rendering worker daemon"
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address of the repro.net master",
+    )
+    p_worker.add_argument(
+        "--score", type=float, default=None,
+        help="calibration score override (default: measure a quick benchmark)",
+    )
+    p_worker.add_argument(
+        "--max-retries", type=int, default=20,
+        help="connection attempts (exponential backoff) before giving up",
+    )
+    p_worker.add_argument(
+        "--die-after", type=int, default=None, metavar="N",
+        help="fault drill: crash hard on receiving assignment N+1",
+    )
+    p_worker.add_argument("--verbose", action="store_true", help="log to stdout")
     return parser
 
 
@@ -252,6 +279,11 @@ def _cmd_table1(args) -> int:
 def _cmd_farm(args) -> int:
     from .api import render
 
+    # The network master serves a scheduling policy, so tcp cannot run the
+    # static upfront task list; default each transport to its natural mode.
+    schedule = args.schedule
+    if schedule is None:
+        schedule = "adaptive" if args.transport == "tcp" else "static"
     result = render(
         workload=args.workload,
         engine="farm",
@@ -262,7 +294,8 @@ def _cmd_farm(args) -> int:
         n_workers=args.workers,
         mode=args.mode,
         executor=args.executor,
-        schedule=args.schedule,
+        schedule=schedule,
+        transport=args.transport,
         segment_frames=args.segment_frames,
         max_attempts=args.max_attempts,
         task_timeout=args.task_timeout,
@@ -290,6 +323,24 @@ def _cmd_farm(args) -> int:
         print(f"telemetry in {result.events_path}")
     print(f"bit-identical to single-renderer reference: {result.bit_identical}")
     return 0 if result.bit_identical else 1
+
+
+def _cmd_worker(args) -> int:
+    from .net.worker import WorkerClient
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--connect wants HOST:PORT, got {args.connect!r}", file=sys.stderr)
+        return 2
+    client = WorkerClient(
+        host,
+        int(port),
+        score=args.score,
+        max_retries=args.max_retries,
+        die_after=args.die_after,
+        verbose=args.verbose,
+    )
+    return client.run()
 
 
 def _cmd_simulate(args) -> int:
@@ -361,6 +412,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "telemetry": _cmd_telemetry,
         "oracle": _cmd_oracle,
+        "worker": _cmd_worker,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,633 @@
+"""The repro.net master: drive a scheduling policy over real TCP sockets.
+
+This is the third transport for the :mod:`repro.sched` state machines.
+Where :class:`~repro.sched.sim.SimTransport` replays assignments against
+modelled costs and :class:`~repro.sched.process.ProcessTransport` runs
+them through a single-host pool, :class:`MasterServer` plays the role of
+the paper's PVM master: workers register over a socket (advertising
+hostname, cores, and a calibration score), each live connection is one
+scheduling *lane* with at most one assignment in flight — which is what
+preserves chain affinity and keeps the worker-side
+:class:`~repro.coherence.CoherentRenderer` continuation cache warm — and
+results stream back as framed binary messages.
+
+Robustness reuses the PR 1 vocabulary: per-assignment deadlines adapt to
+observed durations exactly like :class:`~repro.runtime.supervisor.
+TaskSupervisor` (``timeout_factor * max(seen) + margin``), heartbeat
+PINGs distinguish *dead* from *busy rendering* (the worker's reader
+thread answers pongs mid-render, so only a vanished peer goes silent),
+and any loss — EOF, blown deadline, missed heartbeats, task error,
+invalid result — feeds ``policy.on_worker_lost`` so the policy requeues
+the lane's chain for the surviving workers.  A worker that reconnects is
+a *new* lane (policies retire lost lanes permanently), which makes
+reconnection indistinguishable from a fresh machine joining the farm.
+
+:class:`TcpTransport` wraps all of this into the loopback form the tests
+and benchmarks use: bind an ephemeral port on 127.0.0.1, spawn N
+``python -m repro.worker`` subprocesses at it, serve to completion, and
+return the same :class:`~repro.sched.process.SchedOutcome` shape the
+process transport produces — so :class:`~repro.runtime.local.
+LocalRenderFarm` consumes either transport identically.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..runtime.supervisor import SupervisorOutcome, TaskAttempt
+from ..telemetry import NULL
+from . import protocol as wire
+
+__all__ = ["MasterServer", "NetStats", "TcpTransport"]
+
+#: Loss reason -> TaskAttempt outcome (the supervisor's vocabulary, so
+#: ``LocalRenderFarm._emit_run_telemetry`` renders net losses in the same
+#: recovery timeline as pool losses).
+_LOSS_OUTCOMES = {
+    "eof": "crash",
+    "deadline": "timeout",
+    "heartbeat": "timeout",
+    "error": "error",
+    "invalid": "invalid",
+}
+
+
+@dataclass
+class NetStats:
+    """Wire accounting for one master run (the bench's raw material)."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    n_pings: int = 0
+    n_pongs: int = 0
+    n_workers_joined: int = 0
+    n_losses: int = 0
+    n_assignments: int = 0
+    n_results: int = 0
+    compress: bool = True
+
+
+class _Conn:
+    """One accepted connection: a lane once registered, a stranger before."""
+
+    __slots__ = (
+        "sock",
+        "assembler",
+        "name",
+        "host",
+        "cores",
+        "score",
+        "registered",
+        "joined",
+        "assignment",
+        "args",
+        "dispatched",
+        "deadline",
+        "last_pong",
+        "closed",
+    )
+
+    def __init__(self, sock: socket.socket, now: float) -> None:
+        self.sock = sock
+        self.assembler = wire.FrameAssembler()
+        self.name = ""
+        self.host = "?"
+        self.cores = 0
+        self.score = 0.0
+        self.registered = False
+        self.joined = now
+        self.assignment = None
+        self.args = None
+        self.dispatched = 0.0
+        self.deadline: float | None = None
+        self.last_pong = now
+        self.closed = False
+
+
+class MasterServer:
+    """Accept workers and drive ``policy`` over their connections.
+
+    Parameters
+    ----------
+    policy:
+        The scheduling state machine; consumed (policies are single-use).
+    task_name:
+        Registry name (:mod:`repro.net.tasks`) the workers execute.
+    materialize:
+        ``materialize(assignment, lane) -> wire-encodable task args``.
+    validate:
+        Optional ``validate(args, result) -> bool`` corruption gate; an
+        invalid result counts as a worker loss (reason ``invalid``).
+    max_attempts:
+        Ceiling on dispatches of one work unit (keyed by region +
+        first frame) before the run fails loudly.
+    task_timeout / timeout_factor / timeout_margin / startup_timeout:
+        Per-assignment deadline policy, same semantics as
+        :class:`~repro.runtime.supervisor.TaskSupervisor`.
+    heartbeat_interval / heartbeat_misses:
+        PING cadence, and how many silent intervals mark a peer dead.
+    accept_timeout:
+        How long the master waits with work pending but no workers
+        connected before giving up.
+    compress / compress_min_bytes:
+        Result tile compression policy, announced to workers in WELCOME.
+    """
+
+    def __init__(
+        self,
+        policy,
+        task_name: str,
+        materialize,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        validate=None,
+        max_attempts: int = 5,
+        task_timeout: float | None = None,
+        timeout_factor: float = 3.0,
+        timeout_margin: float = 1.0,
+        startup_timeout: float | None = None,
+        heartbeat_interval: float = 0.5,
+        heartbeat_misses: int = 10,
+        accept_timeout: float = 30.0,
+        compress: bool = True,
+        compress_min_bytes: int = 4096,
+        telemetry=None,
+        on_result=None,
+    ) -> None:
+        self.policy = policy
+        self.task_name = task_name
+        self.materialize = materialize
+        self.host = host
+        self.port = int(port)
+        self.validate = validate
+        self.max_attempts = max(1, int(max_attempts))
+        self.task_timeout = task_timeout
+        self.timeout_factor = float(timeout_factor)
+        self.timeout_margin = float(timeout_margin)
+        self.startup_timeout = startup_timeout
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_misses = max(1, int(heartbeat_misses))
+        self.accept_timeout = float(accept_timeout)
+        self.telemetry = telemetry if telemetry is not None else NULL
+        self.on_result = on_result
+        self.net = NetStats(compress=bool(compress))
+        self.compress_min_bytes = int(compress_min_bytes)
+        self.workers: dict[str, dict] = {}  # lane -> {host, cores, score, n_done}
+        self.address: tuple[str, int] | None = None
+        self._listener: socket.socket | None = None
+        self._conns: dict[int, _Conn] = {}  # fileno -> connection
+        self._n_named = 0
+        self._results: list = []
+        self._attempt_log: list[TaskAttempt] = []
+        self._attempts: dict[tuple, int] = {}  # (region, frame0) -> dispatch count
+        self._lanes_of: dict[int, str] = {}
+        self._durations: list[float] = []
+        self._counts = {"retries": 0, "timeouts": 0, "crashes": 0, "invalid": 0}
+        self._t0 = 0.0
+        self._last_progress = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+    def listen(self) -> tuple[str, int]:
+        """Bind and listen; returns (host, port) — port resolves 0 to real."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        self.port = self.address[1]
+        self.telemetry.event("net.listen", host=self.address[0], port=self.port)
+        return self.address
+
+    def run(self):
+        """``listen()`` + ``serve()`` for callers that don't need the port
+        before serving (real deployments; the loopback transport does)."""
+        if self._listener is None:
+            self.listen()
+        return self.serve()
+
+    # -- deadline policy (mirrors TaskSupervisor) --------------------------
+    def _deadline_for_now(self) -> float | None:
+        if self.task_timeout is not None:
+            return self.task_timeout
+        if self._durations:
+            return self.timeout_factor * max(self._durations) + self.timeout_margin
+        return self.startup_timeout
+
+    # -- main loop ---------------------------------------------------------
+    def serve(self):
+        """Serve until the policy is finished; returns a ``SchedOutcome``."""
+        from ..sched.process import SchedOutcome
+
+        if self._listener is None:
+            raise RuntimeError("call listen() before serve()")
+        sel = selectors.DefaultSelector()
+        sel.register(self._listener, selectors.EVENT_READ, None)
+        self._t0 = self._last_progress = time.perf_counter()
+        next_ping = self._t0 + self.heartbeat_interval
+        policy = self.policy
+        try:
+            while not policy.finished:
+                now = time.perf_counter()
+                if now >= next_ping:
+                    self._ping_all(sel, now)
+                    next_ping = now + self.heartbeat_interval
+                self._sweep(sel, now)
+                self._dispatch(sel, now)
+                if policy.finished:
+                    break
+                for key, _mask in sel.select(timeout=0.05):
+                    if key.data is None:
+                        self._accept(sel)
+                    else:
+                        self._service(sel, key.data)
+        finally:
+            self._shutdown(sel)
+        wall = time.perf_counter() - self._t0
+        sup = SupervisorOutcome(
+            results=self._results,
+            attempts=self._attempt_log,
+            n_retries=self._counts["retries"],
+            n_timeouts=self._counts["timeouts"],
+            n_crashes=self._counts["crashes"],
+            n_invalid=self._counts["invalid"],
+            wall_time=wall,
+        )
+        return SchedOutcome(
+            results=self._results,
+            assignments=list(policy.log),
+            supervisor=sup,
+            n_chain_starts=policy.n_chain_starts,
+            n_steals=policy.n_steals,
+            n_reassigned=policy.n_reassigned,
+            lanes_of=dict(self._lanes_of),
+            workers={k: dict(v) for k, v in self.workers.items()},
+            net=self.net,
+        )
+
+    # -- socket events -----------------------------------------------------
+    def _accept(self, sel) -> None:
+        sock, _addr = self._listener.accept()
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _Conn(sock, time.perf_counter())
+        self._conns[sock.fileno()] = conn
+        sel.register(sock, selectors.EVENT_READ, conn)
+
+    def _service(self, sel, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(1 << 18)
+        except OSError:
+            self._lose(sel, conn, "error")
+            return
+        if not data:
+            self._lose(sel, conn, "eof")
+            return
+        self.net.bytes_received += len(data)
+        conn.assembler.feed(data)
+        try:
+            for msg_type, payload, nbytes in conn.assembler:
+                self.net.messages_received += 1
+                self._handle(sel, conn, msg_type, payload, nbytes)
+                if conn.closed:
+                    return
+        except wire.ProtocolError:
+            self._lose(sel, conn, "error")
+
+    def _handle(self, sel, conn: _Conn, msg_type: int, payload, nbytes: int) -> None:
+        now = time.perf_counter()
+        if msg_type == wire.MSG_HELLO:
+            if not isinstance(payload, dict) or payload.get("proto") != wire.PROTO_VERSION:
+                self._lose(sel, conn, "error")
+                return
+            conn.name = f"w{self._n_named}"
+            self._n_named += 1
+            conn.host = str(payload.get("host", "?"))
+            conn.cores = int(payload.get("cores", 1))
+            conn.score = float(payload.get("score", 1.0))
+            conn.registered = True
+            conn.last_pong = now
+            self.workers[conn.name] = {
+                "host": conn.host,
+                "cores": conn.cores,
+                "score": conn.score,
+                "n_done": 0,
+            }
+            self._send(conn, wire.MSG_WELCOME, {
+                "worker": conn.name,
+                "proto": wire.PROTO_VERSION,
+                "heartbeat_interval": self.heartbeat_interval,
+                "compress": self.net.compress,
+                "compress_min_bytes": self.compress_min_bytes,
+            })
+            self.net.n_workers_joined += 1
+            self.telemetry.event(
+                "net.worker.join",
+                worker=conn.name,
+                host=conn.host,
+                cores=conn.cores,
+                score=conn.score,
+            )
+            self._last_progress = now
+        elif msg_type == wire.MSG_PONG:
+            self.net.n_pongs += 1
+            conn.last_pong = now
+            try:
+                rtt = max(0.0, now - float(payload.get("t", now)))
+            except (TypeError, ValueError):
+                rtt = 0.0
+            self.telemetry.event("net.pong", worker=conn.name, rtt=rtt)
+        elif msg_type == wire.MSG_RESULT:
+            self._on_result_frame(sel, conn, payload, nbytes, now)
+        elif msg_type == wire.MSG_ERROR:
+            if isinstance(payload, dict):
+                self.telemetry.absorb(payload.get("events") or [])
+            detail = str(payload.get("error", "")) if isinstance(payload, dict) else ""
+            self._lose(sel, conn, "error", detail=detail)
+        # Unsolicited HELLO repeats or unknown-but-valid types: ignore.
+
+    def _on_result_frame(self, sel, conn: _Conn, payload, nbytes: int, now: float) -> None:
+        a = conn.assignment
+        if a is None or not isinstance(payload, dict) or payload.get("seq") != a.seq:
+            return  # stale or spurious; one-in-flight makes this near-impossible
+        self.telemetry.absorb(payload.get("events") or [])
+        result = payload.get("result")
+        duration = float(payload.get("duration", now - conn.dispatched))
+        key = (a.region_index, a.frame0)
+        if self.validate is not None and not self.validate(conn.args, result):
+            self._lose(sel, conn, "invalid")
+            return
+        conn.assignment = None
+        conn.args = None
+        conn.deadline = None
+        self._results.append(result)
+        self._durations.append(duration)
+        self._attempt_log.append(TaskAttempt(
+            task_index=a.seq,
+            attempt=self._attempts.get(key, 1),
+            outcome="ok",
+            duration=duration,
+            started=conn.dispatched - self._t0,
+        ))
+        self.workers[conn.name]["n_done"] += 1
+        self.net.n_results += 1
+        self.telemetry.event(
+            "net.result",
+            worker=conn.name,
+            seq=a.seq,
+            nbytes=nbytes,
+            compressed=self.net.compress,
+            duration=duration,
+        )
+        self.policy.on_result(conn.name, a)
+        if self.on_result is not None:
+            self.on_result(a, result)
+        self._last_progress = now
+
+    # -- dispatch / sweeps -------------------------------------------------
+    def _dispatch(self, sel, now: float) -> None:
+        registered = [c for c in self._conns.values() if c.registered]
+        dispatched = False
+        for conn in registered:
+            if conn.assignment is not None:
+                continue
+            a = self.policy.next_assignment(conn.name)
+            if a is None:
+                continue
+            args = self.materialize(a, conn.name)
+            conn.assignment = a
+            conn.args = args
+            conn.dispatched = now
+            limit = self._deadline_for_now()
+            conn.deadline = None if limit is None else now + limit
+            key = (a.region_index, a.frame0)
+            self._attempts[key] = self._attempts.get(key, 0) + 1
+            self._lanes_of[a.seq] = conn.name
+            try:
+                nbytes = self._send(conn, wire.MSG_ASSIGN, {
+                    "seq": a.seq,
+                    "region": a.region_index,
+                    "frame0": a.frame0,
+                    "frame1": a.frame1,
+                    "fresh": a.fresh,
+                    "coherent": a.coherent,
+                    "task": self.task_name,
+                    "args": args,
+                })
+            except OSError:
+                self._lose(sel, conn, "eof")
+                continue
+            self.net.n_assignments += 1
+            self.telemetry.event(
+                "net.assign",
+                worker=conn.name,
+                seq=a.seq,
+                frame0=a.frame0,
+                frame1=a.frame1,
+                region=a.region_index,
+                nbytes=nbytes,
+            )
+            dispatched = True
+        if dispatched:
+            self._last_progress = now
+            return
+        busy = any(c.assignment is not None for c in self._conns.values())
+        if busy or self.policy.finished:
+            return
+        strangers = any(not c.registered for c in self._conns.values())
+        if not registered:
+            if not strangers and now - self._last_progress > self.accept_timeout:
+                raise RuntimeError(
+                    f"no workers connected within {self.accept_timeout:.1f}s "
+                    "with work still pending"
+                )
+            return
+        # Every registered lane is idle, every one was just declined, and
+        # nothing is in flight: the policy can never finish.  Same guard
+        # (and failure mode) as the supervisor's feed stall.
+        if not strangers:
+            raise RuntimeError(
+                "master stalled: policy returned no work with none in flight"
+            )
+
+    def _sweep(self, sel, now: float) -> None:
+        silent_after = self.heartbeat_interval * self.heartbeat_misses
+        for conn in list(self._conns.values()):
+            if conn.closed or not conn.registered:
+                continue
+            if conn.assignment is not None and conn.deadline is not None and now > conn.deadline:
+                self._lose(sel, conn, "deadline")
+            elif now - conn.last_pong > silent_after:
+                self._lose(sel, conn, "heartbeat")
+
+    def _ping_all(self, sel, now: float) -> None:
+        for conn in list(self._conns.values()):
+            if conn.closed or not conn.registered:
+                continue
+            try:
+                self._send(conn, wire.MSG_PING, {"t": now})
+                self.net.n_pings += 1
+            except OSError:
+                self._lose(sel, conn, "eof")
+
+    # -- loss --------------------------------------------------------------
+    def _lose(self, sel, conn: _Conn, reason: str, detail: str = "") -> None:
+        """Close a connection and route its lane into the policy's
+        ``on_worker_lost`` so any in-flight assignment is requeued."""
+        if conn.closed:
+            return
+        conn.closed = True
+        now = time.perf_counter()
+        self._conns.pop(conn.sock.fileno(), None)
+        try:
+            sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        if not conn.registered:
+            return
+        self.net.n_losses += 1
+        a = conn.assignment
+        self.telemetry.event(
+            "net.worker.lost",
+            worker=conn.name,
+            reason=reason,
+            seq=-1 if a is None else a.seq,
+        )
+        if a is not None:
+            outcome = _LOSS_OUTCOMES.get(reason, "crash")
+            key = (a.region_index, a.frame0)
+            n_tries = self._attempts.get(key, 1)
+            self._attempt_log.append(TaskAttempt(
+                task_index=a.seq,
+                attempt=n_tries,
+                outcome=outcome,
+                duration=now - conn.dispatched,
+                error=detail or reason,
+                started=conn.dispatched - self._t0,
+            ))
+            if outcome == "timeout":
+                self._counts["timeouts"] += 1
+            elif outcome == "invalid":
+                self._counts["invalid"] += 1
+            else:
+                self._counts["crashes"] += 1
+            if n_tries >= self.max_attempts:
+                raise RuntimeError(
+                    f"assignment seq {a.seq} (region {a.region_index}, "
+                    f"frame {a.frame0}) failed after {n_tries} attempts "
+                    f"(last: {reason})"
+                )
+            self._counts["retries"] += 1
+        self.policy.on_worker_lost(conn.name)
+        self._last_progress = now
+
+    def _send(self, conn: _Conn, msg_type: int, obj) -> int:
+        n = wire.send_frame(conn.sock, msg_type, obj)
+        self.net.bytes_sent += n
+        self.net.messages_sent += 1
+        return n
+
+    def _shutdown(self, sel) -> None:
+        for conn in list(self._conns.values()):
+            try:
+                self._send(conn, wire.MSG_SHUTDOWN, {})
+            except OSError:
+                pass
+            try:
+                sel.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        self._conns.clear()
+        if self._listener is not None:
+            try:
+                sel.unregister(self._listener)
+            except (KeyError, ValueError):
+                pass
+            self._listener.close()
+            self._listener = None
+        sel.close()
+
+
+class TcpTransport:
+    """Loopback network farm: master + N worker subprocesses on 127.0.0.1.
+
+    Mirrors the :class:`~repro.sched.process.ProcessTransport` calling
+    convention (``policy``, task, ``materialize`` -> ``run()`` ->
+    ``SchedOutcome``) so :class:`~repro.runtime.local.LocalRenderFarm`
+    and the equivalence tests can swap transports freely.  The bytes
+    really cross sockets; only the hosts are collapsed onto one machine.
+
+    ``die_after`` maps a worker index to an assignment count after which
+    that daemon hard-crashes (`--die-after`), the deterministic stand-in
+    for a workstation dying mid-sequence.
+    """
+
+    def __init__(
+        self,
+        policy,
+        task_name: str,
+        materialize,
+        *,
+        n_workers: int = 2,
+        die_after: dict[int, int] | None = None,
+        worker_verbose: bool = False,
+        python: str | None = None,
+        **master_kwargs,
+    ) -> None:
+        self.n_workers = max(1, int(n_workers))
+        self.die_after = dict(die_after or {})
+        self.worker_verbose = worker_verbose
+        self.python = python or sys.executable
+        self.master = MasterServer(
+            policy, task_name, materialize, host="127.0.0.1", port=0, **master_kwargs
+        )
+
+    def _spawn(self, port: int, index: int) -> subprocess.Popen:
+        cmd = [
+            self.python,
+            "-m",
+            "repro.worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--score",
+            "1.0",  # skip calibration: loopback workers are homogeneous
+        ]
+        if index in self.die_after:
+            cmd += ["--die-after", str(self.die_after[index])]
+        if self.worker_verbose:
+            cmd.append("--verbose")
+        env = os.environ.copy()
+        src = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        out = None if self.worker_verbose else subprocess.DEVNULL
+        return subprocess.Popen(cmd, env=env, stdout=out, stderr=out)
+
+    def run(self):
+        _host, port = self.master.listen()
+        procs = [self._spawn(port, i) for i in range(self.n_workers)]
+        try:
+            return self.master.serve()
+        finally:
+            for proc in procs:
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()

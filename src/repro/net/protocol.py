@@ -1,0 +1,344 @@
+"""The ``repro.net`` wire protocol: length-prefixed binary frames over TCP.
+
+The paper's farm spoke PVM; ours speaks a deliberately tiny protocol that
+needs nothing beyond the stdlib and numpy.  Every message on the wire is
+one **frame**::
+
+    +--------+---------+----------+---------+-------------+----------------+
+    | magic  | version | msg_type | flags   | payload_len | payload bytes  |
+    | 4s     | u8      | u8       | u16     | u32         | payload_len    |
+    +--------+---------+----------+---------+-------------+----------------+
+
+followed by a self-describing binary **payload** encoding a restricted
+value set (msgpack-free on purpose — no third-party codec): ``None``,
+bools, 64-bit ints, doubles, UTF-8 strings, raw bytes, lists, tuples,
+dicts and numpy arrays.  Tuples and lists round-trip as distinct types so
+task results keep their exact Python shape across the hop, and numpy
+arrays carry dtype + shape + raw buffer — ``float64`` framebuffers are
+therefore **bit-identical** after transport.
+
+Arrays above ``compress_min_bytes`` may be zlib-compressed individually
+("tile compression": the framebuffer tiles are the only large values on
+the wire, so compressing at the array level gets all of the win without
+touching the cheap metadata around it).  Compression is recorded per
+array and is transparent to the decoder.
+
+Message types
+-------------
+==========  =========  ====================================================
+name        direction  payload
+==========  =========  ====================================================
+HELLO       w -> m     {proto, host, pid, cores, score}
+WELCOME     m -> w     {worker, heartbeat_interval, compress, proto}
+ASSIGN      m -> w     {seq, region, frame0, frame1, fresh, coherent,
+                        task, args}
+RESULT      w -> m     {seq, result, duration, events}
+PING        m -> w     {t}
+PONG        w -> m     {t}   (echo of the ping's t; master derives rtt)
+ERROR       w -> m     {seq, error, events}
+SHUTDOWN    m -> w     {}
+==========  =========  ====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "PROTO_VERSION",
+    "MAGIC",
+    "MSG_HELLO",
+    "MSG_WELCOME",
+    "MSG_ASSIGN",
+    "MSG_RESULT",
+    "MSG_PING",
+    "MSG_PONG",
+    "MSG_ERROR",
+    "MSG_SHUTDOWN",
+    "MSG_NAMES",
+    "ProtocolError",
+    "encode",
+    "decode",
+    "pack_frame",
+    "send_frame",
+    "recv_frame",
+    "FrameAssembler",
+]
+
+PROTO_VERSION = 1
+MAGIC = b"RNW1"
+
+MSG_HELLO = 1
+MSG_WELCOME = 2
+MSG_ASSIGN = 3
+MSG_RESULT = 4
+MSG_PING = 5
+MSG_PONG = 6
+MSG_ERROR = 7
+MSG_SHUTDOWN = 8
+
+MSG_NAMES = {
+    MSG_HELLO: "hello",
+    MSG_WELCOME: "welcome",
+    MSG_ASSIGN: "assign",
+    MSG_RESULT: "result",
+    MSG_PING: "ping",
+    MSG_PONG: "pong",
+    MSG_ERROR: "error",
+    MSG_SHUTDOWN: "shutdown",
+}
+
+_HEADER = struct.Struct("!4sBBHI")
+HEADER_SIZE = _HEADER.size
+
+#: Hard ceiling on one frame's payload — a corrupted length prefix must
+#: fail fast, not trigger a multi-gigabyte allocation.
+MAX_PAYLOAD = 1 << 30
+
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame or unencodable value on the repro.net wire."""
+
+
+# -- value encoding ---------------------------------------------------------------
+def _encode_into(out: list, obj, compress_arrays: bool, min_bytes: int) -> None:
+    if obj is None:
+        out.append(b"N")
+    elif obj is True:
+        out.append(b"T")
+    elif obj is False:
+        out.append(b"F")
+    elif isinstance(obj, (int, np.integer)):
+        v = int(obj)
+        if not (-(1 << 63) <= v < (1 << 63)):
+            raise ProtocolError(f"integer out of 64-bit range: {v}")
+        out.append(b"i" + _I64.pack(v))
+    elif isinstance(obj, (float, np.floating)):
+        out.append(b"f" + _F64.pack(float(obj)))
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out.append(b"s" + _U32.pack(len(raw)) + raw)
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        raw = bytes(obj)
+        out.append(b"b" + _U32.pack(len(raw)) + raw)
+    elif isinstance(obj, np.ndarray):
+        _encode_array(out, obj, compress_arrays, min_bytes)
+    elif isinstance(obj, (list, tuple)):
+        tag = b"t" if isinstance(obj, tuple) else b"l"
+        out.append(tag + _U32.pack(len(obj)))
+        for item in obj:
+            _encode_into(out, item, compress_arrays, min_bytes)
+    elif isinstance(obj, dict):
+        out.append(b"d" + _U32.pack(len(obj)))
+        for key, value in obj.items():
+            _encode_into(out, key, compress_arrays, min_bytes)
+            _encode_into(out, value, compress_arrays, min_bytes)
+    else:
+        raise ProtocolError(f"unencodable type {type(obj).__name__!r} on the wire")
+
+
+def _encode_array(out: list, a: np.ndarray, compress: bool, min_bytes: int) -> None:
+    if a.ndim:  # ascontiguousarray would promote a 0-d array to 1-d
+        a = np.ascontiguousarray(a)
+    dtype = a.dtype.str.encode("ascii")
+    raw = a.tobytes()
+    packed = zlib.compress(raw) if compress and len(raw) >= min_bytes else None
+    # Incompressible data (already-noisy framebuffers) can grow under zlib;
+    # keep whichever representation is smaller.
+    if packed is not None and len(packed) >= len(raw):
+        packed = None
+    data = raw if packed is None else packed
+    out.append(b"a" + struct.pack("!B", len(dtype)) + dtype)
+    out.append(struct.pack("!B", a.ndim))
+    for dim in a.shape:
+        out.append(_U64.pack(dim))
+    out.append(struct.pack("!B", 0 if packed is None else 1))
+    out.append(_U64.pack(len(data)))
+    out.append(data)
+
+
+def encode(obj, *, compress_arrays: bool = False, compress_min_bytes: int = 4096) -> bytes:
+    """Serialize ``obj`` to payload bytes (see the module doc for types)."""
+    out: list[bytes] = []
+    _encode_into(out, obj, compress_arrays, compress_min_bytes)
+    return b"".join(out)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise ProtocolError("truncated payload")
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+
+def _decode_one(r: _Reader):
+    tag = r.take(1)
+    if tag == b"N":
+        return None
+    if tag == b"T":
+        return True
+    if tag == b"F":
+        return False
+    if tag == b"i":
+        return _I64.unpack(r.take(8))[0]
+    if tag == b"f":
+        return _F64.unpack(r.take(8))[0]
+    if tag == b"s":
+        (n,) = _U32.unpack(r.take(4))
+        return r.take(n).decode("utf-8")
+    if tag == b"b":
+        (n,) = _U32.unpack(r.take(4))
+        return r.take(n)
+    if tag in (b"l", b"t"):
+        (n,) = _U32.unpack(r.take(4))
+        items = [_decode_one(r) for _ in range(n)]
+        return tuple(items) if tag == b"t" else items
+    if tag == b"d":
+        (n,) = _U32.unpack(r.take(4))
+        return {_decode_one(r): _decode_one(r) for _ in range(n)}
+    if tag == b"a":
+        (dlen,) = struct.unpack("!B", r.take(1))
+        dtype = np.dtype(r.take(dlen).decode("ascii"))
+        (ndim,) = struct.unpack("!B", r.take(1))
+        shape = tuple(_U64.unpack(r.take(8))[0] for _ in range(ndim))
+        (compressed,) = struct.unpack("!B", r.take(1))
+        (nbytes,) = _U64.unpack(r.take(8))
+        data = r.take(nbytes)
+        if compressed:
+            data = zlib.decompress(data)
+        return np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+    raise ProtocolError(f"unknown payload tag {tag!r}")
+
+
+def decode(payload: bytes):
+    """Inverse of :func:`encode`; raises :class:`ProtocolError` on junk."""
+    r = _Reader(payload)
+    obj = _decode_one(r)
+    if r.pos != len(payload):
+        raise ProtocolError(f"{len(payload) - r.pos} trailing bytes after payload")
+    return obj
+
+
+# -- framing ---------------------------------------------------------------------
+def pack_frame(
+    msg_type: int, obj, *, compress_arrays: bool = False, compress_min_bytes: int = 4096
+) -> bytes:
+    """One complete on-the-wire frame: header + encoded payload."""
+    payload = encode(obj, compress_arrays=compress_arrays, compress_min_bytes=compress_min_bytes)
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD")
+    return _HEADER.pack(MAGIC, PROTO_VERSION, msg_type, 0, len(payload)) + payload
+
+
+def send_frame(
+    sock,
+    msg_type: int,
+    obj,
+    *,
+    lock=None,
+    compress_arrays: bool = False,
+    compress_min_bytes: int = 4096,
+) -> int:
+    """Frame + sendall; returns the byte count put on the wire.
+
+    ``lock`` (any context manager) serializes writers — the worker's
+    heartbeat-responder thread and its render loop share one socket.
+    """
+    frame = pack_frame(
+        msg_type, obj, compress_arrays=compress_arrays, compress_min_bytes=compress_min_bytes
+    )
+    if lock is not None:
+        with lock:
+            sock.sendall(frame)
+    else:
+        sock.sendall(frame)
+    return len(frame)
+
+
+def _parse_header(header: bytes) -> tuple[int, int]:
+    magic, version, msg_type, _flags, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}; peer is not speaking repro.net")
+    if version != PROTO_VERSION:
+        raise ProtocolError(f"protocol version {version} != {PROTO_VERSION}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"frame announces {length} payload bytes (> MAX_PAYLOAD)")
+    if msg_type not in MSG_NAMES:
+        raise ProtocolError(f"unknown message type {msg_type}")
+    return msg_type, length
+
+
+def _recv_exact(sock, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes from a blocking socket; None on clean EOF
+    at a frame boundary, ProtocolError on EOF mid-frame."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(65536, n - got))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> tuple[int, object] | None:
+    """Blocking read of one frame; ``None`` on clean EOF."""
+    header = _recv_exact(sock, HEADER_SIZE)
+    if header is None:
+        return None
+    msg_type, length = _parse_header(header)
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    return msg_type, decode(payload)
+
+
+class FrameAssembler:
+    """Incremental frame parser for the master's readiness-driven loop.
+
+    Feed it whatever ``recv`` returned; iterate to drain every frame that
+    is now complete, as ``(msg_type, payload, frame_bytes)`` triples
+    (``frame_bytes`` counts header + payload, for wire accounting).
+    Partial frames stay buffered across feeds, so the master never blocks
+    waiting for the rest of a message.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self.bytes_seen = 0
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+        self.bytes_seen += len(data)
+
+    def __iter__(self):
+        while True:
+            if len(self._buf) < HEADER_SIZE:
+                return
+            msg_type, length = _parse_header(bytes(self._buf[:HEADER_SIZE]))
+            total = HEADER_SIZE + length
+            if len(self._buf) < total:
+                return
+            payload = bytes(self._buf[HEADER_SIZE:total])
+            del self._buf[:total]
+            yield msg_type, decode(payload), total

@@ -1,0 +1,317 @@
+"""The worker daemon: ``python -m repro.worker --connect HOST:PORT``.
+
+One daemon is one rendering slave on the network of workstations.  It
+connects to a :class:`~repro.net.master.MasterServer`, introduces itself
+(hostname, core count, and a measured **calibration score** — relative
+compute speed, the real-world stand-in for the simulator's
+machine-speed table that :class:`~repro.sched.cost.OracleCostModel`
+prices against), then serves assignments until the master says stop:
+
+* a **reader thread** owns the socket's receive side: heartbeat PINGs
+  are answered immediately (so the master can tell "dead" from "busy
+  rendering"), assignments are queued for the render loop;
+* the **render loop** executes one assignment at a time through the
+  :mod:`~repro.net.tasks` registry and streams the framed result back,
+  zlib-compressing framebuffer arrays when the master asked for it;
+* a dropped connection triggers **reconnection with exponential
+  backoff** (which also covers "worker started before the master"); a
+  clean SHUTDOWN ends the daemon.
+
+``die_after=N`` is the fault hook: the daemon hard-exits
+(``os._exit``) on receiving its ``N+1``-th assignment — a deterministic
+stand-in for a workstation crashing mid-sequence, used by the recovery
+tests and the CI ``net-smoke`` drill.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import socket
+import threading
+import time
+
+import numpy as np
+
+from ..telemetry import InMemorySink, Telemetry
+from . import protocol as wire
+from .tasks import REGISTRY
+
+__all__ = ["WorkerClient", "calibrate", "main"]
+
+#: Exit codes: clean shutdown / gave up reconnecting / injected crash.
+EXIT_OK = 0
+EXIT_GAVE_UP = 1
+EXIT_INJECTED_CRASH = 17
+
+
+def calibrate(n: int = 40, size: int = 64) -> float:
+    """A quick relative-speed score: repetitions/second of a small fixed
+    numpy workload (matmul + transcendental), normalized so ~1.0 is a
+    mid-2020s laptop core.  Deliberately coarse — the master only needs
+    an ordering, the way the paper's farm knew the 250 MHz machine from
+    the 180 MHz ones."""
+    a = np.linspace(0.0, 1.0, size * size).reshape(size, size)
+    t0 = time.perf_counter()
+    for _ in range(n):
+        a = np.tanh(a @ a.T * 1e-3 + 0.1)
+    elapsed = max(1e-9, time.perf_counter() - t0)
+    return round(n / elapsed / 2000.0, 4)
+
+
+class _ConnectionLost(Exception):
+    """Reader thread saw EOF or a socket error."""
+
+
+class WorkerClient:
+    """One connection lifecycle manager (plus its reconnect loop).
+
+    Parameters
+    ----------
+    host, port:
+        The master's address.
+    registry:
+        Task name -> callable (defaults to :data:`repro.net.tasks.REGISTRY`).
+    max_retries:
+        Connection attempts per (re)connect before giving up.
+    backoff_base / backoff_cap:
+        Exponential backoff between attempts, seconds.
+    die_after:
+        Crash hard on receiving assignment number ``die_after + 1``
+        (``None`` = never); see the module docstring.
+    score:
+        Calibration score override (``None`` = measure one now).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        registry: dict | None = None,
+        max_retries: int = 20,
+        backoff_base: float = 0.2,
+        backoff_cap: float = 3.0,
+        die_after: int | None = None,
+        score: float | None = None,
+        label: str | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.registry = registry if registry is not None else REGISTRY
+        self.max_retries = max(1, int(max_retries))
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.die_after = die_after
+        self.score = calibrate() if score is None else float(score)
+        self.label = label or f"{socket.gethostname()}:{os.getpid()}"
+        self.verbose = verbose
+        self.worker_id = ""
+        self.n_rendered = 0
+        self._n_assigned = 0
+        self._send_lock = threading.Lock()
+        self._compress = True
+        self._compress_min = 4096
+        # Worker-side net telemetry rides to the master inside the next
+        # RESULT/ERROR frame (a disconnected worker has no other channel).
+        self._sink = InMemorySink()
+        self._tel = Telemetry(sinks=(self._sink,))
+
+    # -- logging ---------------------------------------------------------------
+    def _log(self, msg: str) -> None:
+        if self.verbose:
+            print(f"[repro.worker {self.label}] {msg}", flush=True)
+
+    def _drain_events(self) -> list:
+        events, self._sink.events[:] = list(self._sink.events), []
+        return events
+
+    # -- connection ------------------------------------------------------------
+    def backoff_delays(self):
+        """The reconnect schedule: capped exponential, ``max_retries`` long."""
+        for attempt in range(self.max_retries):
+            yield min(self.backoff_cap, self.backoff_base * (2.0**attempt))
+
+    def _connect(self) -> socket.socket | None:
+        """Dial the master, retrying with backoff; None when out of retries."""
+        for attempt, delay in enumerate(self.backoff_delays()):
+            try:
+                sock = socket.create_connection((self.host, self.port), timeout=10.0)
+            except OSError as exc:
+                self._log(f"connect attempt {attempt} failed ({exc}); retry in {delay:.2f}s")
+                time.sleep(delay)
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._tel.event(
+                "net.connect",
+                worker=self.label,
+                host=self.host,
+                port=self.port,
+                attempt=attempt,
+            )
+            return sock
+        return None
+
+    def _handshake(self, sock: socket.socket) -> bool:
+        wire.send_frame(
+            sock,
+            wire.MSG_HELLO,
+            {
+                "proto": wire.PROTO_VERSION,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+                "cores": os.cpu_count() or 1,
+                "score": self.score,
+            },
+            lock=self._send_lock,
+        )
+        got = wire.recv_frame(sock)
+        if got is None or got[0] != wire.MSG_WELCOME:
+            return False
+        welcome = got[1]
+        self.worker_id = str(welcome.get("worker", ""))
+        self._compress = bool(welcome.get("compress", True))
+        self._compress_min = int(welcome.get("compress_min_bytes", 4096))
+        self._log(f"registered as {self.worker_id!r}")
+        return True
+
+    # -- receive side ----------------------------------------------------------
+    def _reader(self, sock: socket.socket, inbox: queue.Queue) -> None:
+        """Owns recv: answer pings inline, queue everything else."""
+        try:
+            while True:
+                got = wire.recv_frame(sock)
+                if got is None:
+                    break
+                msg_type, payload = got
+                if msg_type == wire.MSG_PING:
+                    wire.send_frame(
+                        sock, wire.MSG_PONG, {"t": payload.get("t", 0.0)},
+                        lock=self._send_lock,
+                    )
+                elif msg_type == wire.MSG_ASSIGN:
+                    inbox.put(("assign", payload))
+                elif msg_type == wire.MSG_SHUTDOWN:
+                    inbox.put(("shutdown", None))
+                    return
+                # anything else from the master is ignored, not fatal
+        except (OSError, wire.ProtocolError):
+            pass
+        inbox.put(("lost", None))
+
+    # -- work ------------------------------------------------------------------
+    def _run_assignment(self, sock: socket.socket, payload: dict) -> None:
+        self._n_assigned += 1
+        if self.die_after is not None and self._n_assigned > self.die_after:
+            self._log(f"injected crash on assignment {self._n_assigned}")
+            os._exit(EXIT_INJECTED_CRASH)
+        seq = int(payload.get("seq", -1))
+        name = str(payload.get("task", ""))
+        fn = self.registry.get(name)
+        t0 = time.perf_counter()
+        try:
+            if fn is None:
+                raise wire.ProtocolError(f"unregistered task {name!r}")
+            result = fn(payload.get("args"))
+        except Exception as exc:  # reported, not fatal: the master decides
+            wire.send_frame(
+                sock,
+                wire.MSG_ERROR,
+                {"seq": seq, "error": repr(exc), "events": self._drain_events()},
+                lock=self._send_lock,
+            )
+            return
+        self.n_rendered += 1
+        wire.send_frame(
+            sock,
+            wire.MSG_RESULT,
+            {
+                "seq": seq,
+                "result": result,
+                "duration": time.perf_counter() - t0,
+                "events": self._drain_events(),
+            },
+            lock=self._send_lock,
+            compress_arrays=self._compress,
+            compress_min_bytes=self._compress_min,
+        )
+
+    def _serve(self, sock: socket.socket) -> str:
+        """Serve one connection to completion; returns why it ended."""
+        if not self._handshake(sock):
+            return "lost"
+        inbox: queue.Queue = queue.Queue()
+        reader = threading.Thread(
+            target=self._reader, args=(sock, inbox), name="repro-net-reader", daemon=True
+        )
+        reader.start()
+        while True:
+            kind, payload = inbox.get()
+            if kind == "assign":
+                try:
+                    self._run_assignment(sock, payload)
+                except OSError:
+                    return "lost"
+            else:
+                return kind  # "shutdown" | "lost"
+
+    def run(self) -> int:
+        """Connect (and reconnect) until shut down; returns an exit code."""
+        while True:
+            sock = self._connect()
+            if sock is None:
+                self._log("out of connection retries; giving up")
+                return EXIT_GAVE_UP
+            try:
+                ended = self._serve(sock)
+            finally:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            if ended == "shutdown":
+                self._log(f"clean shutdown after {self.n_rendered} assignments")
+                return EXIT_OK
+            self._log("connection lost; reconnecting")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (both ``python -m repro.worker`` and ``repro worker``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="Rendering worker daemon: connect to a repro.net master and serve "
+        "assignments until shut down.",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address of the repro.net master",
+    )
+    parser.add_argument(
+        "--score", type=float, default=None,
+        help="calibration score override (default: measure a quick benchmark)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=20,
+        help="connection attempts (exponential backoff) before giving up",
+    )
+    parser.add_argument(
+        "--die-after", type=int, default=None, metavar="N",
+        help="fault drill: crash hard on receiving assignment N+1",
+    )
+    parser.add_argument("--verbose", action="store_true", help="log to stdout")
+    args = parser.parse_args(argv)
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"--connect wants HOST:PORT, got {args.connect!r}")
+    client = WorkerClient(
+        host,
+        int(port),
+        score=args.score,
+        max_retries=args.max_retries,
+        die_after=args.die_after,
+        verbose=args.verbose,
+    )
+    return client.run()

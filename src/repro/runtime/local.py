@@ -395,6 +395,19 @@ class LocalRenderFarm:
         ``"frame"`` (block per task) or ``"sequence"`` (frame range per task).
     executor:
         ``"process"``, ``"thread"`` or ``"serial"``.
+    transport:
+        ``"process"`` executes on this host through the supervised pool;
+        ``"tcp"`` runs a loopback network farm instead — a
+        :class:`~repro.net.master.MasterServer` on 127.0.0.1 driving
+        ``n_workers`` spawned ``python -m repro.worker`` daemons over
+        real sockets.  TCP requires a dynamic schedule (the policy is
+        what the master serves); each connection is one scheduling lane,
+        so chain affinity keeps a daemon's continuation cache warm
+        exactly like the thread/serial executors do.
+    net_die_after:
+        TCP fault drill: maps a worker index to the assignment count
+        after which that daemon is spawned to hard-crash
+        (``--die-after``), exercising ``on_worker_lost`` reassignment.
     schedule:
         ``"static"`` (the upfront task list above), ``"demand"``
         (demand-driven block x frame-chunk units from a shared queue) or
@@ -433,6 +446,8 @@ class LocalRenderFarm:
         mode: str = "frame",
         executor: str = "process",
         schedule: str = "static",
+        transport: str = "process",
+        net_die_after: dict[int, int] | None = None,
         segment_frames: int | None = None,
         block_w: int | None = None,
         block_h: int | None = None,
@@ -455,10 +470,19 @@ class LocalRenderFarm:
             raise ValueError("executor must be 'process', 'thread' or 'serial'")
         if schedule not in ("static", "demand", "adaptive"):
             raise ValueError("schedule must be 'static', 'demand' or 'adaptive'")
+        if transport not in ("process", "tcp"):
+            raise ValueError("transport must be 'process' or 'tcp'")
+        if transport == "tcp" and schedule == "static":
+            raise ValueError(
+                "transport='tcp' requires a dynamic schedule ('demand' or 'adaptive'); "
+                "the network master serves a scheduling policy, not a fixed task list"
+            )
         self.spec = spec
         self.mode = mode
         self.executor = executor
         self.schedule = schedule
+        self.transport = transport
+        self.net_die_after = dict(net_die_after or {})
         self.segment_frames = segment_frames
         self.n_workers = min(os.cpu_count() or 2, 8) if n_workers is None else int(n_workers)
         if self.n_workers < 1:
@@ -543,9 +567,14 @@ class LocalRenderFarm:
             )
             return policy, regions
         # adaptive: whole-frame chains over pre-split ranges, tail-stealing on.
+        # A pool process can receive any segment, so continuations there must
+        # render fresh; a TCP lane (like a thread/serial worker) is pinned to
+        # one daemon, whose continuation cache carries a chain's coherence
+        # across segments — so fine 1-frame segments stay cheap.
+        pooled = self.transport == "process" and self.executor == "process"
         if self.segment_frames is not None:
             seg = max(1, int(self.segment_frames))
-        elif self.executor == "process":
+        elif pooled:
             seg = max(1, -(-n_frames // (4 * self.n_workers)))
         else:
             seg = 1
@@ -559,7 +588,7 @@ class LocalRenderFarm:
             units_per_frame=1,
             min_steal_frames=max(2, seg + 1),
             segment_frames=seg,
-            continuation_fresh=(self.executor == "process"),
+            continuation_fresh=pooled,
         )
         return policy, None
 
@@ -814,31 +843,58 @@ class LocalRenderFarm:
         spec, grid, samples = self.spec, self.grid_resolution, self.samples_per_axis
         tel_on, prof, label = tel.enabled, self.profile_dir, self.schedule
 
-        def materialize(a, lane):
-            box = None
+        def box_of(a):
             if regions is not None and a.region_index >= 0:
                 r = regions[a.region_index]
-                box = (r.x0, r.y0, r.x1, r.y1)
-            return (spec, box, int(a.frame0), int(a.frame1), bool(a.fresh), label,
-                    grid, samples, tel_on, prof)
+                return (r.x0, r.y0, r.x1, r.y1)
+            return None
 
-        transport = ProcessTransport(
-            policy,
-            _render_segment_task,
-            materialize,
-            n_workers=self.n_workers,
-            executor=self.executor,
-            initializer=_worker_init,
-            initargs=(self.spec,),
-            validate=validate,
-            max_attempts=self.max_attempts,
-            task_timeout=self.task_timeout,
-            timeout_factor=self.timeout_factor,
-            startup_timeout=self.startup_timeout,
-            backoff_base=self.backoff_base,
-            degrade_serial=self.degrade_serial,
-            fault_plan=self.fault_plan,
-        )
+        if self.transport == "tcp":
+            from ..net.master import TcpTransport
+            from ..net.tasks import spec_to_wire
+
+            spec_wire = spec_to_wire(spec)
+
+            def materialize(a, lane):
+                return (spec_wire, box_of(a), int(a.frame0), int(a.frame1),
+                        bool(a.fresh), label, grid, samples, tel_on, prof)
+
+            transport = TcpTransport(
+                policy,
+                "render_segment",
+                materialize,
+                n_workers=self.n_workers,
+                die_after=self.net_die_after,
+                telemetry=tel,
+                validate=validate,
+                max_attempts=self.max_attempts,
+                task_timeout=self.task_timeout,
+                timeout_factor=self.timeout_factor,
+                startup_timeout=self.startup_timeout,
+            )
+        else:
+
+            def materialize(a, lane):
+                return (spec, box_of(a), int(a.frame0), int(a.frame1), bool(a.fresh),
+                        label, grid, samples, tel_on, prof)
+
+            transport = ProcessTransport(
+                policy,
+                _render_segment_task,
+                materialize,
+                n_workers=self.n_workers,
+                executor=self.executor,
+                initializer=_worker_init,
+                initargs=(self.spec,),
+                validate=validate,
+                max_attempts=self.max_attempts,
+                task_timeout=self.task_timeout,
+                timeout_factor=self.timeout_factor,
+                startup_timeout=self.startup_timeout,
+                backoff_base=self.backoff_base,
+                degrade_serial=self.degrade_serial,
+                fault_plan=self.fault_plan,
+            )
         out = transport.run()
 
         frames = np.zeros((anim.n_frames, cam.height, cam.width, 3), dtype=np.float64)

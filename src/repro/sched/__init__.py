@@ -16,11 +16,14 @@ separates the two concerns:
   :class:`~repro.cluster.VirtualPVM` discrete-event cluster (the Table-1
   replay path);
 * :mod:`repro.sched.process` — ``ProcessTransport``: drives the *same*
-  policy over the supervised multiprocessing executor (the real farm).
+  policy over the supervised multiprocessing executor (the real farm);
+* :mod:`repro.net` — ``TcpTransport`` (re-exported here): drives it over
+  real sockets, master + worker daemons on a network of workstations.
 
-Because both transports consume identical policy objects, a simulated run
-and a real run of the same workload produce the same task-assignment
-sequence — the equivalence ``tests/test_sched_equivalence.py`` pins down.
+Because all transports consume identical policy objects, a simulated run,
+a pooled run and a networked run of the same workload produce the same
+task-assignment sequence — the equivalence
+``tests/test_sched_equivalence.py`` pins down.
 """
 
 from .core import (
@@ -36,17 +39,22 @@ from .cost import AssignmentCost, OracleCostModel
 from .sim import SimTransport
 
 _PROCESS_NAMES = ("ProcessTransport", "SchedOutcome", "assignment_echo_task")
+_NET_NAMES = ("TcpTransport", "MasterServer")
 
 
 def __getattr__(name: str):
     # repro.sched.process pulls in repro.runtime (the supervisor), which in
     # turn imports the renderer stack; loading it lazily keeps
     # `import repro.parallel` -> strategies -> repro.sched free of that
-    # cycle and that weight.
+    # cycle and that weight.  Same story for the network transport.
     if name in _PROCESS_NAMES:
         from . import process
 
         return getattr(process, name)
+    if name in _NET_NAMES:
+        from ..net import master
+
+        return getattr(master, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -55,11 +63,13 @@ __all__ = [
     "AssignmentCost",
     "Chain",
     "DemandDrivenPolicy",
+    "MasterServer",
     "OracleCostModel",
     "ProcessTransport",
     "SchedOutcome",
     "SchedulingPolicy",
     "SimTransport",
+    "TcpTransport",
     "assignment_echo_task",
     "make_policy",
     "single_processor_policy",

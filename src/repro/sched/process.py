@@ -37,15 +37,26 @@ def assignment_echo_task(args):
 
 @dataclass
 class SchedOutcome:
-    """What a policy-driven supervised run produced."""
+    """What a policy-driven run produced, whatever the transport.
 
-    results: list  # per-assignment results, dispatch order
+    ``results`` holds one entry per *accepted* result in completion
+    order; ``assignments`` is the policy's dispatch log (including
+    reassigned dispatches), so the two lists line up only on a loss-free
+    run.  The network transport additionally fills ``workers`` (lane ->
+    registration info from the handshake) and ``net`` (a
+    :class:`~repro.net.master.NetStats` wire accounting record); both
+    stay at their defaults for process runs.
+    """
+
+    results: list  # accepted results, completion order
     assignments: list[Assignment]  # dispatch order (== policy.log)
     supervisor: SupervisorOutcome
     n_chain_starts: int = 0
     n_steals: int = 0
     n_reassigned: int = 0
     lanes_of: dict = field(default_factory=dict)  # assignment seq -> lane
+    workers: dict = field(default_factory=dict)  # lane -> handshake info (net only)
+    net: object = None  # NetStats for tcp runs, None otherwise
 
 
 class ProcessTransport:
@@ -61,11 +72,18 @@ class ProcessTransport:
         ``materialize(assignment, lane) -> task argument``.  The lane
         label rides along so renderer-continuation caches (thread/serial
         executors) and benchmarks that skew per-lane speed can key on it.
+    n_workers:
+        Number of logical lanes (and the supervisor's pool size).  A
+        lane is *free* or carries exactly one in-flight assignment; it
+        returns to the free queue only when that assignment's result is
+        accepted, so the policy sees at most ``n_workers`` concurrent
+        dispatches.  A lane the policy declines stays free and is asked
+        again after the next completion — an all-lanes-idle decline with
+        nothing in flight is a policy stall, which the supervisor's feed
+        protocol turns into a loud ``RuntimeError`` rather than a hang.
     supervisor_kwargs:
-        Passed through to :class:`TaskSupervisor` (executor, n_workers,
-        validate, timeouts, fault_plan, on_result, ...).  ``n_workers``
-        bounds the number of lanes; the transport's ``feed`` keeps at
-        most one assignment in flight per lane.
+        Passed through to :class:`TaskSupervisor` (executor, validate,
+        timeouts, fault_plan, ...).
     """
 
     def __init__(

@@ -27,7 +27,11 @@ __all__ = [
 #: machine it declared dead but didn't say, and the farm said nothing; the
 #: two systems now describe a worker-loss recovery with the same fields
 #: (``worker`` is ``"?"`` where the transport can't attribute the loss).
-SCHEMA_VERSION = 2
+#: v3: the ``net.*`` family — the TCP transport narrates its connection
+#: lifecycle (listen/connect/join), per-message wire accounting
+#: (assign/result with byte counts), heartbeat round-trips, and losses,
+#: so a networked run's log is as auditable as a simulated one.
+SCHEMA_VERSION = 3
 
 #: Ray-kind attr keys shared by ``frame`` and ``run.end``.
 RAY_KEYS = ("rays_camera", "rays_reflected", "rays_refracted", "rays_shadow", "rays_total")
@@ -58,6 +62,14 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "recovery": frozenset({"kind", "task", "attempt", "duration", "worker"}),
     "checkpoint": frozenset({"task", "action"}),
     "profile": frozenset({"path"}),
+    # -- network transport (repro.net) -------------------------------------
+    "net.listen": frozenset({"host", "port"}),
+    "net.connect": frozenset({"worker", "host", "port", "attempt"}),
+    "net.worker.join": frozenset({"worker", "host", "cores", "score"}),
+    "net.assign": frozenset({"worker", "seq", "frame0", "frame1", "region", "nbytes"}),
+    "net.result": frozenset({"worker", "seq", "nbytes", "compressed", "duration"}),
+    "net.pong": frozenset({"worker", "rtt"}),
+    "net.worker.lost": frozenset({"worker", "reason", "seq"}),
 }
 
 #: The run-shape every engine must cover for two logs to be comparable.

@@ -1,0 +1,16 @@
+"""``python -m repro.worker`` — run a rendering worker daemon.
+
+Thin runnable shim over :mod:`repro.net.worker` so a workstation joins
+the farm with one command and no knowledge of the package layout::
+
+    python -m repro.worker --connect master-host:7421
+
+(Equivalent to ``repro worker --connect ...``.)
+"""
+
+from .net.worker import WorkerClient, calibrate, main
+
+__all__ = ["WorkerClient", "calibrate", "main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,305 @@
+"""repro.net: wire protocol, loopback farm, failure/recovery drills.
+
+Three layers of confidence, cheapest first: the codec round-trips every
+wire type bit-exactly (framebuffers especially), the loopback TCP farm
+drives real policies over real sockets to the same dispatch logs as the
+other transports (see test_sched_equivalence), and the full render path
+stays bit-identical to the serial reference even when a worker daemon is
+killed mid-sequence.
+"""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.net import protocol as wire
+from repro.net.master import MasterServer, TcpTransport
+from repro.net.worker import WorkerClient
+from repro.runtime import AnimationSpec, LocalRenderFarm
+from repro.sched import make_policy
+from repro.telemetry import InMemorySink, Telemetry, validate_events
+
+
+# -- codec ------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        1 << 40,
+        -(1 << 62),
+        3.14159,
+        float("-0.0"),
+        "",
+        "héllo wörld",
+        b"",
+        b"\x00\xff\x7f",
+        [],
+        [1, "two", 3.0, None],
+        (),
+        (1, (2, [3, "4"]), None),
+        {"a": 1, "b": [True, {"c": (1.5,)}]},
+    ],
+)
+def test_scalar_and_container_round_trip(value):
+    out = wire.decode(wire.encode(value))
+    assert out == value
+    assert type(out) is type(value)
+
+
+def test_tuples_and_lists_stay_distinct():
+    out = wire.decode(wire.encode({"t": (1, 2), "l": [1, 2]}))
+    assert isinstance(out["t"], tuple) and isinstance(out["l"], list)
+
+
+@pytest.mark.parametrize("compress", [False, True])
+def test_arrays_round_trip_bit_identical(compress):
+    rng = np.random.default_rng(7)
+    arrays = [
+        rng.random((3, 16, 12, 3)),  # float64 framebuffer shape
+        np.arange(20, dtype=np.int64).reshape(4, 5),
+        np.zeros((0, 3)),
+        np.array(2.5),  # 0-d
+        np.linspace(0, 1, 7, dtype=np.float32),
+    ]
+    for a in arrays:
+        out = wire.decode(wire.encode(a, compress_arrays=compress, compress_min_bytes=1))
+        assert out.dtype == a.dtype and out.shape == a.shape
+        assert out.tobytes() == a.tobytes()
+
+
+def test_compression_shrinks_compressible_payloads():
+    smooth = np.zeros((8, 64, 64), dtype=np.float64)
+    raw = wire.encode(smooth, compress_arrays=False)
+    packed = wire.encode(smooth, compress_arrays=True, compress_min_bytes=1)
+    assert len(packed) < len(raw) // 10
+
+
+def test_incompressible_payloads_are_kept_raw():
+    noise = np.random.default_rng(0).random((64, 64))
+    raw = wire.encode(noise, compress_arrays=False)
+    packed = wire.encode(noise, compress_arrays=True, compress_min_bytes=1)
+    # zlib would grow pure noise; the encoder must keep the smaller form
+    assert len(packed) <= len(raw) + 16
+    assert np.array_equal(wire.decode(packed), noise)
+
+
+def test_unencodable_type_raises():
+    with pytest.raises(wire.ProtocolError, match="unencodable"):
+        wire.encode({"bad": object()})
+
+
+def test_decode_rejects_junk():
+    with pytest.raises(wire.ProtocolError):
+        wire.decode(b"\x99whatever")
+    with pytest.raises(wire.ProtocolError, match="truncated"):
+        wire.decode(wire.encode("hello")[:-2])
+    with pytest.raises(wire.ProtocolError, match="trailing"):
+        wire.decode(wire.encode(1) + b"\x00")
+
+
+# -- framing ----------------------------------------------------------------------
+def test_assembler_reassembles_across_arbitrary_splits():
+    frames = [
+        wire.pack_frame(wire.MSG_ASSIGN, {"seq": i, "args": (i, "lane")})
+        for i in range(5)
+    ]
+    stream = b"".join(frames)
+    for step in (1, 3, len(stream)):
+        asm = wire.FrameAssembler()
+        got = []
+        for i in range(0, len(stream), step):
+            asm.feed(stream[i : i + step])
+            got.extend(asm)
+        assert [payload["seq"] for _t, payload, _n in got] == list(range(5))
+        assert sum(n for _t, _p, n in got) == len(stream)
+
+
+def test_assembler_rejects_bad_magic_and_oversize():
+    asm = wire.FrameAssembler()
+    asm.feed(b"XXXX" + b"\x00" * 8)
+    with pytest.raises(wire.ProtocolError, match="magic"):
+        list(asm)
+    header = wire._HEADER.pack(wire.MAGIC, wire.PROTO_VERSION, wire.MSG_PING, 0,
+                               wire.MAX_PAYLOAD + 1)
+    asm2 = wire.FrameAssembler()
+    asm2.feed(header)
+    with pytest.raises(wire.ProtocolError, match="MAX_PAYLOAD"):
+        list(asm2)
+
+
+def test_assembler_rejects_version_mismatch():
+    frame = bytearray(wire.pack_frame(wire.MSG_PING, {}))
+    frame[4] = wire.PROTO_VERSION + 1
+    asm = wire.FrameAssembler()
+    asm.feed(bytes(frame))
+    with pytest.raises(wire.ProtocolError, match="version"):
+        list(asm)
+
+
+# -- loopback transport -----------------------------------------------------------
+def _echo_transport(policy, n_workers, **kw):
+    return TcpTransport(
+        policy,
+        "echo",
+        lambda a, lane: (a.seq, lane),
+        n_workers=n_workers,
+        startup_timeout=120.0,
+        **kw,
+    )
+
+
+def test_loopback_echo_farm_completes_and_accounts_bytes():
+    policy = make_policy("frame-division-nofc", 8, n_regions=2)
+    sink = InMemorySink()
+    tel = Telemetry(sinks=(sink,))
+    out = _echo_transport(policy, 2, telemetry=tel).run()
+    tel.close()
+    assert len(out.results) == 16
+    assert sorted(seq for seq, _lane in out.results) == list(range(16))
+    assert out.net.n_assignments == 16 and out.net.n_results == 16
+    assert out.net.bytes_sent > 0 and out.net.bytes_received > 0
+    # instant echoes may all drain through whichever daemon boots first,
+    # so the second join (and how work splits) is timing-dependent
+    assert out.net.n_workers_joined >= 1 and out.net.n_losses == 0
+    assert "w0" in out.workers
+    for info in out.workers.values():
+        assert info["cores"] >= 1 and info["score"] > 0
+    validate_events(sink.events)
+    names = {r["name"] for r in sink.events}
+    assert {"net.listen", "net.worker.join", "net.assign", "net.result"} <= names
+
+
+def test_injected_worker_kill_is_reassigned():
+    # sleep_echo keeps the run alive long enough for both daemons to join;
+    # worker 0 dies on its first assignment, whenever that lands.
+    policy = make_policy("frame-division-nofc", 10, n_regions=1)
+    sink = InMemorySink()
+    tel = Telemetry(sinks=(sink,))
+    transport = TcpTransport(
+        policy,
+        "sleep_echo",
+        lambda a, lane: (0.15, (a.seq, lane)),
+        n_workers=2,
+        die_after={0: 0},
+        startup_timeout=120.0,
+        telemetry=tel,
+    )
+    out = transport.run()
+    tel.close()
+    sup = out.supervisor
+    assert len(out.results) == 10
+    assert policy.finished
+    assert sup.n_crashes >= 1 and sup.n_retries >= 1
+    assert out.net.n_losses >= 1
+    lost = [r for r in sink.events if r["name"] == "net.worker.lost"]
+    assert lost and lost[0]["attrs"]["reason"] == "eof"
+    validate_events(sink.events)
+
+
+def test_task_error_reconnect_then_max_attempts():
+    """A worker that errors on its assignment is dropped and reconnects as
+    a fresh lane; the same unit failing ``max_attempts`` times fails the
+    run loudly instead of looping forever."""
+    policy = make_policy("frame-division-nofc", 1, n_regions=1)
+    transport = TcpTransport(
+        policy,
+        "no-such-task",
+        lambda a, lane: (a.seq, lane),
+        n_workers=1,
+        max_attempts=2,
+        startup_timeout=120.0,
+    )
+    with pytest.raises(RuntimeError, match="failed after 2 attempts"):
+        transport.run()
+    assert transport.master.net.n_losses >= 2
+
+
+def test_worker_connects_before_master_listens():
+    """The daemon's backoff loop covers the worker-starts-first race."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    client = WorkerClient("127.0.0.1", port, score=1.0, backoff_base=0.1, max_retries=30)
+    exit_code = {}
+    t = threading.Thread(target=lambda: exit_code.setdefault("rc", client.run()), daemon=True)
+    t.start()
+    time.sleep(0.35)  # let at least one connection attempt fail
+
+    policy = make_policy("frame-division-nofc", 3, n_regions=1)
+    master = MasterServer(
+        policy, "echo", lambda a, lane: (a.seq, lane), port=port, startup_timeout=120.0
+    )
+    master.listen()
+    out = master.serve()
+    t.join(timeout=10.0)
+    assert len(out.results) == 3
+    assert exit_code.get("rc") == 0  # clean SHUTDOWN
+    assert client.n_rendered == 3
+
+
+def test_master_times_out_with_no_workers():
+    policy = make_policy("frame-division-nofc", 1, n_regions=1)
+    master = MasterServer(
+        policy, "echo", lambda a, lane: (a.seq, lane), accept_timeout=0.3
+    )
+    master.listen()
+    with pytest.raises(RuntimeError, match="no workers connected"):
+        master.serve()
+
+
+# -- the full render path over TCP ------------------------------------------------
+@pytest.fixture(scope="module")
+def tcp_spec():
+    return AnimationSpec.newton(n_frames=4, width=24, height=18)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(tcp_spec):
+    farm = LocalRenderFarm(tcp_spec, executor="serial", grid_resolution=12)
+    return farm.render_reference()
+
+
+def test_tcp_farm_bit_identical_to_serial(tcp_spec, serial_reference):
+    farm = LocalRenderFarm(
+        tcp_spec, n_workers=2, schedule="adaptive", transport="tcp", grid_resolution=12
+    )
+    out = farm.render()
+    # pixels must match bit-for-bit; ray *counts* legitimately differ
+    # (two chains mean two fresh starts vs the reference's one)
+    assert out.frames.tobytes() == serial_reference.frames.tobytes()
+    assert out.stats.total >= serial_reference.stats.total
+
+
+def test_tcp_farm_survives_worker_kill_bit_identically(tcp_spec, serial_reference):
+    sink = InMemorySink()
+    tel = Telemetry(sinks=(sink,))
+    farm = LocalRenderFarm(
+        tcp_spec,
+        n_workers=2,
+        schedule="adaptive",
+        transport="tcp",
+        net_die_after={0: 1},
+        grid_resolution=12,
+        telemetry=tel,
+    )
+    out = farm.render()
+    tel.close()
+    assert out.n_crashes >= 1
+    assert out.frames.tobytes() == serial_reference.frames.tobytes()
+    validate_events(sink.events)
+    names = {r["name"] for r in sink.events}
+    assert "net.worker.lost" in names and "recovery" in names
+
+
+def test_tcp_requires_dynamic_schedule(tcp_spec):
+    with pytest.raises(ValueError, match="dynamic schedule"):
+        LocalRenderFarm(tcp_spec, transport="tcp", schedule="static")

@@ -65,3 +65,13 @@ def test_pipeline_supersampling():
     np.testing.assert_array_equal(result.frames[1], full.as_image())
     with pytest.raises(ValueError):
         render_animation(anim, shadow_coherence=True, samples_per_axis=2)
+
+
+def test_render_animation_shim_warns_deprecation():
+    """The legacy entry point must keep warning until its removal (see the
+    README's deprecation timeline); silencing it would strand callers on a
+    path that will disappear."""
+    anim = newton_animation(n_frames=2, width=16, height=12)
+    with pytest.deprecated_call(match="render_animation.*deprecated.*repro.api.render"):
+        result = render_animation(anim, grid_resolution=8)
+    assert result.frames.shape == (2, 12, 16, 3)

@@ -1,12 +1,14 @@
-"""One scheduler, two transports: the policy/transport equivalence tests.
+"""One scheduler, three transports: the policy/transport equivalence tests.
 
 The tentpole property of :mod:`repro.sched`: a Table-1 policy is a pure
 state machine, so driving the *same* policy through the discrete-event
-simulator (:class:`SimTransport`) and through the supervised process
-farm (:class:`ProcessTransport`) must produce identical task-assignment
-sequences and identical modelled ray totals.  Plus the scheduler edge
-cases — single worker, more workers than units, zero-dirty FC frames,
-a worker lost mid-chain — exercised against both transports.
+simulator (:class:`SimTransport`), the supervised process farm
+(:class:`ProcessTransport`), and the loopback TCP network farm
+(:class:`~repro.net.TcpTransport`) must produce identical
+task-assignment sequences and identical modelled ray totals.  Plus the
+scheduler edge cases — single worker, more workers than units,
+zero-dirty FC frames, a worker lost mid-chain, a gating policy that
+leaves lanes idle — exercised against the real transports.
 """
 
 import numpy as np
@@ -24,6 +26,7 @@ from repro.sched import (
     DemandDrivenPolicy,
     OracleCostModel,
     ProcessTransport,
+    SchedulingPolicy,
     SimTransport,
     assignment_echo_task,
     make_policy,
@@ -71,6 +74,22 @@ def _run_process(policy, n_workers, **kw):
     return transport.run()
 
 
+def _run_tcp(policy, n_workers, **kw):
+    """Drive a policy through the loopback network farm with the echo task
+    (real sockets, real worker daemons; only the dispatch log matters)."""
+    from repro.net import TcpTransport
+
+    transport = TcpTransport(
+        policy,
+        "echo",
+        lambda a, lane: (a.seq, lane),
+        n_workers=n_workers,
+        startup_timeout=120.0,
+        **kw,
+    )
+    return transport.run()
+
+
 def _build(strategy, oracle, n_workers):
     """(policy, regions) for one Table-1 strategy over the oracle's geometry."""
     n = oracle.n_frames
@@ -100,7 +119,8 @@ FIVE_STRATEGIES = (
 def test_transports_produce_identical_assignment_sequences(
     strategy, tiny_oracle, machines, cfg
 ):
-    """Same policy, both transports: identical dispatch logs and ray totals.
+    """Same policy, all three transports: identical dispatch logs and ray
+    totals.
 
     Demand-driven distribution is queue-ordered, so any worker count gives
     the same sequence; the chained policies are driven by one worker, where
@@ -109,6 +129,7 @@ def test_transports_produce_identical_assignment_sequences(
     n_workers = 3 if strategy == "frame-division-nofc" else 1
     p_sim, regions = _build(strategy, tiny_oracle, n_workers)
     p_proc, _ = _build(strategy, tiny_oracle, n_workers)
+    p_tcp, _ = _build(strategy, tiny_oracle, n_workers)
 
     sim_out = _run_sim(
         p_sim,
@@ -119,16 +140,21 @@ def test_transports_produce_identical_assignment_sequences(
         single=(strategy == "single-fc"),
     )
     proc_out = _run_process(p_proc, n_workers)
+    tcp_out = _run_tcp(p_tcp, n_workers)
 
-    assert p_sim.finished and p_proc.finished
+    assert p_sim.finished and p_proc.finished and p_tcp.finished
     assert [a.key() for a in p_sim.log] == [a.key() for a in p_proc.log]
+    assert [a.key() for a in p_sim.log] == [a.key() for a in p_tcp.log]
 
     cost = OracleCostModel(tiny_oracle, cfg, regions)
     rays = cost.total_rays_of_log(p_sim.log)
     assert rays == cost.total_rays_of_log(p_proc.log)
+    assert rays == cost.total_rays_of_log(p_tcp.log)
     # and the simulator's payload accounting agrees with the cost model
     assert sim_out.total_rays == rays
     assert len(proc_out.assignments) == len(p_proc.log)
+    assert len(tcp_out.assignments) == len(p_tcp.log)
+    assert tcp_out.net is not None and tcp_out.net.n_results == len(p_tcp.log)
 
 
 def test_multiworker_chains_cover_every_frame_once(tiny_oracle, machines):
@@ -240,6 +266,76 @@ def test_worker_fault_mid_chain_process(tiny_oracle):
     assert policy.finished
     assert out.supervisor.n_retries >= 1
     assert policy.n_reassigned == 0
+
+
+# -- idle-lane starvation / stall guards (shared by process and tcp) --------------
+class GatedPolicy(SchedulingPolicy):
+    """Releases one unit at a time: unit k+1 only after unit k's result.
+
+    With several lanes, all but one idle-decline for the whole run — a
+    transport must keep re-asking idle lanes after each completion (no
+    starvation) while never misreading those declines as a stall, because
+    work *is* in flight elsewhere.
+    """
+
+    def __init__(self, n_units: int) -> None:
+        super().__init__()
+        self.total_units = n_units
+        self._n = n_units
+        self._next = 0
+        self._gate_open = True
+
+    def next_assignment(self, worker):
+        if not self._gate_open or self._next >= self._n:
+            return None
+        self._gate_open = False
+        a = self._emit(worker, self._next, 0, 1, fresh=True)
+        self._next += 1
+        return a
+
+    def on_result(self, worker, assignment) -> None:
+        super().on_result(worker, assignment)
+        self._gate_open = True
+
+    def on_worker_lost(self, worker):
+        a = self._inflight.pop(worker, None)
+        if a is not None:
+            self._next = a.region_index
+            self._gate_open = True
+        return a
+
+
+class StuckPolicy(SchedulingPolicy):
+    """Claims a unit remains but never dispatches anything: a buggy policy
+    the transports must turn into a loud error, not an idle-forever hang."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.total_units = 1
+
+    def next_assignment(self, worker):
+        return None
+
+    def on_worker_lost(self, worker):
+        return None
+
+
+@pytest.mark.parametrize("run", [_run_process, _run_tcp], ids=["process", "tcp"])
+def test_idle_lanes_while_policy_gates_do_not_deadlock(run):
+    policy = GatedPolicy(5)
+    out = run(policy, 3)
+    assert policy.finished
+    assert len(out.results) == 5
+    assert len(policy.log) == 5
+
+
+@pytest.mark.parametrize("run", [_run_process, _run_tcp], ids=["process", "tcp"])
+def test_stalled_policy_raises_instead_of_hanging(run):
+    # The process transport reports the exhausted-but-incomplete policy when
+    # its feed dries up; the tcp master flags the stall directly.  Either
+    # way: a loud RuntimeError, never a silent hang.
+    with pytest.raises(RuntimeError, match="stall|incomplete"):
+        run(StuckPolicy(), 2)
 
 
 # -- the real farm under dynamic schedules ----------------------------------------

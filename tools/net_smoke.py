@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""CI network smoke: a loopback TCP farm survives a worker kill, bit-identically.
+
+Runs a small Newton render on the real TCP transport (``repro.net``): a
+master on 127.0.0.1 and two spawned worker daemons, with worker 0
+configured to ``os._exit`` after its first completed assignment.  Exits
+non-zero if anything the network layer promises drifts:
+
+* the farm does not record at least one crash + recovery (the kill was
+  swallowed or the run finished without it),
+* the recovered output is not bit-identical to the serial single-renderer
+  reference (golden-image equality),
+* the telemetry log violates the pinned schema, or
+* the ``net.*`` events (listen / join / assign / result / worker.lost)
+  are missing from the log.
+
+Usage::
+
+    python tools/net_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import RenderRequest, render  # noqa: E402
+from repro.telemetry import SchemaError, validate_events  # noqa: E402
+
+REQUIRED_NET_EVENTS = {
+    "net.listen",
+    "net.worker.join",
+    "net.assign",
+    "net.result",
+    "net.worker.lost",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--frames", type=int, default=4)
+    ap.add_argument("--width", type=int, default=24)
+    ap.add_argument("--height", type=int, default=18)
+    args = ap.parse_args(argv)
+
+    result = render(
+        RenderRequest(
+            workload="newton",
+            engine="farm",
+            n_workers=2,
+            schedule="adaptive",
+            transport="tcp",
+            net_die_after={0: 1},  # worker 0 dies after its first assignment
+            n_frames=args.frames,
+            width=args.width,
+            height=args.height,
+            grid_resolution=12,
+            verify=True,
+            telemetry=True,
+        )
+    )
+
+    if result.recovery["crashes"] < 1 or result.recovery["retries"] < 1:
+        print(f"FAIL: injected worker kill not recovered: {result.recovery}")
+        return 1
+    if result.bit_identical is not True:
+        print("FAIL: recovered TCP farm output differs from the serial reference")
+        return 1
+
+    try:
+        validate_events(result.events)
+    except SchemaError as exc:
+        print(f"FAIL: telemetry schema drift: {exc}")
+        return 1
+    names = {e["name"] for e in result.events}
+    missing = REQUIRED_NET_EVENTS - names
+    if missing:
+        print(f"FAIL: net telemetry events missing: {sorted(missing)}")
+        return 1
+    if "recovery" not in names:
+        print("FAIL: no recovery event emitted for the killed worker")
+        return 1
+
+    losses = [e for e in result.events if e["name"] == "net.worker.lost"]
+    print("OK: loopback TCP farm recovered from an injected worker kill")
+    print(f"  crashes={result.recovery['crashes']} retries={result.recovery['retries']}")
+    print(f"  losses={[(e['attrs']['worker'], e['attrs']['reason']) for e in losses]}")
+    print("  output bit-identical to serial reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
