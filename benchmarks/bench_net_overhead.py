@@ -20,6 +20,7 @@ from _bench_utils import write_result
 
 from repro.net.master import TcpTransport
 from repro.net.tasks import spec_to_wire
+from repro.obs import write_chrome_trace
 from repro.runtime import AnimationSpec, LocalRenderFarm
 from repro.sched import make_policy
 from repro.telemetry import InMemorySink, Telemetry, metrics_from_events, write_bench_json
@@ -72,8 +73,13 @@ def _tcp_bytes(compress: bool):
 
 
 def test_net_overhead_and_bytes(results_dir):
-    proc_wall, _ = _farm_run("process")
+    proc_wall, proc_events = _farm_run("process")
     tcp_wall, tcp_events = _farm_run("tcp")
+    for label, events in (("process", proc_events), ("tcp", tcp_events)):
+        run_id = next((r.get("run") for r in events if r.get("run")), label)
+        write_chrome_trace(
+            events, results_dir / f"trace_net_{label}.json", run_id=str(run_id)
+        )
 
     raw = _tcp_bytes(compress=False)
     packed = _tcp_bytes(compress=True)

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import time
 
+from repro.obs import write_chrome_trace
 from repro.parallel.partition import sequence_ranges
 from repro.sched.core import AdaptiveChainPolicy, Chain, DemandDrivenPolicy
 from repro.sched.process import ProcessTransport
+from repro.telemetry import InMemorySink, Telemetry
 
 from _bench_utils import write_result
 
@@ -60,26 +62,34 @@ def _policies():
     return {"static": static, "demand": demand, "adaptive": adaptive}
 
 
-def _run():
+def _run(results_dir):
     walls: dict[str, float] = {}
     logs: dict[str, list] = {}
     for name, policy in _policies().items():
+        tel = Telemetry(sinks=[sink := InMemorySink()], run_id=f"sched-{name}")
         transport = ProcessTransport(
             policy,
             _skewed_frame_task,
             lambda a, lane: (lane, a.frame0, a.frame1),
             n_workers=2,
             executor="thread",
+            telemetry=tel,
         )
         t0 = time.perf_counter()
         out = transport.run()
         walls[name] = time.perf_counter() - t0
         logs[name] = out.assignments
+        tel.close()
+        # One Perfetto-loadable lane timeline per schedule mode.
+        write_chrome_trace(
+            sink.events, results_dir / f"trace_scheduler_{name}.json",
+            run_id=f"sched-{name}",
+        )
     return walls, logs
 
 
 def test_dynamic_schedules_beat_static(benchmark, results_dir):
-    walls, logs = benchmark.pedantic(_run, rounds=1, iterations=1)
+    walls, logs = benchmark.pedantic(_run, args=(results_dir,), rounds=1, iterations=1)
     lines = [
         f"Real executor, 2 lanes, {SLOW_LANE} skewed {SLOW_FACTOR:.0f}x slower "
         f"({N_FRAMES} frames @ {FRAME_SECONDS * 1000:.0f} ms/frame on the fast lane):",

@@ -111,6 +111,10 @@ class RenderRequest:
     events_path: str | Path | None = None  # JSONL file or directory
     profile_dir: str | Path | None = None
 
+    # observability (implies telemetry when set)
+    status_port: int | None = None  # serve live JSON farm status on 127.0.0.1:<port>
+    trace_out: str | Path | None = None  # write Chrome trace JSON here at run end
+
 
 @dataclass
 class RenderResult:
@@ -141,6 +145,7 @@ class RenderResult:
     outcome: Any = None
     events: list = field(default_factory=list)
     events_path: Path | None = None
+    trace_path: Path | None = None
 
     def total_computed_pixels(self) -> int:
         return sum(r.n_computed for r in self.reports)
@@ -186,12 +191,24 @@ def _resolve_workload(req: RenderRequest):
 
 
 def _setup_telemetry(req: RenderRequest):
-    """Return ``(telemetry, memory_sink, jsonl_path, owned)``."""
+    """Return ``(telemetry, memory_sink, jsonl_path, ledger, owned)``."""
+    ledger = None
+    if req.status_port is not None:
+        from .obs import RunLedger
+
+        ledger = RunLedger()
     if isinstance(req.telemetry, Telemetry):
-        return req.telemetry, None, None, False
-    want = bool(req.telemetry) or req.events_path is not None
+        if ledger is not None:
+            req.telemetry.sinks.append(ledger)
+        return req.telemetry, None, None, ledger, False
+    want = (
+        bool(req.telemetry)
+        or req.events_path is not None
+        or req.trace_out is not None
+        or ledger is not None
+    )
     if not want:
-        return NULL_TELEMETRY, None, None, False
+        return NULL_TELEMETRY, None, None, None, False
     target = req.events_path
     if target is None:
         target = req.run_dir if req.run_dir is not None else req.resume
@@ -204,7 +221,9 @@ def _setup_telemetry(req: RenderRequest):
             jsonl_path = jsonl_path / "events.jsonl"
         jsonl_path.parent.mkdir(parents=True, exist_ok=True)
         sinks.append(JsonlSink(jsonl_path))
-    return Telemetry(sinks=sinks), mem, jsonl_path, True
+    if ledger is not None:
+        sinks.append(ledger)
+    return Telemetry(sinks=sinks), mem, jsonl_path, ledger, True
 
 
 # -- engine dispatch -------------------------------------------------------------
@@ -377,7 +396,13 @@ def render(request: RenderRequest | None = None, /, **kwargs) -> RenderResult:
         raise ValueError(f"unknown engine {request.engine!r}; expected one of {ENGINES}")
 
     label, spec, anim = _resolve_workload(request)
-    tel, mem, jsonl_path, owned = _setup_telemetry(request)
+    tel, mem, jsonl_path, ledger, owned = _setup_telemetry(request)
+    server = None
+    if ledger is not None:
+        from .obs import StatusServer
+
+        server = StatusServer(ledger, port=int(request.status_port))
+        server.start()
     try:
         if request.engine == "animation":
             result = _run_animation(request, tel, label, spec, anim)
@@ -386,9 +411,23 @@ def render(request: RenderRequest | None = None, /, **kwargs) -> RenderResult:
         else:
             result = _run_simulate(request, tel, label, spec, anim)
     finally:
+        if server is not None:
+            server.stop()
         if owned:
             tel.close()
+        elif ledger is not None:
+            # Borrowed Telemetry: detach the ledger we hung on it.
+            try:
+                request.telemetry.sinks.remove(ledger)
+            except ValueError:
+                pass
     if mem is not None:
         result.events = list(mem.events)
     result.events_path = jsonl_path
+    if request.trace_out is not None and result.events:
+        from .obs import write_chrome_trace
+
+        run_id = next((r.get("run") for r in result.events if r.get("run")), "")
+        write_chrome_trace(result.events, request.trace_out, run_id=str(run_id or ""))
+        result.trace_path = Path(request.trace_out)
     return result

@@ -7,6 +7,8 @@
     python -m repro validate brick --frames 4
     python -m repro table1 --width 96 --height 72 --frames 10
     python -m repro farm newton --workers 4 --mode frame --telemetry run/
+    python -m repro farm newton --transport tcp --status-port 8123 --trace-out run.trace.json
+    python -m repro top 127.0.0.1:8123
     python -m repro simulate newton --strategy frame-division-fc
     python -m repro telemetry run/
 
@@ -132,6 +134,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="cProfile each worker task into DIR/*.prof (merge with "
              "repro.telemetry.merge_profiles)",
     )
+    p_farm.add_argument(
+        "--status-port", type=int, default=None, metavar="PORT",
+        help="serve a live JSON status snapshot on 127.0.0.1:PORT while the "
+             "run is in flight (watch it with: repro top 127.0.0.1:PORT)",
+    )
+    p_farm.add_argument(
+        "--trace-out", type=Path, default=None, metavar="JSON",
+        help="write a Chrome trace-event file (load in Perfetto / "
+             "chrome://tracing) from the run's telemetry",
+    )
 
     p_sim = sub.add_parser(
         "simulate", help="run one Table-1 strategy on the discrete-event NOW simulator"
@@ -150,6 +162,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--telemetry", type=Path, default=None, metavar="DIR",
         help="write structured telemetry (events.jsonl) to DIR",
+    )
+    p_sim.add_argument(
+        "--trace-out", type=Path, default=None, metavar="JSON",
+        help="write a Chrome trace-event file (load in Perfetto / "
+             "chrome://tracing) from the run's telemetry",
+    )
+
+    p_top = sub.add_parser(
+        "top", help="live terminal view of a farm started with --status-port"
+    )
+    p_top.add_argument("address", metavar="HOST:PORT", help="the farm's status endpoint")
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SEC",
+        help="refresh period (default 1s)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
     )
 
     p_tel = sub.add_parser(
@@ -284,6 +313,11 @@ def _cmd_farm(args) -> int:
     schedule = args.schedule
     if schedule is None:
         schedule = "adaptive" if args.transport == "tcp" else "static"
+    if args.status_port is not None:
+        print(
+            f"live status on http://127.0.0.1:{args.status_port}/status "
+            f"(watch with: repro top 127.0.0.1:{args.status_port})"
+        )
     result = render(
         workload=args.workload,
         engine="farm",
@@ -305,6 +339,8 @@ def _cmd_farm(args) -> int:
         telemetry=any(d is not None for d in (args.telemetry, args.run_dir, args.resume)),
         events_path=args.telemetry,
         profile_dir=args.profile,
+        status_port=args.status_port,
+        trace_out=args.trace_out,
     )
     rec = result.recovery
     print(
@@ -321,6 +357,8 @@ def _cmd_farm(args) -> int:
         )
     if result.events_path is not None:
         print(f"telemetry in {result.events_path}")
+    if result.trace_path is not None:
+        print(f"chrome trace in {result.trace_path}")
     print(f"bit-identical to single-renderer reference: {result.bit_identical}")
     return 0 if result.bit_identical else 1
 
@@ -359,6 +397,7 @@ def _cmd_simulate(args) -> int:
         oracle=args.oracle,
         telemetry=args.telemetry is not None,
         events_path=args.telemetry,
+        trace_out=args.trace_out,
     )
     o = result.outcome
     print(
@@ -371,7 +410,34 @@ def _cmd_simulate(args) -> int:
     )
     if result.events_path is not None:
         print(f"telemetry in {result.events_path}")
+    if result.trace_path is not None:
+        print(f"chrome trace in {result.trace_path}")
     return 0
+
+
+def _cmd_top(args) -> int:
+    from .obs import fetch_status, render_status
+
+    try:
+        while True:
+            try:
+                snap = fetch_status(args.address)
+            except (OSError, ValueError):
+                print(f"no farm status at {args.address} (run finished, or no --status-port?)")
+                return 1
+            frame = render_status(snap)
+            if args.once:
+                print(frame)
+                return 0
+            # Clear screen + home, then the fresh frame.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            if snap.get("done"):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _cmd_telemetry(args) -> int:
@@ -413,6 +479,7 @@ def main(argv: list[str] | None = None) -> int:
         "telemetry": _cmd_telemetry,
         "oracle": _cmd_oracle,
         "worker": _cmd_worker,
+        "top": _cmd_top,
     }
     return handlers[args.command](args)
 

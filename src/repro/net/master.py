@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..obs.trace import flight_span_id
 from ..runtime.supervisor import SupervisorOutcome, TaskAttempt
 from ..telemetry import NULL
 from . import protocol as wire
@@ -94,6 +95,8 @@ class _Conn:
         "deadline",
         "last_pong",
         "closed",
+        "offset",
+        "rtt_best",
     )
 
     def __init__(self, sock: socket.socket, now: float) -> None:
@@ -111,6 +114,11 @@ class _Conn:
         self.deadline: float | None = None
         self.last_pong = now
         self.closed = False
+        # Clock-skew estimate: worker_clock - master_clock, refined from
+        # the lowest-rtt PONG seen (a symmetric-delay midpoint estimate;
+        # on one host perf_counter is shared and this converges to ~0).
+        self.offset = 0.0
+        self.rtt_best = float("inf")
 
 
 class MasterServer:
@@ -163,6 +171,7 @@ class MasterServer:
         compress_min_bytes: int = 4096,
         telemetry=None,
         on_result=None,
+        trace_root=None,
     ) -> None:
         self.policy = policy
         self.task_name = task_name
@@ -180,6 +189,10 @@ class MasterServer:
         self.accept_timeout = float(accept_timeout)
         self.telemetry = telemetry if telemetry is not None else NULL
         self.on_result = on_result
+        #: Parent span id for the per-assignment ``obs.flight`` spans
+        #: (the run's root span when the farm drives us; None = flights
+        #: are trace roots themselves).
+        self.trace_root = trace_root
         self.net = NetStats(compress=bool(compress))
         self.compress_min_bytes = int(compress_min_bytes)
         self.workers: dict[str, dict] = {}  # lane -> {host, cores, score, n_done}
@@ -309,6 +322,9 @@ class MasterServer:
             if not isinstance(payload, dict) or payload.get("proto") != wire.PROTO_VERSION:
                 self._lose(sel, conn, "error")
                 return
+            if int(payload.get("minor", 0) or 0) < wire.PROTO_MINOR:
+                self._reject(sel, conn, payload)
+                return
             conn.name = f"w{self._n_named}"
             self._n_named += 1
             conn.host = str(payload.get("host", "?"))
@@ -346,11 +362,26 @@ class MasterServer:
             except (TypeError, ValueError):
                 rtt = 0.0
             self.telemetry.event("net.pong", worker=conn.name, rtt=rtt)
+            # Minimum-rtt skew estimate: the pong with the least delay is
+            # the one where "the worker's clock read tw at the midpoint"
+            # is most nearly true.  Only a better sample updates (and
+            # re-announces) the estimate.
+            tw = payload.get("tw") if isinstance(payload, dict) else None
+            if tw is not None and rtt < conn.rtt_best:
+                try:
+                    conn.offset = float(tw) - (float(payload["t"]) + rtt / 2.0)
+                except (TypeError, ValueError, KeyError):
+                    pass
+                else:
+                    conn.rtt_best = rtt
+                    self.telemetry.event(
+                        "obs.clock", worker=conn.name, offset=conn.offset, rtt=rtt
+                    )
         elif msg_type == wire.MSG_RESULT:
             self._on_result_frame(sel, conn, payload, nbytes, now)
         elif msg_type == wire.MSG_ERROR:
             if isinstance(payload, dict):
-                self.telemetry.absorb(payload.get("events") or [])
+                self.telemetry.absorb(payload.get("events") or [], t_offset=-conn.offset)
             detail = str(payload.get("error", "")) if isinstance(payload, dict) else ""
             self._lose(sel, conn, "error", detail=detail)
         # Unsolicited HELLO repeats or unknown-but-valid types: ignore.
@@ -359,7 +390,7 @@ class MasterServer:
         a = conn.assignment
         if a is None or not isinstance(payload, dict) or payload.get("seq") != a.seq:
             return  # stale or spurious; one-in-flight makes this near-impossible
-        self.telemetry.absorb(payload.get("events") or [])
+        self.telemetry.absorb(payload.get("events") or [], t_offset=-conn.offset)
         result = payload.get("result")
         duration = float(payload.get("duration", now - conn.dispatched))
         key = (a.region_index, a.frame0)
@@ -369,6 +400,18 @@ class MasterServer:
         conn.assignment = None
         conn.args = None
         conn.deadline = None
+        self._absorb_task_events(conn, result)
+        self.telemetry.emit_span(
+            "obs.flight",
+            conn.dispatched,
+            now - conn.dispatched,
+            span=flight_span_id(a.seq),
+            parent=self.trace_root,
+            worker=conn.name,
+            seq=a.seq,
+            attempt=self._attempts.get(key, 1),
+            outcome="ok",
+        )
         self._results.append(result)
         self._durations.append(duration)
         self._attempt_log.append(TaskAttempt(
@@ -392,6 +435,27 @@ class MasterServer:
         if self.on_result is not None:
             self.on_result(a, result)
         self._last_progress = now
+
+    def _absorb_task_events(self, conn: _Conn, result) -> None:
+        """Fold the *render-level* worker events into the live stream.
+
+        By farm convention a task result tuple's last element is the
+        worker task's serialized event buffer (task/frame/coherence
+        spans).  Absorbing it here — with this lane's clock-offset
+        correction — is what puts worker frame spans on the master's
+        time axis *during* the run, so the ledger/status endpoint sees
+        frames complete live instead of at teardown.  Non-farm results
+        (echo tasks, junk) are left untouched.
+        """
+        if not isinstance(result, tuple) or not result:
+            return
+        blob = result[-1]
+        if not isinstance(blob, str) or not blob.startswith("["):
+            return
+        try:
+            self.telemetry.absorb(blob, t_offset=-conn.offset)
+        except (TypeError, ValueError):
+            pass  # a string that merely looked like an event buffer
 
     # -- dispatch / sweeps -------------------------------------------------
     def _dispatch(self, sel, now: float) -> None:
@@ -480,6 +544,31 @@ class MasterServer:
                 self._lose(sel, conn, "eof")
 
     # -- loss --------------------------------------------------------------
+    def _reject(self, sel, conn: _Conn, payload) -> None:
+        """Turn away a worker speaking an older protocol minor: SHUTDOWN
+        (vocabulary every revision understands, so the daemon exits
+        cleanly instead of reconnect-looping) and close — never a lane,
+        so the policy is not involved."""
+        who = "?"
+        if isinstance(payload, dict):
+            who = f"{payload.get('host', '?')}:{payload.get('pid', 0)}"
+        self.net.n_losses += 1
+        self.telemetry.event("net.worker.lost", worker=who, reason="proto", seq=-1)
+        try:
+            self._send(conn, wire.MSG_SHUTDOWN, {})
+        except OSError:
+            pass
+        conn.closed = True
+        self._conns.pop(conn.sock.fileno(), None)
+        try:
+            sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
     def _lose(self, sel, conn: _Conn, reason: str, detail: str = "") -> None:
         """Close a connection and route its lane into the policy's
         ``on_worker_lost`` so any in-flight assignment is requeued."""
@@ -510,6 +599,19 @@ class MasterServer:
             outcome = _LOSS_OUTCOMES.get(reason, "crash")
             key = (a.region_index, a.frame0)
             n_tries = self._attempts.get(key, 1)
+            # The flight closes with its failure outcome; the requeued
+            # dispatch will open a fresh flight under a new seq.
+            self.telemetry.emit_span(
+                "obs.flight",
+                conn.dispatched,
+                now - conn.dispatched,
+                span=flight_span_id(a.seq),
+                parent=self.trace_root,
+                worker=conn.name,
+                seq=a.seq,
+                attempt=n_tries,
+                outcome=outcome,
+            )
             self._attempt_log.append(TaskAttempt(
                 task_index=a.seq,
                 attempt=n_tries,

@@ -28,16 +28,25 @@ Message types
 ==========  =========  ====================================================
 name        direction  payload
 ==========  =========  ====================================================
-HELLO       w -> m     {proto, host, pid, cores, score}
+HELLO       w -> m     {proto, minor, host, pid, cores, score}
 WELCOME     m -> w     {worker, heartbeat_interval, compress, proto}
 ASSIGN      m -> w     {seq, region, frame0, frame1, fresh, coherent,
                         task, args}
 RESULT      w -> m     {seq, result, duration, events}
 PING        m -> w     {t}
-PONG        w -> m     {t}   (echo of the ping's t; master derives rtt)
+PONG        w -> m     {t, tw}  (t echoes the ping; tw is the worker's
+                       clock at the reply — rtt and skew for the master)
 ERROR       w -> m     {seq, error, events}
 SHUTDOWN    m -> w     {}
 ==========  =========  ====================================================
+
+Versioning: the frame header's ``version`` byte is the *framing* major —
+a mismatch there is a different wire language and fails at the first
+frame.  ``PROTO_MINOR`` rides in the HELLO payload instead: it gates
+vocabulary both sides must speak (minor 1 added PONG's ``tw`` clock
+sample and the trace context inside task args), and the master rejects a
+too-old worker *cleanly* at HELLO — SHUTDOWN, which every revision
+understands — rather than with a framing error mid-run.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ import numpy as np
 
 __all__ = [
     "PROTO_VERSION",
+    "PROTO_MINOR",
     "MAGIC",
     "MSG_HELLO",
     "MSG_WELCOME",
@@ -69,6 +79,9 @@ __all__ = [
 ]
 
 PROTO_VERSION = 1
+#: Vocabulary revision negotiated at HELLO (see the module doc).  Minor 1:
+#: PONG carries ``tw`` and task args carry the repro.obs trace context.
+PROTO_MINOR = 1
 MAGIC = b"RNW1"
 
 MSG_HELLO = 1

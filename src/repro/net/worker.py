@@ -154,12 +154,16 @@ class WorkerClient:
             return sock
         return None
 
-    def _handshake(self, sock: socket.socket) -> bool:
+    def _handshake(self, sock: socket.socket) -> str:
+        """Register with the master; returns ``"ok"``, ``"rejected"``
+        (master answered SHUTDOWN — protocol revision mismatch; exit
+        cleanly instead of reconnect-looping) or ``"lost"``."""
         wire.send_frame(
             sock,
             wire.MSG_HELLO,
             {
                 "proto": wire.PROTO_VERSION,
+                "minor": wire.PROTO_MINOR,
                 "host": socket.gethostname(),
                 "pid": os.getpid(),
                 "cores": os.cpu_count() or 1,
@@ -168,14 +172,19 @@ class WorkerClient:
             lock=self._send_lock,
         )
         got = wire.recv_frame(sock)
-        if got is None or got[0] != wire.MSG_WELCOME:
-            return False
+        if got is None:
+            return "lost"
+        if got[0] == wire.MSG_SHUTDOWN:
+            self._log("master rejected the handshake (protocol revision); exiting")
+            return "rejected"
+        if got[0] != wire.MSG_WELCOME:
+            return "lost"
         welcome = got[1]
         self.worker_id = str(welcome.get("worker", ""))
         self._compress = bool(welcome.get("compress", True))
         self._compress_min = int(welcome.get("compress_min_bytes", 4096))
         self._log(f"registered as {self.worker_id!r}")
-        return True
+        return "ok"
 
     # -- receive side ----------------------------------------------------------
     def _reader(self, sock: socket.socket, inbox: queue.Queue) -> None:
@@ -187,8 +196,14 @@ class WorkerClient:
                     break
                 msg_type, payload = got
                 if msg_type == wire.MSG_PING:
+                    # tw samples this worker's clock at the reply: with the
+                    # echoed t and the measured rtt the master estimates
+                    # per-worker skew (obs.clock) and folds remote span
+                    # timestamps onto its own time axis.
                     wire.send_frame(
-                        sock, wire.MSG_PONG, {"t": payload.get("t", 0.0)},
+                        sock,
+                        wire.MSG_PONG,
+                        {"t": payload.get("t", 0.0), "tw": time.perf_counter()},
                         lock=self._send_lock,
                     )
                 elif msg_type == wire.MSG_ASSIGN:
@@ -240,8 +255,9 @@ class WorkerClient:
 
     def _serve(self, sock: socket.socket) -> str:
         """Serve one connection to completion; returns why it ended."""
-        if not self._handshake(sock):
-            return "lost"
+        hs = self._handshake(sock)
+        if hs != "ok":
+            return "shutdown" if hs == "rejected" else "lost"
         inbox: queue.Queue = queue.Queue()
         reader = threading.Thread(
             target=self._reader, args=(sock, inbox), name="repro-net-reader", daemon=True

@@ -1,0 +1,67 @@
+"""repro.obs — distributed tracing and live monitoring for the render farm.
+
+The paper's results are claims about *where time goes* on a network of
+workstations: idle lanes under static sequence division, demand-driven
+load balance, stragglers.  This package turns the telemetry spine
+(:mod:`repro.telemetry`) plus the wire protocol (:mod:`repro.net`) into
+an end-to-end observability layer that can reproduce that analysis from
+event data alone:
+
+* :mod:`~repro.obs.trace` — run/trace identity, the task-envelope trace
+  context workers parent their spans under, and the orphan-span check;
+* :mod:`~repro.obs.ledger` — :class:`RunLedger`, a telemetry sink that
+  folds the unified event stream into per-worker live state (in-flight
+  assignments, heartbeat ages, throughput, ETA);
+* :mod:`~repro.obs.analysis` — per-worker busy/idle timelines, the
+  paper-style utilization/Gantt report, straggler z-scores, and the
+  sequence-vs-frame-division load-balance contrast;
+* :mod:`~repro.obs.chrometrace` — Chrome trace-event JSON export, one
+  track per worker lane, loadable in Perfetto / ``chrome://tracing``;
+* :mod:`~repro.obs.live` — a read-only JSON status endpoint over
+  stdlib ``http.server`` plus the ``repro top`` terminal view.
+
+Everything consumes the pinned event schema (v4), so the same tooling
+works on a real TCP farm run, a process-pool run, and a virtual-clock
+simulator replay.
+"""
+
+from .analysis import (
+    UtilizationReport,
+    WorkerTimeline,
+    compare_division,
+    format_utilization,
+    utilization_report,
+    worker_timelines,
+)
+from .chrometrace import chrome_trace, write_chrome_trace
+from .ledger import RunLedger
+from .live import StatusServer, fetch_status, render_status
+from .trace import (
+    FLIGHT_PREFIX,
+    TraceContext,
+    find_orphan_spans,
+    flight_span_id,
+    new_run_id,
+    worker_session,
+)
+
+__all__ = [
+    "FLIGHT_PREFIX",
+    "RunLedger",
+    "StatusServer",
+    "TraceContext",
+    "UtilizationReport",
+    "WorkerTimeline",
+    "chrome_trace",
+    "compare_division",
+    "fetch_status",
+    "find_orphan_spans",
+    "flight_span_id",
+    "format_utilization",
+    "new_run_id",
+    "render_status",
+    "utilization_report",
+    "worker_session",
+    "worker_timelines",
+    "write_chrome_trace",
+]

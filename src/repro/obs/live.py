@@ -1,0 +1,132 @@
+"""The live surface: a status endpoint on the master, a `top` for the farm.
+
+:class:`StatusServer` wraps stdlib ``http.server`` in a daemon thread and
+serves ``GET /status`` (also ``/``) as a read-only JSON snapshot of a
+:class:`~repro.obs.ledger.RunLedger`.  It binds before the run starts and
+answers throughout, fed by the cached ledger snapshot — a slow or absent
+poller never touches the master's event loop.
+
+:func:`fetch_status` / :func:`render_status` are the client half:
+``repro top host:port`` polls the endpoint and redraws a terminal view
+(jbadson/render_controller's farm-watching loop, reduced to stdlib).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["StatusServer", "fetch_status", "render_status"]
+
+
+class StatusServer:
+    """Read-only JSON status endpoint over a ledger (daemon thread)."""
+
+    def __init__(self, ledger, host: str = "127.0.0.1", port: int = 0):
+        self.ledger = ledger
+        self.host = host
+        self.port = int(port)
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        """Bind and serve in the background; returns the bound port."""
+        ledger = self.ledger
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (http.server API)
+                if self.path.split("?", 1)[0] not in ("/", "/status"):
+                    self.send_error(404, "unknown path (try /status)")
+                    return
+                body = json.dumps(ledger.snapshot()).encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # keep the master's stderr clean
+                pass
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-status", daemon=True
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "StatusServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def fetch_status(addr: str, timeout: float = 2.0) -> dict:
+    """GET the snapshot from ``host:port`` (or a full http URL)."""
+    url = addr if addr.startswith("http") else f"http://{addr}/status"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:  # noqa: S310
+        return json.loads(resp.read().decode())
+
+
+def _age_str(age) -> str:
+    if age is None:
+        return "-"
+    return f"{age:.1f}s"
+
+
+def render_status(snap: dict) -> str:
+    """One terminal frame of the `repro top` view."""
+    n_frames = int(snap.get("n_frames", 0) or 0)
+    frames_done = int(snap.get("frames_done", 0))
+    pct = (100.0 * frames_done / n_frames) if n_frames else 0.0
+    state = "done" if snap.get("done") else "running"
+    eta = snap.get("eta_seconds")
+    lines = [
+        f"repro farm — run {snap.get('run') or '?'} [{state}]",
+        f"  {snap.get('workload') or '?'} · mode {snap.get('mode') or '?'} · "
+        f"{frames_done}/{n_frames} frames ({pct:.0f}%) · "
+        f"{snap.get('tasks_done', 0)} tasks · {snap.get('tasks_per_sec', 0.0)} tasks/s"
+        + (f" · ETA {eta:.0f}s" if isinstance(eta, (int, float)) else ""),
+        f"  elapsed {snap.get('elapsed', 0.0)}s · events {snap.get('n_events', 0)}",
+        "",
+        f"  {'worker':<14} {'host':<12} {'done':>5} {'busy s':>8} {'rtt ms':>7} "
+        f"{'hb age':>7}  in flight",
+    ]
+    in_flight = {a["worker"]: a for a in snap.get("in_flight", [])}
+    for w in snap.get("workers", []):
+        rtt = w.get("rtt")
+        rtt_str = f"{rtt * 1e3:.1f}" if rtt is not None else "-"
+        a = in_flight.get(w["worker"])
+        flight = (
+            f"seq {a['seq']} frames [{a['frame0']},{a['frame1']}) {_age_str(a.get('age'))}"
+            if a
+            else "idle"
+        )
+        lines.append(
+            f"  {w['worker']:<14} {w.get('host') or '-':<12} {w.get('n_done', 0):>5} "
+            f"{w.get('busy', 0.0):>8.2f} {rtt_str:>7} "
+            f"{_age_str(w.get('heartbeat_age')):>7}  {flight}"
+        )
+    attempts = snap.get("attempts") or {}
+    if attempts:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(attempts.items()))
+        lines.append(f"\n  attempts: {parts}")
+    losses = snap.get("losses") or []
+    for loss in losses:
+        lines.append(f"  lost: {loss['worker']} ({loss['reason']})")
+    return "\n".join(lines)

@@ -35,7 +35,9 @@ class Transform:
         # Normals transform by the inverse-transpose of the upper-left 3x3.
         self.normal_m = self.inv[:3, :3].T.copy()
         # Cached: queried once per object per ray batch on the hot path.
-        self._is_identity = bool(np.allclose(m, np.eye(4), atol=1e-12))
+        # rtol must be 0: allclose's default rtol=1e-5 against the unit
+        # diagonal would classify e.g. scale(0.99999) as the identity.
+        self._is_identity = bool(np.allclose(m, np.eye(4), rtol=0.0, atol=1e-12))
 
     # -- constructors -----------------------------------------------------
     @staticmethod
@@ -153,7 +155,7 @@ class Transform:
     def is_identity(self, tol: float = 1e-12) -> bool:
         if tol == 1e-12:
             return self._is_identity
-        return bool(np.allclose(self.m, np.eye(4), atol=tol))
+        return bool(np.allclose(self.m, np.eye(4), rtol=0.0, atol=tol))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Transform({self.m.tolist()!r})"

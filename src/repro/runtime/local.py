@@ -53,10 +53,11 @@ import numpy as np
 
 from ..coherence import CoherentRenderer, grid_for_animation
 from ..geometry import RayKind
+from ..obs.trace import TraceContext, flight_span_id, new_run_id, worker_session
 from ..parallel.partition import PixelRegion, default_block_layout, sequence_ranges
 from ..render import RayStats
 from ..telemetry import NULL as NULL_TELEMETRY
-from ..telemetry import InMemorySink, Telemetry
+from ..telemetry import Telemetry
 from ..telemetry.profiling import profile_into
 from .faults import FaultPlan
 from .spec import AnimationSpec
@@ -106,12 +107,27 @@ def _worker_label() -> str:
     return f"{os.getpid()}.{threading.get_ident() % 100000}"
 
 
-def _worker_telemetry(enabled: bool):
-    """(telemetry, sink) for one task; disabled tasks share NULL."""
-    if not enabled:
-        return NULL_TELEMETRY, None
-    sink = InMemorySink()
-    return Telemetry(sinks=(sink,)), sink
+def _ctx_worker(ctx) -> str:
+    """The worker identity a task span should report: the scheduling lane
+    the dispatcher stamped into the trace context (stable, shared with
+    the master's flight spans), falling back to the local pid/thread
+    label for static task lists."""
+    if isinstance(ctx, dict) and ctx.get("worker"):
+        return str(ctx["worker"])
+    return _worker_label()
+
+
+def _worker_telemetry(ctx):
+    """(telemetry, sink) for one task; disabled tasks share NULL.
+
+    ``ctx`` is the envelope's telemetry slot: a trace-context dict (run
+    id, parent span, namespace seed — see :mod:`repro.obs.trace`), the
+    legacy ``True`` (telemetry on, untraced), or falsy (off).  The local
+    task index and attempt counter disambiguate the span namespace when
+    the supervised pool retries a task with identical args.
+    """
+    idx, attempt = task_context()
+    return worker_session(ctx, attempt=attempt, index=idx)
 
 
 def _worker_profile_path(profile_dir) -> str | None:
@@ -132,15 +148,15 @@ def _finish_worker_events(tel: Telemetry, sink) -> str:
 
 def _render_block_task(args):
     """Frame-division worker: render one block across all frames."""
-    spec, box, grid_resolution, samples, tel_on, profile_dir = args
+    spec, box, grid_resolution, samples, tel_ctx, profile_dir = args
     anim = _get_anim(spec)
     region = PixelRegion(*box, width=anim.camera_at(0).width).pixels
-    tel, sink = _worker_telemetry(tel_on)
+    tel, sink = _worker_telemetry(tel_ctx)
     _idx, attempt = task_context()
     with profile_into(_worker_profile_path(profile_dir)):
         with tel.span(
             "task",
-            worker=_worker_label(),
+            worker=_ctx_worker(tel_ctx),
             mode="frame",
             frame0=0,
             frame1=anim.n_frames,
@@ -168,15 +184,15 @@ def _render_block_task(args):
 
 def _render_sequence_task(args):
     """Sequence-division worker: render whole frames for one range."""
-    spec, start, stop, grid_resolution, samples, tel_on, profile_dir = args
+    spec, start, stop, grid_resolution, samples, tel_ctx, profile_dir = args
     anim = _get_anim(spec)
-    tel, sink = _worker_telemetry(tel_on)
+    tel, sink = _worker_telemetry(tel_ctx)
     _idx, attempt = task_context()
     cam = anim.camera_at(start)
     with profile_into(_worker_profile_path(profile_dir)):
         with tel.span(
             "task",
-            worker=_worker_label(),
+            worker=_ctx_worker(tel_ctx),
             mode="sequence",
             frame0=int(start),
             frame1=int(stop),
@@ -205,15 +221,15 @@ def _render_sequence_task(args):
 
 def _render_hybrid_task(args):
     """Hybrid worker: one block over one frame chunk (subarea x subsequence)."""
-    spec, box, start, stop, grid_resolution, samples, tel_on, profile_dir = args
+    spec, box, start, stop, grid_resolution, samples, tel_ctx, profile_dir = args
     anim = _get_anim(spec)
     region = PixelRegion(*box, width=anim.camera_at(0).width).pixels
-    tel, sink = _worker_telemetry(tel_on)
+    tel, sink = _worker_telemetry(tel_ctx)
     _idx, attempt = task_context()
     with profile_into(_worker_profile_path(profile_dir)):
         with tel.span(
             "task",
-            worker=_worker_label(),
+            worker=_ctx_worker(tel_ctx),
             mode="hybrid",
             frame0=int(start),
             frame1=int(stop),
@@ -266,12 +282,12 @@ def _render_segment_task(args):
     previous segment, rendering fresh when the cache misses (different
     process, evicted, or the previous attempt failed).
     """
-    spec, box, f0, f1, fresh, label, grid_resolution, samples, tel_on, profile_dir = args
+    spec, box, f0, f1, fresh, label, grid_resolution, samples, tel_ctx, profile_dir = args
     anim = _get_anim(spec)
     cam = anim.camera_at(0)
     region = None if box is None else PixelRegion(*box, width=cam.width).pixels
     n_px = int(cam.n_pixels if region is None else region.size)
-    tel, sink = _worker_telemetry(tel_on)
+    tel, sink = _worker_telemetry(tel_ctx)
     _idx, attempt = task_context()
     renderer = None
     if not fresh:
@@ -282,7 +298,7 @@ def _render_segment_task(args):
     with profile_into(_worker_profile_path(profile_dir)):
         with tel.span(
             "task",
-            worker=_worker_label(),
+            worker=_ctx_worker(tel_ctx),
             mode=label,
             frame0=int(f0),
             frame1=int(f1),
@@ -504,6 +520,7 @@ class LocalRenderFarm:
         # Build once locally for geometry bookkeeping (cheap).
         self._anim = spec.build()
         self._cam = self._anim.camera_at(0)
+        self._run_span = None  # root span id, allocated by _begin_trace()
 
     # -- task construction -----------------------------------------------------
     def _block_layout(self):
@@ -511,8 +528,40 @@ class LocalRenderFarm:
             self._cam.width, self._cam.height, self.block_w, self.block_h
         )
 
+    # -- trace identity ----------------------------------------------------------
+    def _begin_trace(self) -> float:
+        """Stamp the run id, allocate the root ``run`` span, return its t0.
+
+        Every record the run emits — master-side and absorbed worker-side
+        alike — carries the run id; worker spans parent (via per-dispatch
+        flight spans or directly) under the root span allocated here, so
+        the merged stream is one connected trace.
+        """
+        tel = self.telemetry
+        if tel.enabled and not tel.run_id:
+            tel.run_id = new_run_id()
+        self._run_span = tel.new_span_id() if tel.enabled else None
+        return tel.now()
+
+    def _end_trace(self, t_run0: float) -> None:
+        tel = self.telemetry
+        if tel.enabled:
+            tel.emit_span(
+                "run", t_run0, tel.now() - t_run0,
+                span=self._run_span, parent=None, engine="farm",
+            )
+
+    def _static_ctx(self):
+        """The telemetry slot shared by a static task list: one context
+        parenting every task span under the run root (the per-task span
+        namespace is disambiguated worker-side from the task index)."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return False
+        return TraceContext(run=tel.run_id, parent=self._run_span).to_arg()
+
     def _tasks(self):
-        tel_on = self.telemetry.enabled
+        tel_on = self._static_ctx()
         prof = self.profile_dir
         if self.mode == "frame":
             return [
@@ -721,6 +770,7 @@ class LocalRenderFarm:
         anim = self._anim
         cam = self._cam
         tel = self.telemetry
+        t_run0 = self._begin_trace()
         tasks = self._tasks()
         validate = self._make_validator()
         if self.profile_dir:
@@ -798,6 +848,7 @@ class LocalRenderFarm:
 
         if tel.enabled:
             self._emit_run_telemetry(out, stats, len(tasks))
+        self._end_trace(t_run0)
 
         return FarmResult(
             frames=frames,
@@ -829,6 +880,7 @@ class LocalRenderFarm:
         if self.profile_dir:
             Path(self.profile_dir).mkdir(parents=True, exist_ok=True)
 
+        t_run0 = self._begin_trace()
         tel.event(
             "run.start",
             engine="farm",
@@ -841,7 +893,20 @@ class LocalRenderFarm:
         )
 
         spec, grid, samples = self.spec, self.grid_resolution, self.samples_per_axis
-        tel_on, prof, label = tel.enabled, self.profile_dir, self.schedule
+        prof, label = self.profile_dir, self.schedule
+        run_id, run_span, enabled = tel.run_id, self._run_span, tel.enabled
+
+        def ctx_of(a, lane):
+            # Per-dispatch trace context: the worker's task span parents
+            # under this assignment's flight span (id derivable from the
+            # dispatch seq on both sides of the wire) and reports the
+            # scheduling lane as its worker identity.
+            if not enabled:
+                return False
+            return TraceContext(
+                run=run_id, parent=flight_span_id(a.seq), seed=f"s{a.seq}",
+                worker=str(lane),
+            ).to_arg()
 
         def box_of(a):
             if regions is not None and a.region_index >= 0:
@@ -857,7 +922,7 @@ class LocalRenderFarm:
 
             def materialize(a, lane):
                 return (spec_wire, box_of(a), int(a.frame0), int(a.frame1),
-                        bool(a.fresh), label, grid, samples, tel_on, prof)
+                        bool(a.fresh), label, grid, samples, ctx_of(a, lane), prof)
 
             transport = TcpTransport(
                 policy,
@@ -866,6 +931,7 @@ class LocalRenderFarm:
                 n_workers=self.n_workers,
                 die_after=self.net_die_after,
                 telemetry=tel,
+                trace_root=run_span,
                 validate=validate,
                 max_attempts=self.max_attempts,
                 task_timeout=self.task_timeout,
@@ -876,13 +942,15 @@ class LocalRenderFarm:
 
             def materialize(a, lane):
                 return (spec, box_of(a), int(a.frame0), int(a.frame1), bool(a.fresh),
-                        label, grid, samples, tel_on, prof)
+                        label, grid, samples, ctx_of(a, lane), prof)
 
             transport = ProcessTransport(
                 policy,
                 _render_segment_task,
                 materialize,
                 n_workers=self.n_workers,
+                telemetry=tel,
+                trace_root=run_span,
                 executor=self.executor,
                 initializer=_worker_init,
                 initargs=(self.spec,),
@@ -910,7 +978,14 @@ class LocalRenderFarm:
 
         sup = out.supervisor
         if tel.enabled:
-            self._emit_run_telemetry(sup, stats, len(out.assignments))
+            # The TCP master already absorbed worker event buffers live
+            # (with clock-offset correction); re-emitting them here would
+            # duplicate every span in the stream.
+            self._emit_run_telemetry(
+                sup, stats, len(out.assignments),
+                absorb_events=self.transport != "tcp",
+            )
+        self._end_trace(t_run0)
         return FarmResult(
             frames=frames,
             stats=stats,
@@ -925,10 +1000,17 @@ class LocalRenderFarm:
             attempts=sup.attempts,
         )
 
-    def _emit_run_telemetry(self, out, stats: RayStats, n_tasks: int) -> None:
+    def _emit_run_telemetry(
+        self, out, stats: RayStats, n_tasks: int, absorb_events: bool = True
+    ) -> None:
         """Absorb worker event buffers and emit the run-level events
         (task.attempt / recovery timeline, per-worker utilization,
-        run.end totals) into the farm's telemetry session."""
+        run.end totals) into the farm's telemetry session.
+
+        ``absorb_events=False`` still folds the buffers into the summary
+        stats but skips re-emitting them — the TCP transport absorbs
+        each buffer at result time (clock-corrected), so only the
+        process/thread paths absorb here."""
         tel = self.telemetry
         worker_busy: dict[str, list] = {}  # worker -> [busy_seconds, n_tasks]
         computed = copied = 0
@@ -940,7 +1022,8 @@ class LocalRenderFarm:
                 events = json.loads(payload)
             except (TypeError, ValueError):
                 continue
-            tel.absorb(events)
+            if absorb_events:
+                tel.absorb(events)
             for rec in events:
                 name, attrs = rec.get("name"), rec.get("attrs") or {}
                 if rec.get("type") == "span" and name == "task":

@@ -20,7 +20,9 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..obs.trace import flight_span_id
 from ..runtime.supervisor import SupervisorOutcome, TaskSupervisor
+from ..telemetry import NULL
 from .core import Assignment, SchedulingPolicy
 
 __all__ = ["ProcessTransport", "SchedOutcome", "assignment_echo_task"]
@@ -81,6 +83,11 @@ class ProcessTransport:
         again after the next completion — an all-lanes-idle decline with
         nothing in flight is a policy stall, which the supervisor's feed
         protocol turns into a loud ``RuntimeError`` rather than a hang.
+    telemetry / trace_root:
+        A :class:`~repro.telemetry.Telemetry` session to narrate into:
+        one ``obs.flight`` span per assignment (dispatch -> accepted
+        result), parented under ``trace_root`` — the same trace shape
+        the TCP master emits, so the obs tooling reads either transport.
     supervisor_kwargs:
         Passed through to :class:`TaskSupervisor` (executor, validate,
         timeouts, fault_plan, ...).
@@ -94,6 +101,8 @@ class ProcessTransport:
         *,
         n_workers: int = 2,
         on_result=None,
+        telemetry=None,
+        trace_root=None,
         **supervisor_kwargs,
     ) -> None:
         self.policy = policy
@@ -101,11 +110,14 @@ class ProcessTransport:
         self.materialize = materialize
         self.n_workers = max(1, int(n_workers))
         self._user_on_result = on_result
+        self.telemetry = telemetry if telemetry is not None else NULL
+        self.trace_root = trace_root
         self.supervisor_kwargs = supervisor_kwargs
         self.lanes = [f"lane{i}" for i in range(self.n_workers)]
         self._free: deque[str] = deque(self.lanes)
         self._busy: dict[str, Assignment] = {}
-        self._meta: dict[int, tuple[str, Assignment]] = {}  # task idx -> (lane, assignment)
+        # task idx -> (lane, assignment, dispatch time)
+        self._meta: dict[int, tuple[str, Assignment, float]] = {}
         self._next_idx = 0
 
     # -- supervisor feed ---------------------------------------------------
@@ -122,7 +134,7 @@ class ProcessTransport:
                 continue
             self._free.remove(lane)
             self._busy[lane] = a
-            self._meta[self._next_idx] = (lane, a)
+            self._meta[self._next_idx] = (lane, a, self.telemetry.now())
             out.append(self.materialize(a, lane))
             self._next_idx += 1
         if out:
@@ -132,7 +144,21 @@ class ProcessTransport:
         return None  # nothing running, nothing dispatchable: exhausted
 
     def _on_result(self, idx: int, result) -> None:
-        lane, a = self._meta[idx]
+        lane, a, t0 = self._meta[idx]
+        # One flight per assignment, dispatch -> accepted result.  The
+        # pool hides its internal retries behind acceptance, so attempt
+        # stays 0 here (task.attempt events carry the retry story).
+        self.telemetry.emit_span(
+            "obs.flight",
+            t0,
+            self.telemetry.now() - t0,
+            span=flight_span_id(a.seq),
+            parent=self.trace_root,
+            worker=lane,
+            seq=a.seq,
+            attempt=0,
+            outcome="ok",
+        )
         self.policy.on_result(lane, a)
         if self._busy.get(lane) is a:
             del self._busy[lane]
@@ -162,5 +188,5 @@ class ProcessTransport:
             n_chain_starts=policy.n_chain_starts,
             n_steals=policy.n_steals,
             n_reassigned=policy.n_reassigned,
-            lanes_of={a.seq: lane for _i, (lane, a) in self._meta.items()},
+            lanes_of={a.seq: lane for _i, (lane, a, _t) in self._meta.items()},
         )

@@ -75,13 +75,33 @@ class Telemetry:
         ``False`` turns every method into a near-free no-op.
     run_id:
         Optional tag copied onto every record (distinguishes merged logs).
+    span_ns:
+        Namespace prefix for span ids.  A bare session hands out integer
+        ids (1, 2, ...); a namespaced one hands out strings
+        (``"w0.3:1"``, ...), which is what keeps worker-side span ids
+        collision-free when many worker sessions are merged into one
+        master event stream (:mod:`repro.obs`).
+    root_parent:
+        Parent id stamped on spans opened with an *empty* local stack.
+        A worker session carries the master-side flight span's id here,
+        so its ``task`` span parents correctly in the merged trace.
     """
 
-    def __init__(self, sinks=(), clock=None, enabled: bool = True, run_id: str = ""):
+    def __init__(
+        self,
+        sinks=(),
+        clock=None,
+        enabled: bool = True,
+        run_id: str = "",
+        span_ns: str = "",
+        root_parent=None,
+    ):
         self.enabled = bool(enabled)
         self.sinks = list(sinks)
         self.clock = clock if clock is not None else time.perf_counter
         self.run_id = run_id
+        self.span_ns = span_ns
+        self.root_parent = root_parent
         self._counters: dict[str, float] = {}
         self._hists: dict[str, list[float]] = {}
         self._span_stack: list[_SpanHandle] = []
@@ -131,10 +151,17 @@ class Telemetry:
         finally:
             self._close_span(handle)
 
-    def _open_span(self, name: str, attrs: dict) -> _SpanHandle:
-        parent = self._span_stack[-1].span_id if self._span_stack else None
-        handle = _SpanHandle(name, attrs, self.now(), self._next_span_id, parent)
+    def new_span_id(self):
+        """Allocate one span id without opening a span (transports emit
+        externally-timed spans whose id must be known at dispatch time so
+        it can ride to the worker inside the task envelope)."""
+        sid = self._next_span_id
         self._next_span_id += 1
+        return f"{self.span_ns}{sid}" if self.span_ns else sid
+
+    def _open_span(self, name: str, attrs: dict) -> _SpanHandle:
+        parent = self._span_stack[-1].span_id if self._span_stack else self.root_parent
+        handle = _SpanHandle(name, attrs, self.now(), self.new_span_id(), parent)
         self._span_stack.append(handle)
         return handle
 
@@ -154,10 +181,12 @@ class Telemetry:
             }
         )
 
-    def emit_span(self, name: str, t0: float, dur: float, **attrs) -> None:
+    def emit_span(self, name: str, t0: float, dur: float, *, span=None, parent=None, **attrs) -> None:
         """A span measured externally (simulator masters time their own
         dispatch/completion pairs across generator yields, where a context
-        manager cannot live)."""
+        manager cannot live).  ``span``/``parent`` override the allocated
+        id and root parent — the transports pre-allocate flight-span ids
+        with :meth:`new_span_id` so workers can parent under them."""
         if not self.enabled:
             return
         self.emit(
@@ -166,12 +195,11 @@ class Telemetry:
                 "name": name,
                 "t": t0,
                 "dur": max(0.0, dur),
-                "span": self._next_span_id,
-                "parent": None,
+                "span": span if span is not None else self.new_span_id(),
+                "parent": parent if parent is not None else self.root_parent,
                 "attrs": attrs,
             }
         )
-        self._next_span_id += 1
 
     # -- metrics ----------------------------------------------------------------
     def counter(self, name: str, value: float = 1) -> None:
@@ -234,14 +262,22 @@ class Telemetry:
         """JSON-encode a worker-side event buffer for transport."""
         return json.dumps(events, separators=(",", ":"))
 
-    def absorb(self, payload: str | list[dict] | None) -> int:
+    def absorb(self, payload: str | list[dict] | None, t_offset: float = 0.0) -> int:
         """Re-emit events serialized by a worker process into this session's
-        sinks (keeping the worker's timestamps).  Returns the event count."""
+        sinks (keeping the worker's timestamps).  Returns the event count.
+
+        ``t_offset`` is added to each record's timestamp — the master's
+        per-worker clock-skew correction (estimated from PING/PONG round
+        trips), so remote spans land on the master's time axis.
+        """
         if not payload:
             return 0
         events = json.loads(payload) if isinstance(payload, str) else payload
         for record in events:
-            self.emit(dict(record))
+            record = dict(record)
+            if t_offset and "t" in record:
+                record["t"] = record["t"] + t_offset
+            self.emit(record)
         return len(events)
 
     # -- lifecycle ------------------------------------------------------------

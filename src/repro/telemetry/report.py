@@ -56,6 +56,8 @@ class TelemetryReport:
     workers: list[dict] = field(default_factory=list)
     recovery: dict[str, int] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
+    losses: list[dict] = field(default_factory=list)  # net.worker.lost events
+    attempts: dict[str, int] = field(default_factory=dict)  # outcome -> count
 
     @property
     def computed_fraction(self) -> float:
@@ -104,6 +106,17 @@ def report_from_events(events: list[dict]) -> TelemetryReport:
         elif name == "recovery":
             kind = str(attrs.get("kind", "?"))
             rep.recovery[kind] = rep.recovery.get(kind, 0) + 1
+        elif name == "net.worker.lost":
+            rep.losses.append(
+                {
+                    "worker": str(attrs.get("worker", "?")),
+                    "reason": str(attrs.get("reason", "?")),
+                    "seq": int(attrs.get("seq", -1)),
+                }
+            )
+        elif name == "task.attempt":
+            outcome = str(attrs.get("outcome", "?"))
+            rep.attempts[outcome] = rep.attempts.get(outcome, 0) + 1
         elif name == "run.end":
             saw_run_end = True
             rep.wall_time = float(attrs.get("wall_time", rep.wall_time))
@@ -161,6 +174,21 @@ def format_report(rep: TelemetryReport, per_frame: bool = False) -> str:
     if rep.recovery:
         parts = [f"{rep.recovery[k]} {k}" for k in sorted(rep.recovery)]
         lines.append(f"recovery events: {', '.join(parts)}")
+        lines.append("")
+    if rep.losses:
+        by: dict[tuple[str, str], int] = {}
+        for loss in rep.losses:
+            key = (loss["worker"], loss["reason"])
+            by[key] = by.get(key, 0) + 1
+        lines.append("worker losses")
+        for (worker, reason), n in sorted(by.items()):
+            count = f"  x{n}" if n > 1 else ""
+            lines.append(f"  {worker:<18} {reason}{count}")
+        lines.append("")
+    n_bad = sum(n for k, n in rep.attempts.items() if k != "ok")
+    if n_bad:
+        parts = [f"{rep.attempts[k]} {k}" for k in sorted(rep.attempts)]
+        lines.append(f"task attempts: {', '.join(parts)}")
         lines.append("")
     if rep.counters:
         lines.append("counters")

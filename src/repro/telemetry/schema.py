@@ -31,7 +31,14 @@ __all__ = [
 #: lifecycle (listen/connect/join), per-message wire accounting
 #: (assign/result with byte counts), heartbeat round-trips, and losses,
 #: so a networked run's log is as auditable as a simulated one.
-SCHEMA_VERSION = 3
+#: v4: the ``obs`` trace model — a ``run`` root span owned by whoever
+#: drives the run, one ``obs.flight`` span per dispatched assignment
+#: (master-side, dispatch -> accept/loss) that worker-side ``task`` spans
+#: parent under, and ``obs.clock`` per-worker skew estimates so remote
+#: timestamps can be folded onto the master's time axis.  With v4 a
+#: merged master+worker event stream forms one connected trace: every
+#: span's parent resolves (:func:`repro.obs.find_orphan_spans`).
+SCHEMA_VERSION = 4
 
 #: Ray-kind attr keys shared by ``frame`` and ``run.end``.
 RAY_KEYS = ("rays_camera", "rays_reflected", "rays_refracted", "rays_shadow", "rays_total")
@@ -70,6 +77,10 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "net.result": frozenset({"worker", "seq", "nbytes", "compressed", "duration"}),
     "net.pong": frozenset({"worker", "rtt"}),
     "net.worker.lost": frozenset({"worker", "reason", "seq"}),
+    # -- distributed tracing (repro.obs) -----------------------------------
+    "run": frozenset({"engine"}),
+    "obs.flight": frozenset({"worker", "seq", "attempt", "outcome"}),
+    "obs.clock": frozenset({"worker", "offset", "rtt"}),
 }
 
 #: The run-shape every engine must cover for two logs to be comparable.

@@ -10,9 +10,15 @@ non-zero if anything the network layer promises drifts:
   swallowed or the run finished without it),
 * the recovered output is not bit-identical to the serial single-renderer
   reference (golden-image equality),
-* the telemetry log violates the pinned schema, or
+* the telemetry log violates the pinned schema,
+* the merged master+worker trace has orphan spans, or
 * the ``net.*`` events (listen / join / assign / result / worker.lost)
   are missing from the log.
+
+A second phase starts ``repro farm --transport tcp --status-port N`` as
+a subprocess, polls the live JSON endpoint while the run is in flight,
+and fails if no mid-run snapshot is served, if the run writes anything
+to stderr, or if its event log has orphan spans.
 
 Usage::
 
@@ -22,13 +28,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
+import socket
+import subprocess
 import sys
+import tempfile
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.api import RenderRequest, render  # noqa: E402
-from repro.telemetry import SchemaError, validate_events  # noqa: E402
+from repro.obs import fetch_status, find_orphan_spans  # noqa: E402
+from repro.telemetry import SchemaError, read_events, validate_events  # noqa: E402
 
 REQUIRED_NET_EVENTS = {
     "net.listen",
@@ -37,6 +49,80 @@ REQUIRED_NET_EVENTS = {
     "net.result",
     "net.worker.lost",
 }
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def live_status_drill(args) -> int:
+    """Phase 2: a real ``repro farm --status-port`` run, polled live."""
+    port = _free_port()
+    with tempfile.TemporaryDirectory(prefix="net_smoke_") as tmp:
+        run_dir = Path(tmp)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "farm", "newton",
+                "--transport", "tcp", "--workers", "2",
+                "--frames", str(args.frames),
+                "--width", str(args.width), "--height", str(args.height),
+                "--grid", "12",
+                "--status-port", str(port),
+                "--telemetry", str(run_dir),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")
+                + os.pathsep
+                + os.environ.get("PYTHONPATH", ""),
+            },
+        )
+        snapshots = []
+        deadline = time.time() + 120.0
+        while proc.poll() is None and time.time() < deadline:
+            try:
+                snap = fetch_status(f"127.0.0.1:{port}", timeout=1.0)
+                if snap.get("n_events", 0) > 0 and not snap.get("done"):
+                    snapshots.append(snap)
+            except OSError:
+                pass
+            time.sleep(0.2)
+        try:
+            stdout, stderr = proc.communicate(timeout=120.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            print("FAIL: --status-port farm run hung")
+            return 1
+
+        if proc.returncode != 0:
+            print(f"FAIL: --status-port farm run exited {proc.returncode}")
+            sys.stdout.buffer.write(stdout + stderr)
+            return 1
+        if stderr:
+            print(f"FAIL: farm run wrote {len(stderr)} bytes to stderr:")
+            sys.stdout.buffer.write(stderr)
+            return 1
+        if not snapshots:
+            print("FAIL: status endpoint never served a mid-run snapshot")
+            return 1
+        events = read_events(run_dir)
+        orphans = find_orphan_spans(events)
+        if orphans:
+            print(f"FAIL: {len(orphans)} orphan spans in the live-run trace")
+            return 1
+        last = snapshots[-1]
+        print("OK: live status endpoint served the run")
+        print(
+            f"  {len(snapshots)} mid-run snapshots; last: "
+            f"{last.get('tasks_done', 0)} tasks, {last.get('n_events', 0)} events, "
+            f"{len(last.get('workers', []))} workers"
+        )
+        print(f"  {len(events)} events on disk, 0 orphan spans, stderr clean")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,13 +169,21 @@ def main(argv: list[str] | None = None) -> int:
     if "recovery" not in names:
         print("FAIL: no recovery event emitted for the killed worker")
         return 1
+    orphans = find_orphan_spans(result.events)
+    if orphans:
+        print(f"FAIL: {len(orphans)} orphan spans in the merged kill-drill trace")
+        return 1
+    if len({e.get("run") for e in result.events if e.get("run")}) != 1:
+        print("FAIL: kill-drill events are not stamped with a single run id")
+        return 1
 
     losses = [e for e in result.events if e["name"] == "net.worker.lost"]
     print("OK: loopback TCP farm recovered from an injected worker kill")
     print(f"  crashes={result.recovery['crashes']} retries={result.recovery['retries']}")
     print(f"  losses={[(e['attrs']['worker'], e['attrs']['reason']) for e in losses]}")
-    print("  output bit-identical to serial reference")
-    return 0
+    print("  output bit-identical to serial reference; trace has 0 orphan spans")
+
+    return live_status_drill(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI lint for Chrome trace-event JSON emitted into benchmarks/results/.
+
+The benchmarks (and ``--trace-out``) promise Perfetto-loadable traces:
+this validates every ``*.trace.json`` / ``trace_*.json`` under the given
+paths without needing a browser.  Checks, per file:
+
+* top-level shape: ``traceEvents`` list + ``displayTimeUnit``;
+* every event has ``name``/``ph``/``pid``, and non-metadata events a
+  numeric non-negative ``ts``;
+* complete events (``ph: "X"``) have a non-negative ``dur``;
+* every ``tid`` referenced by a span/instant has a ``thread_name``
+  metadata record (the one-track-per-worker-lane contract);
+* counter samples (``ph: "C"``) carry a numeric ``args.value``.
+
+Usage::
+
+    python tools/trace_lint.py benchmarks/results [more paths...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GLOBS = ("*.trace.json", "trace_*.json")
+
+
+def find_traces(paths: list[Path]) -> list[Path]:
+    out: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            for pattern in GLOBS:
+                out.extend(sorted(p.rglob(pattern)))
+        elif p.exists():
+            out.append(p)
+        else:
+            raise FileNotFoundError(p)
+    # dedup while keeping order (a file can match both globs)
+    seen: set[Path] = set()
+    return [p for p in out if not (p in seen or seen.add(p))]
+
+
+def lint_trace(path: Path) -> list[str]:
+    """Return a list of problems (empty = clean)."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable JSON: {exc}"]
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["no traceEvents list"]
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        problems.append(f"bad displayTimeUnit {doc.get('displayTimeUnit')!r}")
+    named_tids = set()
+    used_tids = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not ev.get("name"):
+            problems.append(f"{where}: missing name")
+        if "pid" not in ev:
+            problems.append(f"{where}: missing pid")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_tids.add(ev.get("tid"))
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: span with bad dur {dur!r}")
+            used_tids.add(ev.get("tid"))
+        elif ph == "i":
+            used_tids.add(ev.get("tid"))
+        elif ph == "C":
+            value = (ev.get("args") or {}).get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(f"{where}: counter without numeric args.value")
+        else:
+            problems.append(f"{where}: unexpected ph {ph!r}")
+    unnamed = used_tids - named_tids
+    if unnamed:
+        problems.append(f"tids without thread_name metadata: {sorted(map(str, unnamed))}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="+", type=Path,
+                    help="trace files or directories to scan")
+    args = ap.parse_args(argv)
+
+    traces = find_traces(args.paths)
+    if not traces:
+        print(f"FAIL: no trace JSON found under {[str(p) for p in args.paths]}")
+        return 1
+    bad = 0
+    for path in traces:
+        problems = lint_trace(path)
+        if problems:
+            bad += 1
+            print(f"FAIL: {path}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            n = len(json.loads(path.read_text())["traceEvents"])
+            print(f"ok: {path} ({n} trace events)")
+    if bad:
+        print(f"{bad}/{len(traces)} trace files failed lint")
+        return 1
+    print(f"all {len(traces)} trace files lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
