@@ -37,10 +37,32 @@ import numpy as np
 
 from .render import RayStats
 from .scene import Animation
+from .service.client import (  # noqa: F401 (re-exported client surface)
+    ServiceError,
+    cancel,
+    job_status,
+    list_jobs,
+    submit,
+    wait,
+)
 from .telemetry import NULL as NULL_TELEMETRY
 from .telemetry import InMemorySink, JsonlSink, Telemetry
 
-__all__ = ["RenderRequest", "RenderResult", "render", "ENGINES", "SIM_STRATEGIES"]
+__all__ = [
+    "RenderRequest",
+    "RenderResult",
+    "render",
+    "ENGINES",
+    "SIM_STRATEGIES",
+    # render-service client surface (thin re-exports of repro.service.client;
+    # `render` runs one request here, `submit`/`wait` hand it to a daemon)
+    "ServiceError",
+    "submit",
+    "job_status",
+    "list_jobs",
+    "cancel",
+    "wait",
+]
 
 ENGINES = ("animation", "farm", "simulate")
 

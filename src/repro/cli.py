@@ -11,6 +11,9 @@
     python -m repro top 127.0.0.1:8123
     python -m repro simulate newton --strategy frame-division-fc
     python -m repro telemetry run/
+    python -m repro serve --state-dir svc/ --port 7601
+    python -m repro submit --connect 127.0.0.1:7601 newton --frames 8 --wait
+    python -m repro jobs --connect 127.0.0.1:7601
 
 The subcommands mirror the workflow of the paper's system: render scene
 descriptions, render animations with frame coherence, check the algorithm's
@@ -179,6 +182,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_top.add_argument(
         "--once", action="store_true", help="print one snapshot and exit"
+    )
+    p_top.add_argument(
+        "--jobs", action="store_true",
+        help="watch a render service's job table (/jobs) instead of the farm view",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the persistent multi-job render service daemon"
+    )
+    p_serve.add_argument(
+        "--state-dir", type=Path, required=True, metavar="DIR",
+        help="home of the job ledger, per-job checkpoint spools, and frames",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="control socket port (default: pick a free one; see service.json)",
+    )
+    p_serve.add_argument(
+        "--resume", action="store_true",
+        help="replay the ledger in --state-dir and continue every unfinished job",
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=int, default=16,
+        help="admission bound: beyond this, the lowest-priority job is shed",
+    )
+    p_serve.add_argument("--workers", type=int, default=2, help="farm workers per job")
+    p_serve.add_argument(
+        "--executor", choices=("process", "thread", "serial"), default="process"
+    )
+    p_serve.add_argument(
+        "--status-port", type=int, default=None, metavar="PORT",
+        help="serve live JSON status (/status, /jobs) on 127.0.0.1:PORT",
+    )
+    p_serve.add_argument("--verbose", action="store_true", help="log to stdout")
+
+    p_submit = sub.add_parser("submit", help="submit a render job to a running service")
+    p_submit.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the service's control socket (printed by repro serve)",
+    )
+    p_submit.add_argument("workload", choices=_WORKLOADS)
+    _add_size_args(p_submit)
+    p_submit.add_argument("--priority", type=int, default=0, help="higher = more urgent")
+    p_submit.add_argument("--owner", default="", help="who to bill the job to")
+    p_submit.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="service attempts before the job is dead-lettered",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true", help="block until the job reaches a terminal state"
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SEC",
+        help="deadline for --wait (default 600s)",
+    )
+
+    p_jobs = sub.add_parser("jobs", help="list, inspect, or cancel service jobs")
+    p_jobs.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the service's control socket",
+    )
+    p_jobs.add_argument("--job", default=None, metavar="ID", help="show one job")
+    p_jobs.add_argument(
+        "--cancel", default=None, metavar="ID", help="cancel a queued job"
     )
 
     p_tel = sub.add_parser(
@@ -416,16 +484,17 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_top(args) -> int:
-    from .obs import fetch_status, render_status
+    from .obs import fetch_status, render_jobs, render_status
 
+    path = "/jobs" if args.jobs else "/status"
     try:
         while True:
             try:
-                snap = fetch_status(args.address)
+                snap = fetch_status(args.address, path=path)
             except (OSError, ValueError):
                 print(f"no farm status at {args.address} (run finished, or no --status-port?)")
                 return 1
-            frame = render_status(snap)
+            frame = render_jobs(snap) if args.jobs else render_status(snap)
             if args.once:
                 print(frame)
                 return 0
@@ -438,6 +507,102 @@ def _cmd_top(args) -> int:
     except KeyboardInterrupt:
         print()
         return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import RenderService
+
+    service = RenderService(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        resume=args.resume,
+        queue_capacity=args.queue_capacity,
+        n_workers=args.workers,
+        executor=args.executor,
+        status_port=args.status_port,
+        verbose=args.verbose,
+    )
+    host, port = service.start()
+    print(f"repro service on {host}:{port} (state in {args.state_dir})")
+    print(f"submit with: repro submit --connect {host}:{port} newton")
+    if args.status_port is not None:
+        print(
+            f"live jobs on http://127.0.0.1:{service._status_server.port}/jobs "
+            f"(watch with: repro top 127.0.0.1:{service._status_server.port} --jobs)"
+        )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (ledger is durable; restart with --resume)")
+    finally:
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceError, submit, wait
+
+    spec = {
+        "workload": args.workload,
+        "n_frames": args.frames,
+        "width": args.width,
+        "height": args.height,
+        "grid_resolution": args.grid,
+    }
+    try:
+        job = submit(
+            args.connect,
+            spec,
+            priority=args.priority,
+            owner=args.owner,
+            max_attempts=args.max_attempts,
+        )
+    except (OSError, ServiceError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"submitted {job['job_id']} (priority {job['priority']}, state {job['state']})")
+    if not args.wait:
+        return 0
+    try:
+        done = wait(args.connect, job["job_id"], timeout=args.timeout)
+    except TimeoutError as exc:
+        print(f"wait: {exc}", file=sys.stderr)
+        return 1
+    final = done[job["job_id"]]
+    print(f"{final['job_id']}: {final['state']} ({final.get('detail', '')})")
+    return 0 if final["state"] == "done" else 1
+
+
+def _cmd_jobs(args) -> int:
+    from .obs import render_jobs
+    from .service import ServiceError, cancel, job_status, list_jobs
+
+    try:
+        if args.cancel is not None:
+            job = cancel(args.connect, args.cancel)
+            print(f"{job['job_id']}: {job['state']}")
+            return 0
+        if args.job is not None:
+            job = job_status(args.connect, args.job)
+            for key in (
+                "job_id", "state", "detail", "priority", "owner",
+                "n_attempts", "max_attempts", "tasks_done", "n_tasks",
+                "n_from_checkpoint",
+            ):
+                print(f"{key:18s} {job.get(key)}")
+            for attempt in job.get("attempts", []):
+                print(
+                    f"  attempt {attempt['attempt']}: {attempt['outcome']} "
+                    f"in {attempt['duration']:.2f}s "
+                    + (f"({attempt['error']})" if attempt.get("error") else "")
+                )
+            return 0
+        print(render_jobs(list_jobs(args.connect)))
+        return 0
+    except (OSError, ServiceError) as exc:
+        print(f"jobs: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_telemetry(args) -> int:
@@ -480,6 +645,9 @@ def main(argv: list[str] | None = None) -> int:
         "oracle": _cmd_oracle,
         "worker": _cmd_worker,
         "top": _cmd_top,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
     }
     return handlers[args.command](args)
 

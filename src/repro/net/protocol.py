@@ -38,7 +38,16 @@ PONG        w -> m     {t, tw}  (t echoes the ping; tw is the worker's
                        clock at the reply — rtt and skew for the master)
 ERROR       w -> m     {seq, error, events}
 SHUTDOWN    m -> w     {}
+JOB_SUBMIT  c -> s     {spec, priority, owner, max_attempts}
+JOB_STATUS  c <-> s    request {job} / reply {ok, job | jobs, service, error}
+JOB_CANCEL  c -> s     {job}
 ==========  =========  ====================================================
+
+The ``JOB_*`` types are the **control plane** of the persistent render
+service (:mod:`repro.service`): clients (``c``) speak them to a
+``repro serve`` daemon (``s``) on its control port, over the same framed
+codec the workers use.  The service always answers with a JOB_STATUS
+frame, so a client needs exactly one request/reply exchange per call.
 
 Versioning: the frame header's ``version`` byte is the *framing* major —
 a mismatch there is a different wire language and fails at the first
@@ -68,6 +77,9 @@ __all__ = [
     "MSG_PONG",
     "MSG_ERROR",
     "MSG_SHUTDOWN",
+    "MSG_JOB_SUBMIT",
+    "MSG_JOB_STATUS",
+    "MSG_JOB_CANCEL",
     "MSG_NAMES",
     "ProtocolError",
     "encode",
@@ -81,7 +93,10 @@ __all__ = [
 PROTO_VERSION = 1
 #: Vocabulary revision negotiated at HELLO (see the module doc).  Minor 1:
 #: PONG carries ``tw`` and task args carry the repro.obs trace context.
-PROTO_MINOR = 1
+#: Minor 2: the JOB_SUBMIT/JOB_STATUS/JOB_CANCEL control-plane types for
+#: the persistent render service (workers are unaffected, but both sides
+#: of a farm must agree on the full message-type table).
+PROTO_MINOR = 2
 MAGIC = b"RNW1"
 
 MSG_HELLO = 1
@@ -92,6 +107,9 @@ MSG_PING = 5
 MSG_PONG = 6
 MSG_ERROR = 7
 MSG_SHUTDOWN = 8
+MSG_JOB_SUBMIT = 9
+MSG_JOB_STATUS = 10
+MSG_JOB_CANCEL = 11
 
 MSG_NAMES = {
     MSG_HELLO: "hello",
@@ -102,6 +120,9 @@ MSG_NAMES = {
     MSG_PONG: "pong",
     MSG_ERROR: "error",
     MSG_SHUTDOWN: "shutdown",
+    MSG_JOB_SUBMIT: "job_submit",
+    MSG_JOB_STATUS: "job_status",
+    MSG_JOB_CANCEL: "job_cancel",
 }
 
 _HEADER = struct.Struct("!4sBBHI")

@@ -28,9 +28,11 @@ from __future__ import annotations
 import argparse
 import os
 import queue
+import random
 import socket
 import threading
 import time
+import zlib
 
 import numpy as np
 
@@ -130,9 +132,21 @@ class WorkerClient:
 
     # -- connection ------------------------------------------------------------
     def backoff_delays(self):
-        """The reconnect schedule: capped exponential, ``max_retries`` long."""
+        """The reconnect schedule: capped exponential with deterministic
+        per-worker jitter, ``max_retries`` long.
+
+        When a master restarts, every surviving daemon notices the dropped
+        connection at the same instant; a bare exponential would march
+        them all back in lockstep — a thundering herd hammering the fresh
+        listener on every rung of the schedule.  Each delay is therefore
+        scaled by a jitter factor in ``[0.5, 1.5)`` drawn from a PRNG
+        seeded by the worker's label, so the herd spreads out while any
+        one worker's schedule stays exactly reproducible (the property the
+        reconnect tests pin)."""
+        rng = random.Random(zlib.crc32(self.label.encode("utf-8")))
         for attempt in range(self.max_retries):
-            yield min(self.backoff_cap, self.backoff_base * (2.0**attempt))
+            jitter = 0.5 + rng.random()
+            yield min(self.backoff_cap, self.backoff_base * (2.0**attempt) * jitter)
 
     def _connect(self) -> socket.socket | None:
         """Dial the master, retrying with backoff; None when out of retries."""

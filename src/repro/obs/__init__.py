@@ -35,7 +35,7 @@ from .analysis import (
 )
 from .chrometrace import chrome_trace, write_chrome_trace
 from .ledger import RunLedger
-from .live import StatusServer, fetch_status, render_status
+from .live import StatusServer, fetch_status, render_jobs, render_status
 from .trace import (
     FLIGHT_PREFIX,
     TraceContext,
@@ -59,6 +59,7 @@ __all__ = [
     "flight_span_id",
     "format_utilization",
     "new_run_id",
+    "render_jobs",
     "render_status",
     "utilization_report",
     "worker_session",

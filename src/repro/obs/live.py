@@ -18,34 +18,56 @@ import threading
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-__all__ = ["StatusServer", "fetch_status", "render_status"]
+__all__ = ["StatusServer", "fetch_status", "render_status", "render_jobs"]
 
 
 class StatusServer:
-    """Read-only JSON status endpoint over a ledger (daemon thread)."""
+    """Read-only JSON status endpoint over a ledger (daemon thread).
 
-    def __init__(self, ledger, host: str = "127.0.0.1", port: int = 0):
+    ``ledger`` is anything with a ``snapshot() -> dict`` (a
+    :class:`~repro.obs.ledger.RunLedger`, or the render service itself);
+    it backs ``/`` and ``/status``.  Extra ``routes`` map a path to
+    another zero-arg snapshot callable — the render service mounts its
+    job table at ``/jobs`` this way.  Every response, including errors,
+    is JSON: a poller never has to parse stdlib HTML error pages.
+    """
+
+    def __init__(self, ledger, host: str = "127.0.0.1", port: int = 0, routes=None):
         self.ledger = ledger
         self.host = host
         self.port = int(port)
+        self.routes = {"/": ledger.snapshot, "/status": ledger.snapshot}
+        if routes:
+            self.routes.update(routes)
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
     def start(self) -> int:
         """Bind and serve in the background; returns the bound port."""
-        ledger = self.ledger
+        routes = self.routes
 
         class Handler(BaseHTTPRequestHandler):
-            def do_GET(self):  # noqa: N802 (http.server API)
-                if self.path.split("?", 1)[0] not in ("/", "/status"):
-                    self.send_error(404, "unknown path (try /status)")
-                    return
-                body = json.dumps(ledger.snapshot()).encode()
-                self.send_response(200)
+            def _reply(self, code: int, payload: dict) -> None:
+                body = json.dumps(payload).encode()
+                self.send_response(code)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
+
+            def do_GET(self):  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                snapshot = routes.get(path)
+                if snapshot is None:
+                    self._reply(
+                        404,
+                        {
+                            "error": f"unknown path {path!r}",
+                            "paths": sorted(routes),
+                        },
+                    )
+                    return
+                self._reply(200, snapshot())
 
             def log_message(self, *args):  # keep the master's stderr clean
                 pass
@@ -76,9 +98,13 @@ class StatusServer:
         self.stop()
 
 
-def fetch_status(addr: str, timeout: float = 2.0) -> dict:
-    """GET the snapshot from ``host:port`` (or a full http URL)."""
-    url = addr if addr.startswith("http") else f"http://{addr}/status"
+def fetch_status(addr: str, timeout: float = 2.0, path: str = "/status") -> dict:
+    """GET a snapshot from ``host:port`` (or a full http URL).
+
+    ``path`` picks the endpoint — ``/status`` for the farm view,
+    ``/jobs`` for the render service's job table.
+    """
+    url = addr if addr.startswith("http") else f"http://{addr}{path}"
     with urllib.request.urlopen(url, timeout=timeout) as resp:  # noqa: S310
         return json.loads(resp.read().decode())
 
@@ -129,4 +155,25 @@ def render_status(snap: dict) -> str:
     losses = snap.get("losses") or []
     for loss in losses:
         lines.append(f"  lost: {loss['worker']} ({loss['reason']})")
+    return "\n".join(lines)
+
+
+def render_jobs(snap: dict) -> str:
+    """One terminal frame of the `repro top --jobs` view (the render
+    service's ``/jobs`` snapshot)."""
+    states = snap.get("states") or {}
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(states.items())) or "no jobs"
+    lines = [
+        "repro service — jobs [" + summary + "]",
+        f"  {'job':<7} {'state':<12} {'prio':>4} {'att':>3} {'tasks':>9} "
+        f"{'owner':<10} detail",
+    ]
+    for job in snap.get("jobs", []):
+        tasks = f"{job.get('tasks_done', 0)}/{job.get('n_tasks', 0) or '?'}"
+        lines.append(
+            f"  {job.get('job_id', '?'):<7} {job.get('state', '?'):<12} "
+            f"{job.get('priority', 0):>4} {job.get('n_attempts', 0):>3} "
+            f"{tasks:>9} {(job.get('owner') or '-'):<10} "
+            f"{job.get('detail', '')}"
+        )
     return "\n".join(lines)

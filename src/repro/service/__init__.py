@@ -1,0 +1,45 @@
+"""repro.service — the persistent multi-job render service.
+
+Three layers, smallest first:
+
+* :mod:`~repro.service.ledger` — the crash-safe write-ahead JobLedger
+  (CRC-framed fsync'd journal, torn-tail-tolerant replay, the job fold);
+* :mod:`~repro.service.queue` — bounded priority admission with explicit
+  shedding;
+* :mod:`~repro.service.daemon` — :class:`RenderService`, the
+  ``repro serve`` daemon tying ledger + queue + farm together behind an
+  RNW1 control socket;
+* :mod:`~repro.service.client` — ``submit``/``wait``/``job_status``/
+  ``cancel`` RPC helpers (re-exported from :mod:`repro.api`).
+
+See DESIGN §13 for the state machine and the restart-recovery sequence.
+"""
+
+from .client import ServiceError, cancel, job_status, list_jobs, submit, wait
+from .daemon import RenderService
+from .ledger import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobLedger,
+    fold_jobs,
+    replay_records,
+)
+from .queue import JobQueue
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobLedger",
+    "JobQueue",
+    "RenderService",
+    "ServiceError",
+    "cancel",
+    "fold_jobs",
+    "job_status",
+    "list_jobs",
+    "replay_records",
+    "submit",
+    "wait",
+]

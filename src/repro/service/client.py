@@ -1,0 +1,147 @@
+"""Client half of the render service: submit, poll, wait, cancel.
+
+Small synchronous RPCs over the same RNW1 framing the workers speak —
+one connection per call, one ``JOB_*`` frame out, one ``JOB_STATUS``
+frame back.  The service is the single writer of job state; these
+helpers never hold state of their own, so a client crashing or retrying
+is always safe.
+
+These are what ``repro submit`` / ``repro jobs`` wrap, and they are
+re-exported from :mod:`repro.api` as the programmatic surface::
+
+    from repro.api import submit, wait
+
+    job = submit("127.0.0.1:7601", {"workload": "newton", "n_frames": 8})
+    done = wait("127.0.0.1:7601", [job["job_id"]])
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..net import protocol as wire
+
+__all__ = ["ServiceError", "submit", "job_status", "list_jobs", "cancel", "wait"]
+
+#: Job states the service never leaves (mirrors repro.service.ledger).
+_TERMINAL = frozenset({"done", "dead-letter", "rejected", "cancelled"})
+
+
+class ServiceError(RuntimeError):
+    """The service answered ``ok: False`` (or not at all)."""
+
+
+def _parse_addr(addr: str) -> tuple[str, int]:
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"service address wants HOST:PORT, got {addr!r}")
+    return host, int(port)
+
+
+def _rpc(addr: str, msg_type: int, payload: dict, timeout: float = 10.0) -> dict:
+    host, port = _parse_addr(addr)
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        wire.send_frame(sock, msg_type, payload)
+        got = wire.recv_frame(sock)
+    if got is None:
+        raise ServiceError(f"service at {addr} closed the connection without replying")
+    msg, reply = got
+    if msg != wire.MSG_JOB_STATUS or not isinstance(reply, dict):
+        raise ServiceError(
+            f"unexpected reply {wire.MSG_NAMES.get(msg, msg)!r} from {addr}"
+        )
+    return reply
+
+
+def submit(
+    addr: str,
+    spec: dict,
+    *,
+    priority: int = 0,
+    owner: str = "",
+    max_attempts: int = 3,
+    timeout: float = 10.0,
+) -> dict:
+    """Submit a render spec; returns the admitted job's status dict.
+
+    Raises :class:`ServiceError` when admission control rejects the job
+    (queue full of higher-priority work) — an explicit refusal, never a
+    silent drop.
+    """
+    reply = _rpc(
+        addr,
+        wire.MSG_JOB_SUBMIT,
+        {
+            "spec": dict(spec),
+            "priority": int(priority),
+            "owner": str(owner),
+            "max_attempts": int(max_attempts),
+        },
+        timeout=timeout,
+    )
+    if not reply.get("ok"):
+        raise ServiceError(reply.get("error") or "submit failed")
+    return reply["job"]
+
+
+def job_status(addr: str, job_id: str, *, timeout: float = 10.0) -> dict:
+    """One job's status dict; raises :class:`ServiceError` if unknown."""
+    reply = _rpc(addr, wire.MSG_JOB_STATUS, {"job": job_id}, timeout=timeout)
+    if not reply.get("ok"):
+        raise ServiceError(reply.get("error") or f"no status for {job_id!r}")
+    return reply["job"]
+
+
+def list_jobs(addr: str, *, timeout: float = 10.0) -> dict:
+    """The full service snapshot (``jobs`` list plus summary)."""
+    reply = _rpc(addr, wire.MSG_JOB_STATUS, {}, timeout=timeout)
+    if not reply.get("ok"):
+        raise ServiceError(reply.get("error") or "status failed")
+    return reply["service"]
+
+
+def cancel(addr: str, job_id: str, *, timeout: float = 10.0) -> dict:
+    """Cancel a queued job; raises :class:`ServiceError` otherwise."""
+    reply = _rpc(addr, wire.MSG_JOB_CANCEL, {"job": job_id}, timeout=timeout)
+    if not reply.get("ok"):
+        raise ServiceError(reply.get("error") or f"cancel of {job_id!r} failed")
+    return reply["job"]
+
+
+def wait(
+    addr: str,
+    job_ids,
+    *,
+    timeout: float = 300.0,
+    poll: float = 0.25,
+) -> dict[str, dict]:
+    """Block until every job reaches a terminal state; returns id -> status.
+
+    Polls ``JOB_STATUS`` (the service stays single-writer); raises
+    :class:`TimeoutError` with the stragglers listed when the deadline
+    passes.  A service restart mid-wait is survived by construction —
+    each poll is a fresh connection.
+    """
+    if isinstance(job_ids, str):
+        job_ids = [job_ids]
+    pending = {str(j) for j in job_ids}
+    done: dict[str, dict] = {}
+    deadline = time.monotonic() + timeout
+    while pending:
+        for job_id in sorted(pending):
+            try:
+                status = job_status(addr, job_id)
+            except (OSError, ServiceError):
+                continue  # service restarting, or job not replayed yet
+            if status.get("state") in _TERMINAL:
+                done[job_id] = status
+        pending -= set(done)
+        if pending and time.monotonic() > deadline:
+            raise TimeoutError(
+                f"jobs still not terminal after {timeout}s: {sorted(pending)}"
+            )
+        if pending:
+            time.sleep(poll)
+    return done

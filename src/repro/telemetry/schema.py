@@ -38,7 +38,12 @@ __all__ = [
 #: timestamps can be folded onto the master's time axis.  With v4 a
 #: merged master+worker event stream forms one connected trace: every
 #: span's parent resolves (:func:`repro.obs.find_orphan_spans`).
-SCHEMA_VERSION = 4
+#: v5: the ``job.*`` family — the persistent render service narrates its
+#: job lifecycle (submit, state transitions through the
+#: queued/running/done/dead-letter/rejected machine, per-attempt
+#: outcomes), mirroring on the service level what ``task.attempt`` /
+#: ``recovery`` record on the task level.
+SCHEMA_VERSION = 5
 
 #: Ray-kind attr keys shared by ``frame`` and ``run.end``.
 RAY_KEYS = ("rays_camera", "rays_reflected", "rays_refracted", "rays_shadow", "rays_total")
@@ -81,6 +86,10 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "run": frozenset({"engine"}),
     "obs.flight": frozenset({"worker", "seq", "attempt", "outcome"}),
     "obs.clock": frozenset({"worker", "offset", "rtt"}),
+    # -- persistent render service (repro.service) --------------------------
+    "job.submit": frozenset({"job", "workload", "priority", "owner", "n_frames"}),
+    "job.state": frozenset({"job", "state", "detail"}),
+    "job.attempt": frozenset({"job", "attempt", "outcome", "duration", "error"}),
 }
 
 #: The run-shape every engine must cover for two logs to be comparable.

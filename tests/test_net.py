@@ -221,6 +221,26 @@ def test_task_error_reconnect_then_max_attempts():
     assert transport.master.net.n_losses >= 2
 
 
+def test_backoff_jitter_is_deterministic_per_worker():
+    """Reconnect schedules are seeded by the worker label: the same worker
+    always walks the same delays (reproducible drills), different workers
+    walk different ones (no thundering herd after a master restart)."""
+    mk = lambda label: WorkerClient(  # noqa: E731
+        "127.0.0.1", 1, score=1.0, label=label,
+        backoff_base=0.2, backoff_cap=3.0, max_retries=10,
+    )
+    a1 = list(mk("ws-a:1").backoff_delays())
+    a2 = list(mk("ws-a:1").backoff_delays())
+    b = list(mk("ws-b:1").backoff_delays())
+    assert a1 == a2            # same label -> identical schedule
+    assert a1 != b             # different labels spread out
+    assert len(a1) == 10
+    assert all(0.0 < d <= 3.0 for d in a1 + b)  # jitter never breaks the cap
+    # The jittered schedule still grows (roughly) exponentially at the start.
+    assert a1[0] < 0.2 * 1.5 + 1e-9
+    assert all(d == 3.0 or d > a1[0] for d in a1[2:])
+
+
 def test_worker_connects_before_master_listens():
     """The daemon's backoff loop covers the worker-starts-first race."""
     probe = socket.socket()
