@@ -1,0 +1,104 @@
+"""What tile streaming buys: first pixels sooner, smaller messages.
+
+Whole-subarea shipping holds every pixel of an assignment hostage until
+the last frame of the chain finishes; the distributed framebuffer
+(`repro.dfb`) streams MSG_TILE frames as each frame completes, so the
+master (and the `/preview` endpoint) sees pixels while the chain is
+still rendering.  This benchmark renders the same Newton chain twice
+over the TCP transport — tiles on, tiles off — and gates on the two
+acceptance metrics:
+
+* **time-to-first-tile** must be < 0.5x the time-to-first-whole-RESULT
+  of the untiled run (same spec, same wire, same daemon startup), and
+* the **largest single message payload** on the tiled wire must be at
+  least 4x smaller than the untiled RESULT that ships the subarea.
+
+Both runs must stay bit-identical to each other (the compositor is an
+assembly strategy, not a different renderer).  Emits ``BENCH_tiles.json``
+and ``tiles.txt``.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.runtime import AnimationSpec, LocalRenderFarm
+from repro.telemetry import InMemorySink, Telemetry, metrics_from_events, write_bench_json
+
+#: One long chain on one worker: the untiled RESULT can only arrive after
+#: the full sequence renders, while the first tile lands after frame 0.
+KW = dict(n_frames=12, width=160, height=120)
+GRID = 12
+TILE_PX = 16
+
+
+def _run(tile_px: int | None):
+    sink = InMemorySink()
+    tel = Telemetry(sinks=(sink,))
+    farm = LocalRenderFarm(
+        AnimationSpec.newton(**KW),
+        n_workers=1,
+        schedule="adaptive",
+        transport="tcp",
+        grid_resolution=GRID,
+        segment_frames=KW["n_frames"],
+        tile_px=tile_px,
+        telemetry=tel,
+    )
+    out = farm.render()
+    tel.close()
+    return out, sink.events
+
+
+def test_tile_streaming_latency_and_payload(results_dir):
+    tiled, tiled_events = _run(TILE_PX)
+    whole, _ = _run(0)
+    assert tiled.streamed and not whole.streamed
+    assert tiled.frames.tobytes() == whole.frames.tobytes()
+
+    t_first_tile = tiled.net.t_first_tile
+    t_whole_result = whole.net.t_first_result
+    assert t_first_tile is not None and t_whole_result is not None
+    # Acceptance gate 1: pixels reach the master in well under half the
+    # time whole-subarea shipping needs to produce its first RESULT.
+    assert t_first_tile < 0.5 * t_whole_result, (t_first_tile, t_whole_result)
+
+    # Acceptance gate 2: the tiled wire never carries a message anywhere
+    # near the monolithic RESULT.  Compare as-shipped (compressed) bytes,
+    # across *every* message kind the tiled run produced.
+    tiled_max = max(tiled.net.max_msg_bytes.values())
+    whole_result = whole.net.max_msg_bytes["result"]
+    assert whole_result >= 4 * tiled_max, (whole_result, tiled.net.max_msg_bytes)
+
+    metrics = metrics_from_events(tiled_events)
+    write_bench_json(
+        results_dir,
+        "tiles",
+        metrics,
+        extra={
+            "t_first_tile": t_first_tile,
+            "t_first_result_tiled": tiled.net.t_first_result,
+            "t_first_result_whole": t_whole_result,
+            "first_pixel_speedup": t_whole_result / t_first_tile,
+            "n_tiles": tiled.net.n_tiles,
+            "tile_bytes": tiled.net.tile_bytes,
+            "max_msg_bytes_tiled": dict(tiled.net.max_msg_bytes),
+            "max_msg_bytes_whole": dict(whole.net.max_msg_bytes),
+            "payload_shrink": whole_result / tiled_max,
+            "tile_px": TILE_PX,
+        },
+    )
+
+    lines = [
+        "tile streaming vs whole-subarea shipping (newton "
+        f"{KW['n_frames']}f @ {KW['width']}x{KW['height']}, one 1-worker chain)",
+        f"  time to first tile      {t_first_tile:.3f} s",
+        f"  time to first RESULT    {t_whole_result:.3f} s (untiled wire)",
+        f"  first-pixel speedup     {t_whole_result / t_first_tile:.1f}x",
+        f"  largest tiled message   {tiled_max:,} B",
+        f"  untiled RESULT payload  {whole_result:,} B "
+        f"({whole_result / tiled_max:.1f}x larger)",
+        f"  tiles streamed          {tiled.net.n_tiles} "
+        f"({tiled.net.tile_bytes:,} B total)",
+    ]
+    write_result(results_dir, "tiles.txt", "\n".join(lines))

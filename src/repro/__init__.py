@@ -40,7 +40,7 @@ the real farm, and the Table-1 simulators)::
 
 from .api import RenderRequest, RenderResult, render
 from .coherence import CoherentRenderer, ShadowCoherentRenderer, validate_sequence
-from .pipeline import AnimationRender, render_animation
+from .pipeline import AnimationRender
 from .geometry import Box, Cylinder, Disc, Plane, RayBatch, RayKind, Sphere, Triangle, TriangleMesh
 from .lighting import PointLight
 from .materials import Brick, Checker, Finish, Marble, Material, SolidColor
@@ -64,7 +64,6 @@ __all__ = [
     "Animation",
     "AnimationRender",
     "ShadowCoherentRenderer",
-    "render_animation",
     "Box",
     "Brick",
     "Camera",

@@ -51,6 +51,7 @@ from .telemetry import InMemorySink, JsonlSink, Telemetry
 __all__ = [
     "RenderRequest",
     "RenderResult",
+    "LazyFrames",
     "render",
     "ENGINES",
     "SIM_STRATEGIES",
@@ -103,7 +104,14 @@ class RenderRequest:
     samples_per_axis: int = 1
     shadow_coherence: bool = False
     chunk_size: int = 32768
+    #: Streaming progress callbacks, uniform across engines.  ``on_frame``
+    #: receives a :class:`repro.dfb.FrameEvent` per completed frame;
+    #: ``on_tile`` a :class:`repro.dfb.TileEvent` per composited tile.  A
+    #: TCP farm fires them live as wire tiles land; the animation engine
+    #: and the process-pool farm synthesize whole-frame events as frames
+    #: complete; the simulators emit pixel-less frame events (image None).
     on_frame: Callable | None = None
+    on_tile: Callable | None = None
 
     # farm (engine="farm")
     mode: str = "frame"
@@ -113,6 +121,7 @@ class RenderRequest:
     transport: str = "process"  # "process" pool, or "tcp" loopback network farm
     net_die_after: dict | None = None  # tcp fault drill: worker idx -> kill point
     segment_frames: int | None = None
+    tile_px: int | None = None  # tcp tile edge; None = default, 0 = whole-subarea wire
     max_attempts: int = 3
     task_timeout: float | None = None
     run_dir: str | Path | None = None
@@ -138,21 +147,88 @@ class RenderRequest:
     trace_out: str | Path | None = None  # write Chrome trace JSON here at run end
 
 
+class LazyFrames:
+    """Lazy ``(n, H, W, 3)`` accessor behind :attr:`RenderResult.frames`.
+
+    Wraps either a materialized array or a zero-arg thunk producing one;
+    the thunk runs at most once, on first pixel access.  The common
+    ndarray surface (``np.asarray``, ``shape``, indexing, iteration,
+    ``tobytes``) is forwarded so array-shaped callers keep working
+    without materializing explicitly.
+    """
+
+    __slots__ = ("_value", "_thunk")
+
+    def __init__(self, source):
+        if callable(source):
+            self._value = None
+            self._thunk = source
+        else:
+            self._value = np.asarray(source)
+            self._thunk = None
+
+    def materialize(self) -> np.ndarray:
+        if self._value is None:
+            self._value = np.asarray(self._thunk())
+            self._thunk = None
+        return self._value
+
+    def __array__(self, dtype=None, copy=None):
+        a = self.materialize()
+        if dtype is not None:
+            a = a.astype(dtype, copy=False)
+        if copy:
+            a = a.copy()
+        return a
+
+    @property
+    def shape(self):
+        return self.materialize().shape
+
+    @property
+    def dtype(self):
+        return self.materialize().dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.materialize().nbytes
+
+    def __len__(self) -> int:
+        return len(self.materialize())
+
+    def __getitem__(self, key):
+        return self.materialize()[key]
+
+    def __iter__(self):
+        return iter(self.materialize())
+
+    def tobytes(self) -> bytes:
+        return self.materialize().tobytes()
+
+    def __repr__(self) -> str:
+        if self._value is None:
+            return "LazyFrames(<unmaterialized>)"
+        return f"LazyFrames(shape={self._value.shape})"
+
+
 @dataclass
 class RenderResult:
     """Engine-independent result envelope.
 
-    ``frames``/``stats``/``reports`` are populated by the real engines;
-    ``outcome`` carries the :class:`~repro.parallel.SimulationOutcome` for
-    ``engine="simulate"``.  ``events`` holds the telemetry records captured
-    during the run (empty unless telemetry was requested).
+    ``frames``/``stats``/``reports`` are populated by the real engines
+    (``frames`` as a :class:`LazyFrames` accessor — index it, iterate it,
+    or ``np.asarray`` it); ``outcome`` carries the
+    :class:`~repro.parallel.SimulationOutcome` for ``engine="simulate"``
+    (whose ``frames`` stays ``None``).  ``events`` holds the telemetry
+    records captured during the run (empty unless telemetry was
+    requested).
     """
 
     engine: str
     workload: str
     n_frames: int
     wall_time: float
-    frames: np.ndarray | None = None
+    frames: LazyFrames | None = None
     stats: RayStats | None = None
     mode: str = ""
     reports: list = field(default_factory=list)
@@ -254,6 +330,23 @@ def _run_animation(req: RenderRequest, tel, label, spec, anim) -> RenderResult:
 
     if anim is None:
         anim = spec.build()
+    on_frame = None
+    if req.on_frame is not None or req.on_tile is not None:
+        from .dfb import FrameEvent, TileEvent
+
+        # The pipeline's native callback is (index, report, image); adapt
+        # it to the unified streaming surface (one whole-frame "tile"
+        # plus a frame event, same as a non-streaming farm run).
+        def on_frame(f, report, image):
+            if req.on_tile is not None:
+                h, w = int(image.shape[0]), int(image.shape[1])
+                req.on_tile(TileEvent(
+                    frame=f, x0=0, y0=0, x1=w, y1=h,
+                    pixels=image, frame_complete=True,
+                ))
+            if req.on_frame is not None:
+                req.on_frame(FrameEvent(f, image, report))
+
     t0 = time.perf_counter()
     out = _render_animation(
         anim,
@@ -261,7 +354,7 @@ def _run_animation(req: RenderRequest, tel, label, spec, anim) -> RenderResult:
         shadow_coherence=req.shadow_coherence,
         samples_per_axis=req.samples_per_axis,
         chunk_size=req.chunk_size,
-        on_frame=req.on_frame,
+        on_frame=on_frame,
         telemetry=tel,
         workload=label,
     )
@@ -270,7 +363,7 @@ def _run_animation(req: RenderRequest, tel, label, spec, anim) -> RenderResult:
         workload=label,
         n_frames=out.n_frames,
         wall_time=time.perf_counter() - t0,
-        frames=out.frames,
+        frames=LazyFrames(out.frames),
         stats=out.stats,
         mode="shadow-coherent" if req.shadow_coherence else "coherent",
         reports=out.reports,
@@ -281,7 +374,7 @@ def _run_animation(req: RenderRequest, tel, label, spec, anim) -> RenderResult:
     )
 
 
-def _run_farm(req: RenderRequest, tel, label, spec) -> RenderResult:
+def _run_farm(req: RenderRequest, tel, label, spec, preview=None) -> RenderResult:
     from .runtime import LocalRenderFarm
 
     farm = LocalRenderFarm(
@@ -300,6 +393,10 @@ def _run_farm(req: RenderRequest, tel, label, spec) -> RenderResult:
         fault_plan=req.fault_plan,
         telemetry=tel,
         profile_dir=req.profile_dir,
+        tile_px=req.tile_px,
+        preview=preview,
+        on_tile=req.on_tile,
+        on_frame=req.on_frame,
     )
     t0 = time.perf_counter()
     out = farm.render(run_dir=req.run_dir, resume=req.resume)
@@ -320,7 +417,7 @@ def _run_farm(req: RenderRequest, tel, label, spec) -> RenderResult:
         workload=label,
         n_frames=out.n_frames,
         wall_time=wall,
-        frames=out.frames,
+        frames=LazyFrames(out.frames),
         stats=out.stats,
         mode=out.mode,
         n_tasks=out.n_tasks,
@@ -390,6 +487,14 @@ def _run_simulate(req: RenderRequest, tel, label, spec, anim) -> RenderResult:
         ) from None
     t0 = time.perf_counter()
     outcome = run()
+    if req.on_frame is not None:
+        from .dfb import FrameEvent
+
+        # Simulated frames have no pixels; the unified surface still
+        # reports per-frame completion (image None), so progress UIs
+        # work unchanged against a simulation.
+        for f in range(oracle.n_frames):
+            req.on_frame(FrameEvent(f, None))
     return RenderResult(
         engine="simulate",
         workload=label,
@@ -420,16 +525,26 @@ def render(request: RenderRequest | None = None, /, **kwargs) -> RenderResult:
     label, spec, anim = _resolve_workload(request)
     tel, mem, jsonl_path, ledger, owned = _setup_telemetry(request)
     server = None
+    preview = None
     if ledger is not None:
         from .obs import StatusServer
 
-        server = StatusServer(ledger, port=int(request.status_port))
+        routes = None
+        if request.engine == "farm":
+            from .dfb import PreviewHub
+
+            # /preview serves the partially composited frame while a
+            # streaming (TCP) farm run is live; until the farm attaches
+            # its assembler the endpoint reports {"available": false}.
+            preview = PreviewHub()
+            routes = {"/preview": preview.route}
+        server = StatusServer(ledger, port=int(request.status_port), routes=routes)
         server.start()
     try:
         if request.engine == "animation":
             result = _run_animation(request, tel, label, spec, anim)
         elif request.engine == "farm":
-            result = _run_farm(request, tel, label, spec)
+            result = _run_farm(request, tel, label, spec, preview=preview)
         else:
             result = _run_simulate(request, tel, label, spec, anim)
     finally:

@@ -112,6 +112,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: executor-dependent)",
     )
     p_farm.add_argument(
+        "--tile-px", type=int, default=None, metavar="PX",
+        help="distributed-framebuffer tile edge for --transport tcp "
+             "(default: 32; workers stream finished tiles as they render)",
+    )
+    p_farm.add_argument(
+        "--no-tiles", action="store_true",
+        help="disable tile streaming: workers ship whole sub-areas in one "
+             "RESULT frame (the pre-tile wire shape)",
+    )
+    p_farm.add_argument(
         "--max-attempts", type=int, default=3,
         help="pool attempts per task before degrading to in-process serial execution",
     )
@@ -311,11 +321,11 @@ def _cmd_animate(args) -> int:
 
     args.out.mkdir(parents=True, exist_ok=True)
 
-    def on_frame(f, report, image):
-        write_targa(args.out / f"{args.workload}{f:04d}.tga", image)
+    def on_frame(ev):
+        write_targa(args.out / f"{args.workload}{ev.frame:04d}.tga", ev.image)
         print(
-            f"frame {f:4d}: {report.n_computed:6d} px computed, "
-            f"{report.stats.total:8d} rays"
+            f"frame {ev.frame:4d}: {ev.report.n_computed:6d} px computed, "
+            f"{ev.report.stats.total:8d} rays"
         )
 
     result = render(
@@ -386,6 +396,11 @@ def _cmd_farm(args) -> int:
             f"live status on http://127.0.0.1:{args.status_port}/status "
             f"(watch with: repro top 127.0.0.1:{args.status_port})"
         )
+        if args.transport == "tcp" and not args.no_tiles:
+            print(
+                f"progressive preview on http://127.0.0.1:{args.status_port}"
+                "/preview?fmt=png (also fmt=json, fmt=npz)"
+            )
     result = render(
         workload=args.workload,
         engine="farm",
@@ -399,6 +414,7 @@ def _cmd_farm(args) -> int:
         schedule=schedule,
         transport=args.transport,
         segment_frames=args.segment_frames,
+        tile_px=0 if args.no_tiles else args.tile_px,
         max_attempts=args.max_attempts,
         task_timeout=args.task_timeout,
         run_dir=args.run_dir,
@@ -541,19 +557,20 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_submit(args) -> int:
+    from .api import RenderRequest
     from .service import ServiceError, submit, wait
 
-    spec = {
-        "workload": args.workload,
-        "n_frames": args.frames,
-        "width": args.width,
-        "height": args.height,
-        "grid_resolution": args.grid,
-    }
+    request = RenderRequest(
+        workload=args.workload,
+        n_frames=args.frames,
+        width=args.width,
+        height=args.height,
+        grid_resolution=args.grid,
+    )
     try:
         job = submit(
             args.connect,
-            spec,
+            request,
             priority=args.priority,
             owner=args.owner,
             max_attempts=args.max_attempts,

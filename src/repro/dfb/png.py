@@ -1,0 +1,49 @@
+"""A minimal PNG encoder for the ``/preview`` endpoint (stdlib only).
+
+The preview serves a partially-composited framebuffer to a browser or a
+``curl`` poll; a real image codec dependency is not worth that.  This
+writes the simplest legal PNG: 8-bit RGB, no interlace, every scanline
+filtered with filter type 0 (None), one zlib-compressed IDAT chunk.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+__all__ = ["encode_png"]
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, data: bytes) -> bytes:
+    return (
+        struct.pack("!I", len(data))
+        + tag
+        + data
+        + struct.pack("!I", zlib.crc32(tag + data) & 0xFFFFFFFF)
+    )
+
+
+def encode_png(image: np.ndarray) -> bytes:
+    """Encode an ``(H, W, 3)`` float (0..1) or uint8 array as PNG bytes."""
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got shape {image.shape}")
+    if image.dtype != np.uint8:
+        image = (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    height, width = image.shape[:2]
+    # Filter byte 0 ("None") in front of every scanline.
+    raw = np.empty((height, 1 + width * 3), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = image.reshape(height, width * 3)
+    ihdr = struct.pack("!IIBBBBB", width, height, 8, 2, 0, 0, 0)
+    return b"".join(
+        (
+            _SIGNATURE,
+            _chunk(b"IHDR", ihdr),
+            _chunk(b"IDAT", zlib.compress(raw.tobytes(), 6)),
+            _chunk(b"IEND", b""),
+        )
+    )

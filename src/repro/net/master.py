@@ -75,6 +75,14 @@ class NetStats:
     n_assignments: int = 0
     n_results: int = 0
     compress: bool = True
+    #: Distributed-framebuffer accounting (zero when tiles are off).
+    n_tiles: int = 0
+    tile_bytes: int = 0
+    t_first_tile: float | None = None  #: seconds from serve() to first TILE
+    t_first_result: float | None = None  #: seconds from serve() to first RESULT
+    n_frames_salvaged: int = 0  #: frames rescued from lost workers' tiles
+    #: Largest received frame per message name — the payload-size bench.
+    max_msg_bytes: dict = field(default_factory=dict)
 
 
 class _Conn:
@@ -97,6 +105,8 @@ class _Conn:
         "closed",
         "offset",
         "rtt_best",
+        "minor",
+        "tiles",
     )
 
     def __init__(self, sock: socket.socket, now: float) -> None:
@@ -119,6 +129,8 @@ class _Conn:
         # on one host perf_counter is shared and this converges to ~0).
         self.offset = 0.0
         self.rtt_best = float("inf")
+        self.minor = 0
+        self.tiles = False  # tile streaming granted at HELLO
 
 
 class MasterServer:
@@ -148,6 +160,15 @@ class MasterServer:
         connected before giving up.
     compress / compress_min_bytes:
         Result tile compression policy, announced to workers in WELCOME.
+    assembler / tile_px / tile_box / on_tile:
+        The distributed framebuffer.  ``assembler`` (a
+        :class:`repro.dfb.FrameAssembler`) turns tile streaming on:
+        minor-3 workers get a tile directive in every ASSIGN and their
+        TILE frames are composited incrementally; whole-segment results
+        from older workers are folded into the same assembler.
+        ``tile_box(assignment)`` maps an assignment to its pixel box
+        (``None`` = whole frame); ``on_tile(worker, frame, box, pixels,
+        frame_complete)`` observes every composited tile.
     """
 
     def __init__(
@@ -172,6 +193,10 @@ class MasterServer:
         telemetry=None,
         on_result=None,
         trace_root=None,
+        assembler=None,
+        tile_px: int | None = None,
+        tile_box=None,
+        on_tile=None,
     ) -> None:
         self.policy = policy
         self.task_name = task_name
@@ -193,6 +218,10 @@ class MasterServer:
         #: (the run's root span when the farm drives us; None = flights
         #: are trace roots themselves).
         self.trace_root = trace_root
+        self.assembler = assembler
+        self.tile_px = int(tile_px) if tile_px else 32
+        self.tile_box = tile_box or (lambda a: None)
+        self.on_tile = on_tile
         self.net = NetStats(compress=bool(compress))
         self.compress_min_bytes = int(compress_min_bytes)
         self.workers: dict[str, dict] = {}  # lane -> {host, cores, score, n_done}
@@ -318,11 +347,15 @@ class MasterServer:
 
     def _handle(self, sel, conn: _Conn, msg_type: int, payload, nbytes: int) -> None:
         now = time.perf_counter()
+        name = wire.MSG_NAMES.get(msg_type, str(msg_type))
+        if nbytes > self.net.max_msg_bytes.get(name, 0):
+            self.net.max_msg_bytes[name] = nbytes
         if msg_type == wire.MSG_HELLO:
             if not isinstance(payload, dict) or payload.get("proto") != wire.PROTO_VERSION:
                 self._lose(sel, conn, "error")
                 return
-            if int(payload.get("minor", 0) or 0) < wire.PROTO_MINOR:
+            minor = int(payload.get("minor", 0) or 0)
+            if minor < wire.PROTO_MINOR_FLOOR:
                 self._reject(sel, conn, payload)
                 return
             conn.name = f"w{self._n_named}"
@@ -330,6 +363,10 @@ class MasterServer:
             conn.host = str(payload.get("host", "?"))
             conn.cores = int(payload.get("cores", 1))
             conn.score = float(payload.get("score", 1.0))
+            conn.minor = minor
+            # Tile streaming is per-connection: the run must want it (an
+            # assembler is wired) and the worker must speak minor 3.
+            conn.tiles = self.assembler is not None and minor >= 3
             conn.registered = True
             conn.last_pong = now
             self.workers[conn.name] = {
@@ -341,9 +378,12 @@ class MasterServer:
             self._send(conn, wire.MSG_WELCOME, {
                 "worker": conn.name,
                 "proto": wire.PROTO_VERSION,
+                "minor": wire.PROTO_MINOR,
                 "heartbeat_interval": self.heartbeat_interval,
                 "compress": self.net.compress,
                 "compress_min_bytes": self.compress_min_bytes,
+                "tiles": conn.tiles,
+                "tile_px": self.tile_px,
             })
             self.net.n_workers_joined += 1
             self.telemetry.event(
@@ -377,6 +417,8 @@ class MasterServer:
                     self.telemetry.event(
                         "obs.clock", worker=conn.name, offset=conn.offset, rtt=rtt
                     )
+        elif msg_type == wire.MSG_TILE:
+            self._on_tile_frame(sel, conn, payload, nbytes, now)
         elif msg_type == wire.MSG_RESULT:
             self._on_result_frame(sel, conn, payload, nbytes, now)
         elif msg_type == wire.MSG_ERROR:
@@ -385,6 +427,60 @@ class MasterServer:
             detail = str(payload.get("error", "")) if isinstance(payload, dict) else ""
             self._lose(sel, conn, "error", detail=detail)
         # Unsolicited HELLO repeats or unknown-but-valid types: ignore.
+
+    def _on_tile_frame(self, sel, conn: _Conn, payload, nbytes: int, now: float) -> None:
+        """Composite one streamed tile into the distributed framebuffer."""
+        a = conn.assignment
+        if a is None or not isinstance(payload, dict) or payload.get("seq") != a.seq:
+            return  # tile raced its assignment's loss; idempotency covers it
+        if self.assembler is None or not conn.tiles:
+            self._lose(sel, conn, "invalid", detail="unsolicited TILE")
+            return
+        try:
+            frame = int(payload["frame"])
+            x0, y0 = int(payload["x0"]), int(payload["y0"])
+            x1, y1 = int(payload["x1"]), int(payload["y1"])
+            _newly, frame_complete = self.assembler.add_tile(
+                frame, x0, y0, x1, y1, payload["pixels"]
+            )
+        except (KeyError, TypeError, ValueError):
+            self._lose(sel, conn, "invalid", detail="malformed TILE")
+            return
+        self.net.n_tiles += 1
+        self.net.tile_bytes += nbytes
+        if self.net.t_first_tile is None:
+            self.net.t_first_tile = now - self._t0
+        self.telemetry.event(
+            "dfb.tile",
+            worker=conn.name,
+            seq=a.seq,
+            frame=frame,
+            x0=x0,
+            y0=y0,
+            x1=x1,
+            y1=y1,
+            nbytes=nbytes,
+        )
+        if self.on_tile is not None:
+            self.on_tile(conn.name, frame, (x0, y0, x1, y1), payload["pixels"], frame_complete)
+        self._last_progress = now
+
+    def _fold_result(self, a, result) -> None:
+        """Fold a whole-segment render result into the assembler (results
+        from pre-tile workers, and the pixels a streaming worker would
+        have tiled if it weren't).  By farm convention the result tuple is
+        ``(box, frame0, frame1, frames, counts, events)``; a streaming
+        result ships ``frames=None`` because its pixels already arrived
+        tile by tile.  Non-farm shapes (echo tasks) are left alone."""
+        if self.assembler is None or not isinstance(result, tuple) or len(result) < 4:
+            return
+        box, f0, f1, frames = result[0], result[1], result[2], result[3]
+        if frames is None or not hasattr(frames, "shape"):
+            return
+        try:
+            self.assembler.add_segment(box, int(f0), int(f1), frames)
+        except (TypeError, ValueError):
+            pass  # a tuple that merely looked like a render result
 
     def _on_result_frame(self, sel, conn: _Conn, payload, nbytes: int, now: float) -> None:
         a = conn.assignment
@@ -397,6 +493,9 @@ class MasterServer:
         if self.validate is not None and not self.validate(conn.args, result):
             self._lose(sel, conn, "invalid")
             return
+        self._fold_result(a, result)
+        if self.net.t_first_result is None:
+            self.net.t_first_result = now - self._t0
         conn.assignment = None
         conn.args = None
         conn.deadline = None
@@ -476,17 +575,27 @@ class MasterServer:
             key = (a.region_index, a.frame0)
             self._attempts[key] = self._attempts.get(key, 0) + 1
             self._lanes_of[a.seq] = conn.name
+            assign = {
+                "seq": a.seq,
+                "region": a.region_index,
+                "frame0": a.frame0,
+                "frame1": a.frame1,
+                "fresh": a.fresh,
+                "coherent": a.coherent,
+                "task": self.task_name,
+                "args": args,
+            }
+            if conn.tiles:
+                # Tile directive: stream at this granularity, and skip
+                # tiles a lost predecessor already delivered.
+                assign["tiles"] = {
+                    "tile_px": self.tile_px,
+                    "skip": self.assembler.covered_tiles(
+                        self.tile_box(a), a.frame0, a.frame1, self.tile_px
+                    ),
+                }
             try:
-                nbytes = self._send(conn, wire.MSG_ASSIGN, {
-                    "seq": a.seq,
-                    "region": a.region_index,
-                    "frame0": a.frame0,
-                    "frame1": a.frame1,
-                    "fresh": a.fresh,
-                    "coherent": a.coherent,
-                    "task": self.task_name,
-                    "args": args,
-                })
+                nbytes = self._send(conn, wire.MSG_ASSIGN, assign)
             except OSError:
                 self._lose(sel, conn, "eof")
                 continue
@@ -633,6 +742,25 @@ class MasterServer:
                     f"(last: {reason})"
                 )
             self._counts["retries"] += 1
+            if self.assembler is not None and reason != "invalid":
+                # Partial salvage: frames this worker already streamed in
+                # full stay done; only the remainder is requeued.  An
+                # invalid loss forfeits the salvage — its tiles can't be
+                # trusted either (idempotent overwrite re-covers them).
+                frame_done = self.assembler.frames_done(
+                    self.tile_box(a), a.frame0, a.frame1
+                )
+                if frame_done > a.frame0:
+                    self.net.n_frames_salvaged += frame_done - a.frame0
+                    self.telemetry.event(
+                        "dfb.salvage",
+                        worker=conn.name,
+                        seq=a.seq,
+                        frame0=a.frame0,
+                        frame_done=frame_done,
+                        frame1=a.frame1,
+                    )
+                    self.policy.on_partial_result(conn.name, frame_done)
         self.policy.on_worker_lost(conn.name)
         self._last_progress = now
 

@@ -33,6 +33,8 @@ WELCOME     m -> w     {worker, heartbeat_interval, compress, proto}
 ASSIGN      m -> w     {seq, region, frame0, frame1, fresh, coherent,
                         task, args}
 RESULT      w -> m     {seq, result, duration, events}
+TILE        w -> m     {seq, frame, x0, y0, x1, y1, pixels}  (streamed
+                       before the closing RESULT; minor 3 workers only)
 PING        m -> w     {t}
 PONG        w -> m     {t, tw}  (t echoes the ping; tw is the worker's
                        clock at the reply — rtt and skew for the master)
@@ -54,8 +56,11 @@ a mismatch there is a different wire language and fails at the first
 frame.  ``PROTO_MINOR`` rides in the HELLO payload instead: it gates
 vocabulary both sides must speak (minor 1 added PONG's ``tw`` clock
 sample and the trace context inside task args), and the master rejects a
-too-old worker *cleanly* at HELLO — SHUTDOWN, which every revision
-understands — rather than with a framing error mid-run.
+worker older than ``PROTO_MINOR_FLOOR`` *cleanly* at HELLO — SHUTDOWN,
+which every revision understands — rather than with a framing error
+mid-run.  Capabilities above the floor degrade gracefully: a minor-2
+worker never receives tile directives and ships whole sub-areas exactly
+as before, while a minor-3 worker streams TILE frames.
 """
 
 from __future__ import annotations
@@ -68,6 +73,7 @@ import numpy as np
 __all__ = [
     "PROTO_VERSION",
     "PROTO_MINOR",
+    "PROTO_MINOR_FLOOR",
     "MAGIC",
     "MSG_HELLO",
     "MSG_WELCOME",
@@ -80,6 +86,7 @@ __all__ = [
     "MSG_JOB_SUBMIT",
     "MSG_JOB_STATUS",
     "MSG_JOB_CANCEL",
+    "MSG_TILE",
     "MSG_NAMES",
     "ProtocolError",
     "encode",
@@ -96,7 +103,14 @@ PROTO_VERSION = 1
 #: Minor 2: the JOB_SUBMIT/JOB_STATUS/JOB_CANCEL control-plane types for
 #: the persistent render service (workers are unaffected, but both sides
 #: of a farm must agree on the full message-type table).
-PROTO_MINOR = 2
+#: Minor 3: TILE streaming — workers that advertise it receive a tile
+#: directive in ASSIGN and ship finished tiles incrementally (the
+#: distributed framebuffer); the closing RESULT then omits the pixels.
+PROTO_MINOR = 3
+#: Oldest worker vocabulary the master still serves.  Minor-2 workers
+#: predate TILE and simply render whole sub-areas; anything older is
+#: rejected at HELLO.
+PROTO_MINOR_FLOOR = 2
 MAGIC = b"RNW1"
 
 MSG_HELLO = 1
@@ -110,6 +124,7 @@ MSG_SHUTDOWN = 8
 MSG_JOB_SUBMIT = 9
 MSG_JOB_STATUS = 10
 MSG_JOB_CANCEL = 11
+MSG_TILE = 12
 
 MSG_NAMES = {
     MSG_HELLO: "hello",
@@ -123,6 +138,7 @@ MSG_NAMES = {
     MSG_JOB_SUBMIT: "job_submit",
     MSG_JOB_STATUS: "job_status",
     MSG_JOB_CANCEL: "job_cancel",
+    MSG_TILE: "tile",
 }
 
 _HEADER = struct.Struct("!4sBBHI")

@@ -23,10 +23,16 @@ __all__ = ["REGISTRY", "task", "echo", "render_segment", "spec_to_wire"]
 REGISTRY: dict[str, object] = {}
 
 
-def task(name: str):
-    """Register ``fn`` under ``name`` for dispatch-by-name over the wire."""
+def task(name: str, *, streaming: bool = False):
+    """Register ``fn`` under ``name`` for dispatch-by-name over the wire.
+
+    ``streaming=True`` marks a task that accepts an ``emit_tile`` keyword
+    (a :class:`~repro.net.worker._TileSink`) and streams finished tiles
+    while it runs — the worker only offers the sink to flagged tasks.
+    """
 
     def register(fn):
+        fn.streaming = streaming
         REGISTRY[name] = fn
         return fn
 
@@ -57,10 +63,12 @@ def sleep_echo(args):
     return payload
 
 
-@task("render_segment")
-def render_segment(args):
+@task("render_segment", streaming=True)
+def render_segment(args, emit_tile=None):
     """Render frames ``[f0, f1)`` of one region with the farm's segment
-    renderer (continuation-cache aware); see ``_render_segment_task``."""
+    renderer (continuation-cache aware); see ``_render_segment_task``.
+    With ``emit_tile`` the finished frames stream out as tiles and the
+    returned result carries ``frames=None``."""
     from ..runtime.local import _render_segment_task
     from ..runtime.spec import AnimationSpec
 
@@ -71,5 +79,6 @@ def render_segment(args):
     # parent flight span, namespace seed) or a legacy bool.
     return _render_segment_task(
         (spec, box, int(f0), int(f1), bool(fresh), str(label), int(grid), int(samples),
-         tel_ctx, prof)
+         tel_ctx, prof),
+        emit_tile=emit_tile,
     )

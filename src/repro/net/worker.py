@@ -36,6 +36,7 @@ import zlib
 
 import numpy as np
 
+from ..dfb import tile_rects
 from ..telemetry import InMemorySink, Telemetry
 from . import protocol as wire
 from .tasks import REGISTRY
@@ -64,6 +65,57 @@ def calibrate(n: int = 40, size: int = 64) -> float:
 
 class _ConnectionLost(Exception):
     """Reader thread saw EOF or a socket error."""
+
+
+class _TileSink:
+    """The worker half of the distributed framebuffer: cut each finished
+    frame region into the master's tile grid and stream MSG_TILE frames.
+
+    A streaming task calls ``sink(frame, x0, y0, image)`` once per
+    finished frame, where ``image`` is the ``(h, w, 3)`` pixels of its
+    region with absolute origin ``(x0, y0)``.  Tiles the master already
+    holds (the ASSIGN's skip list — a lost predecessor streamed them)
+    are rendered but not re-shipped.  Shares the socket's send lock with
+    the heartbeat-responder thread.
+    """
+
+    __slots__ = ("sock", "seq", "tile_px", "skip", "lock", "compress", "compress_min", "n_sent")
+
+    def __init__(self, sock, seq: int, directive: dict, lock, compress: bool, compress_min: int):
+        self.sock = sock
+        self.seq = int(seq)
+        self.tile_px = int(directive.get("tile_px", 32) or 32)
+        self.skip = {tuple(int(v) for v in key) for key in directive.get("skip", ())}
+        self.lock = lock
+        self.compress = compress
+        self.compress_min = compress_min
+        self.n_sent = 0
+
+    def __call__(self, frame: int, x0: int, y0: int, image: np.ndarray) -> None:
+        frame, x0, y0 = int(frame), int(x0), int(y0)
+        h, w = image.shape[:2]
+        for tx0, ty0, tx1, ty1 in tile_rects(x0, y0, x0 + w, y0 + h, self.tile_px):
+            if (frame, tx0, ty0, tx1, ty1) in self.skip:
+                continue
+            wire.send_frame(
+                self.sock,
+                wire.MSG_TILE,
+                {
+                    "seq": self.seq,
+                    "frame": frame,
+                    "x0": tx0,
+                    "y0": ty0,
+                    "x1": tx1,
+                    "y1": ty1,
+                    "pixels": np.ascontiguousarray(
+                        image[ty0 - y0 : ty1 - y0, tx0 - x0 : tx1 - x0]
+                    ),
+                },
+                lock=self.lock,
+                compress_arrays=self.compress,
+                compress_min_bytes=self.compress_min,
+            )
+            self.n_sent += 1
 
 
 class WorkerClient:
@@ -116,6 +168,7 @@ class WorkerClient:
         self._send_lock = threading.Lock()
         self._compress = True
         self._compress_min = 4096
+        self._tiles = False  # tile-streaming grant from WELCOME
         # Worker-side net telemetry rides to the master inside the next
         # RESULT/ERROR frame (a disconnected worker has no other channel).
         self._sink = InMemorySink()
@@ -197,6 +250,7 @@ class WorkerClient:
         self.worker_id = str(welcome.get("worker", ""))
         self._compress = bool(welcome.get("compress", True))
         self._compress_min = int(welcome.get("compress_min_bytes", 4096))
+        self._tiles = bool(welcome.get("tiles", False))
         self._log(f"registered as {self.worker_id!r}")
         return "ok"
 
@@ -243,7 +297,19 @@ class WorkerClient:
         try:
             if fn is None:
                 raise wire.ProtocolError(f"unregistered task {name!r}")
-            result = fn(payload.get("args"))
+            directive = payload.get("tiles")
+            if (
+                self._tiles
+                and isinstance(directive, dict)
+                and getattr(fn, "streaming", False)
+            ):
+                sink = _TileSink(
+                    sock, seq, directive, self._send_lock,
+                    self._compress, self._compress_min,
+                )
+                result = fn(payload.get("args"), emit_tile=sink)
+            else:
+                result = fn(payload.get("args"))
         except Exception as exc:  # reported, not fatal: the master decides
             wire.send_frame(
                 sock,

@@ -49,6 +49,9 @@ class RunLedger:
         self._attempts_flight: dict[str, int] = {}
         self._attempts_sup: dict[str, int] = {}
         self._losses: list[dict] = []
+        self._tiles_done = 0
+        self._tile_bytes = 0
+        self._frames_salvaged = 0
         self._n_events = 0
         self._snapshot: dict | None = None
         self._snapshot_t = 0.0
@@ -162,6 +165,16 @@ class RunLedger:
         if seq is not None and int(seq) >= 0:
             self._in_flight.pop(int(seq), None)
 
+    def _on_tile(self, attrs, record) -> None:
+        self._tiles_done += 1
+        self._tile_bytes += int(attrs.get("nbytes", 0))
+        self._worker(attrs.get("worker", "?"))["last_heartbeat"] = self._clock()
+
+    def _on_salvage(self, attrs, record) -> None:
+        self._frames_salvaged += int(attrs.get("frame_done", 0)) - int(
+            attrs.get("frame0", 0)
+        )
+
     _HANDLERS = {
         "run.start": _on_run_start,
         "run.end": _on_run_end,
@@ -175,6 +188,8 @@ class RunLedger:
         "task.attempt": _on_task_attempt,
         "task": _on_task_span,
         "frame": _on_frame,
+        "dfb.tile": _on_tile,
+        "dfb.salvage": _on_salvage,
     }
 
     # -- read side -------------------------------------------------------------
@@ -228,6 +243,9 @@ class RunLedger:
             "eta_seconds": (round(eta, 1) if eta is not None else None),
             "attempts": dict(self._attempts_flight or self._attempts_sup),
             "losses": list(self._losses),
+            "tiles_done": self._tiles_done,
+            "tile_bytes": self._tile_bytes,
+            "frames_salvaged": self._frames_salvaged,
             "workers": workers,
             "in_flight": [
                 {**a, "age": round(now - a.pop("since"), 3)}

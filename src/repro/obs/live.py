@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -28,8 +29,14 @@ class StatusServer:
     :class:`~repro.obs.ledger.RunLedger`, or the render service itself);
     it backs ``/`` and ``/status``.  Extra ``routes`` map a path to
     another zero-arg snapshot callable — the render service mounts its
-    job table at ``/jobs`` this way.  Every response, including errors,
-    is JSON: a poller never has to parse stdlib HTML error pages.
+    job table at ``/jobs`` this way.  A route whose callable sets
+    ``takes_query = True`` receives the parsed query string (a flat
+    ``{key: value}`` dict) instead — the distributed framebuffer mounts
+    its ``/preview`` endpoint that way so pollers can pick a frame and
+    format.  Responses are JSON unless the callable returns
+    ``(bytes, content_type)``, which is served raw (``/preview?fmt=png``
+    streams an actual image); error responses stay JSON so a poller
+    never has to parse stdlib HTML error pages.
     """
 
     def __init__(self, ledger, host: str = "127.0.0.1", port: int = 0, routes=None):
@@ -47,16 +54,16 @@ class StatusServer:
         routes = self.routes
 
         class Handler(BaseHTTPRequestHandler):
-            def _reply(self, code: int, payload: dict) -> None:
-                body = json.dumps(payload).encode()
+            def _reply(self, code: int, payload, content_type: str = "application/json"):
+                body = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
                 self.send_response(code)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
 
             def do_GET(self):  # noqa: N802 (http.server API)
-                path = self.path.split("?", 1)[0]
+                path, _, query_str = self.path.partition("?")
                 snapshot = routes.get(path)
                 if snapshot is None:
                     self._reply(
@@ -67,7 +74,19 @@ class StatusServer:
                         },
                     )
                     return
-                self._reply(200, snapshot())
+                if getattr(snapshot, "takes_query", False):
+                    query = {
+                        k: vs[-1]
+                        for k, vs in urllib.parse.parse_qs(query_str).items()
+                    }
+                    out = snapshot(query)
+                else:
+                    out = snapshot()
+                if isinstance(out, tuple):
+                    body, content_type = out
+                    self._reply(200, body, content_type)
+                else:
+                    self._reply(200, out)
 
             def log_message(self, *args):  # keep the master's stderr clean
                 pass
@@ -129,6 +148,16 @@ def render_status(snap: dict) -> str:
         f"{snap.get('tasks_done', 0)} tasks · {snap.get('tasks_per_sec', 0.0)} tasks/s"
         + (f" · ETA {eta:.0f}s" if isinstance(eta, (int, float)) else ""),
         f"  elapsed {snap.get('elapsed', 0.0)}s · events {snap.get('n_events', 0)}",
+    ]
+    tiles_done = int(snap.get("tiles_done", 0) or 0)
+    if tiles_done:
+        tile_kb = float(snap.get("tile_bytes", 0) or 0) / 1024.0
+        salvaged = int(snap.get("frames_salvaged", 0) or 0)
+        lines.append(
+            f"  tiles {tiles_done} · {tile_kb:.1f} KiB streamed"
+            + (f" · {salvaged} frames salvaged" if salvaged else "")
+        )
+    lines += [
         "",
         f"  {'worker':<14} {'host':<12} {'done':>5} {'busy s':>8} {'rtt ms':>7} "
         f"{'hb age':>7}  in flight",

@@ -11,15 +11,13 @@ run with a fresh coherent (or shadow-coherent) renderer, and returns the
 assembled frames with merged statistics.
 
 This module is the *animation engine* behind the unified
-:func:`repro.api.render` facade; calling :func:`render_animation` directly
-still works but raises a :class:`DeprecationWarning` pointing at the
-facade.
+:func:`repro.api.render` facade — use the facade; the long-deprecated
+``render_animation`` entry point has been removed.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -30,7 +28,7 @@ from .render import RayStats
 from .scene import Animation, split_coherent_sequences
 from .telemetry import NULL as NULL_TELEMETRY
 
-__all__ = ["render_animation", "AnimationRender"]
+__all__ = ["AnimationRender"]
 
 
 @dataclass
@@ -194,19 +192,3 @@ def _render_animation(
         shadow_rays_saved=shadow_saved,
         per_sequence_stats=per_seq,
     )
-
-
-def render_animation(*args, **kwargs) -> AnimationRender:
-    """Deprecated direct entry point; prefer :func:`repro.api.render`.
-
-    Behaves exactly like the engine implementation (same signature), with a
-    :class:`DeprecationWarning` — existing callers keep working.
-    """
-    warnings.warn(
-        "render_animation() is deprecated; use repro.api.render(RenderRequest(...)) "
-        "— the unified facade over the animation engine, the local farm, and "
-        "the cluster simulators",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _render_animation(*args, **kwargs)

@@ -274,13 +274,19 @@ def _segment_cache_key(spec, box, grid_resolution, samples, frame) -> tuple:
     return (_spec_key(spec), box, int(grid_resolution), int(samples), int(frame))
 
 
-def _render_segment_task(args):
+def _render_segment_task(args, emit_tile=None):
     """Policy-scheduled worker: render frames ``[f0, f1)`` of one region.
 
     ``fresh`` marks a chain start (full render of ``f0``); a non-fresh
     segment tries to continue the renderer parked at ``f0`` by the chain's
     previous segment, rendering fresh when the cache misses (different
     process, evicted, or the previous attempt failed).
+
+    ``emit_tile`` switches on the distributed framebuffer: each finished
+    frame's region pixels are handed to ``emit_tile(frame, x0, y0, image)``
+    as they complete (the TCP worker's tile sink streams them to the
+    master) and the returned result carries ``frames=None`` — the pixels
+    never ride in the RESULT payload.
     """
     spec, box, f0, f1, fresh, label, grid_resolution, samples, tel_ctx, profile_dir = args
     anim = _get_anim(spec)
@@ -320,7 +326,22 @@ def _render_segment_task(args):
             else:
                 renderer.telemetry = tel
             n_new = f1 - f0
-            if region is None:
+            if emit_tile is not None:
+                # Streaming: pixels leave through the sink frame by frame;
+                # the result ships no framebuffer at all.
+                frames = None
+                for i in range(n_new):
+                    renderer.render_next()
+                    if region is None:
+                        emit_tile(f0 + i, 0, 0, renderer.frame_image())
+                    else:
+                        x0, y0, x1, y1 = box
+                        emit_tile(
+                            f0 + i, x0, y0,
+                            renderer.framebuffer.gather(region)
+                            .reshape(y1 - y0, x1 - x0, 3),
+                        )
+            elif region is None:
                 frames = np.empty((n_new, cam.height, cam.width, 3), dtype=np.float64)
                 for i in range(n_new):
                     renderer.render_next()
@@ -392,6 +413,10 @@ class FarmResult:
     n_degraded: int = 0
     n_from_checkpoint: int = 0
     attempts: list[TaskAttempt] = field(default_factory=list)
+    # TCP runs expose the master's wire accounting (NetStats): tile
+    # counts, first-tile/first-result latency, per-message-type maxima.
+    net: object | None = None
+    streamed: bool = False
 
     @property
     def n_frames(self) -> int:
@@ -453,6 +478,24 @@ class LocalRenderFarm:
     fault_plan:
         A :class:`~repro.runtime.faults.FaultPlan` for deterministic
         crash/hang/raise/corrupt injection (tests and drills).
+    tile_px:
+        Distributed-framebuffer tile edge for the TCP transport.  ``None``
+        (default) enables tiling at the master's default edge; ``0``
+        disables streaming (workers ship whole sub-areas in RESULT, the
+        pre-tile wire shape); any other value is the tile edge in pixels.
+        Ignored off-TCP (the pool shares memory; there is nothing to
+        stream).
+    preview:
+        A :class:`~repro.dfb.PreviewHub` to attach the run's
+        :class:`~repro.dfb.FrameAssembler` to, so a status server can
+        serve the partially composited frames while the run is live.
+    on_tile, on_frame:
+        Progress callbacks.  On a streaming TCP run ``on_tile`` receives
+        a :class:`~repro.dfb.TileEvent` per wire tile and ``on_frame`` a
+        :class:`~repro.dfb.FrameEvent` as each frame's last tile lands;
+        non-streaming paths synthesize one whole-frame tile plus a frame
+        event per frame after assembly, so callers observe the same
+        contract on every transport.
     """
 
     def __init__(
@@ -479,6 +522,10 @@ class LocalRenderFarm:
         fault_plan: FaultPlan | None = None,
         telemetry: Telemetry | None = None,
         profile_dir: str | Path | None = None,
+        tile_px: int | None = None,
+        preview=None,
+        on_tile=None,
+        on_frame=None,
     ):
         if mode not in ("frame", "sequence", "hybrid"):
             raise ValueError("mode must be 'frame', 'sequence' or 'hybrid'")
@@ -517,6 +564,10 @@ class LocalRenderFarm:
         self.fault_plan = fault_plan
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.profile_dir = str(profile_dir) if profile_dir is not None else None
+        self.tile_px = None if tile_px is None else int(tile_px)
+        self.preview = preview
+        self.on_tile = on_tile
+        self.on_frame = on_frame
         # Build once locally for geometry bookkeeping (cheap).
         self._anim = spec.build()
         self._cam = self._anim.camera_at(0)
@@ -683,7 +734,7 @@ class LocalRenderFarm:
 
         return validate
 
-    def _make_sched_validator(self):
+    def _make_sched_validator(self, assembler=None):
         """Same corruption gate for the policy-scheduled segment results."""
         height, width = self._cam.height, self._cam.width
         n_kinds = len(RayKind)
@@ -692,6 +743,18 @@ class LocalRenderFarm:
             if not isinstance(result, tuple) or len(result) != 6:
                 return False
             box, f0, f1, frames, counts, events = result
+            c = np.asarray(counts)
+            counts_ok = c.shape == (n_kinds,) and c.dtype.kind in "iu"
+            if frames is None:
+                # Streaming result: the pixels traveled tile-by-tile ahead
+                # of this RESULT on the same ordered connection, so accept
+                # it only if the assembler really holds the whole range.
+                return (
+                    assembler is not None
+                    and counts_ok
+                    and isinstance(events, str)
+                    and assembler.range_complete(box, int(f0), int(f1))
+                )
             n_new = int(f1) - int(f0)
             if box is None:
                 expected = (n_new, height, width, 3)
@@ -699,16 +762,33 @@ class LocalRenderFarm:
                 x0, y0, x1, y1 = box
                 expected = (n_new, (int(x1) - int(x0)) * (int(y1) - int(y0)), 3)
             frames = np.asarray(frames)
-            c = np.asarray(counts)
             return (
                 frames.shape == expected
                 and bool(np.isfinite(frames).all())
-                and c.shape == (n_kinds,)
-                and c.dtype.kind in "iu"
+                and counts_ok
                 and isinstance(events, str)
             )
 
         return validate
+
+    # -- progress callbacks --------------------------------------------------------
+    def _fire_synthetic_events(self, frames: np.ndarray) -> None:
+        """Honor the streaming callback contract on paths that don't
+        stream: one whole-frame tile plus a frame event per frame, in
+        frame order, after assembly."""
+        if self.on_tile is None and self.on_frame is None:
+            return
+        from ..dfb import FrameEvent, TileEvent
+
+        h, w = int(frames.shape[1]), int(frames.shape[2])
+        for f in range(frames.shape[0]):
+            if self.on_tile is not None:
+                self.on_tile(TileEvent(
+                    frame=f, x0=0, y0=0, x1=w, y1=h,
+                    pixels=frames[f], frame_complete=True,
+                ))
+            if self.on_frame is not None:
+                self.on_frame(FrameEvent(f, frames[f]))
 
     # -- checkpoint spool ----------------------------------------------------------
     def _manifest(self, n_tasks: int) -> dict:
@@ -845,6 +925,7 @@ class LocalRenderFarm:
             for start, stop, seq_frames, _counts, _ev in out.results:
                 frames[int(start) : int(stop)] = seq_frames
         stats = RayStats.merge(res[-2] for res in out.results)
+        self._fire_synthetic_events(frames)
 
         if tel.enabled:
             self._emit_run_telemetry(out, stats, len(tasks))
@@ -876,7 +957,20 @@ class LocalRenderFarm:
 
         anim, cam, tel = self._anim, self._cam, self.telemetry
         policy, regions = self._sched_policy()
-        validate = self._make_sched_validator()
+        # Distributed framebuffer: tiling is a TCP concern (the pool
+        # shares memory); tile_px=0 opts a TCP run out explicitly.
+        assembler = None
+        if self.transport == "tcp" and self.tile_px != 0:
+            from ..dfb import FrameAssembler
+
+            assembler = FrameAssembler(anim.n_frames, cam.width, cam.height)
+            if self.preview is not None:
+                self.preview.attach(
+                    assembler,
+                    workload=self.spec.factory,
+                    n_workers=int(self.n_workers),
+                )
+        validate = self._make_sched_validator(assembler)
         if self.profile_dir:
             Path(self.profile_dir).mkdir(parents=True, exist_ok=True)
 
@@ -924,6 +1018,25 @@ class LocalRenderFarm:
                 return (spec_wire, box_of(a), int(a.frame0), int(a.frame1),
                         bool(a.fresh), label, grid, samples, ctx_of(a, lane), prof)
 
+            master_on_tile = None
+            if assembler is not None and (
+                self.on_tile is not None or self.on_frame is not None
+            ):
+                from ..dfb import FrameEvent, TileEvent
+
+                def master_on_tile(worker, frame, tbox, pixels, frame_complete):
+                    if self.on_tile is not None:
+                        tx0, ty0, tx1, ty1 = tbox
+                        self.on_tile(TileEvent(
+                            frame=frame, x0=tx0, y0=ty0, x1=tx1, y1=ty1,
+                            pixels=pixels, worker=worker,
+                            frame_complete=frame_complete,
+                        ))
+                    if frame_complete and self.on_frame is not None:
+                        self.on_frame(
+                            FrameEvent(frame, assembler.frame_image(frame))
+                        )
+
             transport = TcpTransport(
                 policy,
                 "render_segment",
@@ -937,6 +1050,10 @@ class LocalRenderFarm:
                 task_timeout=self.task_timeout,
                 timeout_factor=self.timeout_factor,
                 startup_timeout=self.startup_timeout,
+                assembler=assembler,
+                tile_px=self.tile_px,
+                tile_box=box_of,
+                on_tile=master_on_tile,
             )
         else:
 
@@ -963,18 +1080,32 @@ class LocalRenderFarm:
                 degrade_serial=self.degrade_serial,
                 fault_plan=self.fault_plan,
             )
-        out = transport.run()
+        try:
+            out = transport.run()
+        finally:
+            if self.preview is not None and assembler is not None:
+                self.preview.detach()
 
-        frames = np.zeros((anim.n_frames, cam.height, cam.width, 3), dtype=np.float64)
-        flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
-        for box, f0, f1, seg_frames, _counts, _ev in out.results:
-            f0, f1 = int(f0), int(f1)
-            if box is None:
-                frames[f0:f1] = seg_frames
-            else:
-                region = PixelRegion(*box, width=cam.width).pixels
-                flat[f0:f1][:, region, :] = seg_frames
+        if assembler is not None:
+            # Every result — streamed tiles and whole sub-areas from
+            # non-tiling workers alike — was folded into the compositor
+            # as it arrived; the finished frames come straight from it.
+            frames = assembler.frames()
+        else:
+            frames = np.zeros(
+                (anim.n_frames, cam.height, cam.width, 3), dtype=np.float64
+            )
+            flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
+            for box, f0, f1, seg_frames, _counts, _ev in out.results:
+                f0, f1 = int(f0), int(f1)
+                if box is None:
+                    frames[f0:f1] = seg_frames
+                else:
+                    region = PixelRegion(*box, width=cam.width).pixels
+                    flat[f0:f1][:, region, :] = seg_frames
         stats = RayStats.merge(res[-2] for res in out.results)
+        if assembler is None:
+            self._fire_synthetic_events(frames)
 
         sup = out.supervisor
         if tel.enabled:
@@ -998,6 +1129,8 @@ class LocalRenderFarm:
             n_degraded=sup.n_degraded,
             n_from_checkpoint=0,
             attempts=sup.attempts,
+            net=getattr(transport, "master", None) and transport.master.net,
+            streamed=assembler is not None,
         )
 
     def _emit_run_telemetry(

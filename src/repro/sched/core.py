@@ -26,7 +26,7 @@ supply runs dry.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Hashable, Sequence
 
 __all__ = [
@@ -127,6 +127,30 @@ class SchedulingPolicy:
         """
         raise NotImplementedError
 
+    def on_partial_result(self, worker: Worker, frame_done: int) -> Assignment | None:
+        """Salvage a doomed worker's leading frames before declaring it lost.
+
+        The distributed framebuffer lets the transport see exactly which
+        frames of an in-flight assignment are already fully composited
+        (streamed tile by tile).  Called right before ``on_worker_lost``
+        with ``frame_done`` = first *incomplete* frame, it marks
+        ``[frame0, frame_done)`` complete and narrows the in-flight
+        assignment to the remainder, so the subsequent requeue re-renders
+        only what is actually missing instead of the whole sub-area.
+        Returns the narrowed assignment (or ``None`` if nothing was in
+        flight).
+        """
+        a = self._inflight.get(worker)
+        if a is None:
+            return None
+        fd = max(a.frame0, min(int(frame_done), a.frame1))
+        for f in range(a.frame0, fd):
+            self._completed.add((a.region_index, f))
+        if fd > a.frame0:
+            a = replace(a, frame0=fd)
+            self._inflight[worker] = a
+        return a
+
     # -- introspection ----------------------------------------------------
     @property
     def completed_units(self) -> int:
@@ -194,7 +218,7 @@ class DemandDrivenPolicy(SchedulingPolicy):
 
     def on_worker_lost(self, worker: Worker) -> Assignment | None:
         a = self._inflight.pop(worker, None)
-        if a is not None:
+        if a is not None and a.frame0 < a.frame1:
             self._queue.append((a.region_index, a.frame0, a.frame1))
             self.n_reassigned += 1
         return a

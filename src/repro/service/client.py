@@ -9,16 +9,23 @@ is always safe.
 These are what ``repro submit`` / ``repro jobs`` wrap, and they are
 re-exported from :mod:`repro.api` as the programmatic surface::
 
-    from repro.api import submit, wait
+    from repro.api import RenderRequest, submit, wait
 
-    job = submit("127.0.0.1:7601", {"workload": "newton", "n_frames": 8})
+    job = submit("127.0.0.1:7601", RenderRequest(workload="newton", n_frames=8))
     done = wait("127.0.0.1:7601", [job["job_id"]])
+
+``submit`` takes the same :class:`~repro.api.RenderRequest` that
+:func:`~repro.api.render` runs locally — one request type for both "run
+it here" and "hand it to the daemon".  The old parallel-kwargs dict is
+still accepted for one release with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import socket
 import time
+import warnings
 
 from ..net import protocol as wire
 
@@ -55,26 +62,91 @@ def _rpc(addr: str, msg_type: int, payload: dict, timeout: float = 10.0) -> dict
     return reply
 
 
+#: RenderRequest fields the service accepts (mirrors daemon.SPEC_FIELDS;
+#: duck-typed here so this module never imports repro.api — api imports us).
+_SPEC_ATTRS = (
+    "workload",
+    "n_frames",
+    "width",
+    "height",
+    "grid_resolution",
+    "samples_per_axis",
+    "shadow_coherence",
+    "mode",
+    "n_workers",
+    "executor",
+    "transport",
+    "segment_frames",
+    "task_timeout",
+)
+
+
+def _spec_from_request(request) -> dict:
+    """Project a RenderRequest onto the wire-encodable job spec.
+
+    Fields left at their RenderRequest default are *not* sent: the
+    service owns the defaults for anything the caller didn't touch
+    (worker count, executor, transport come from the daemon's own
+    configuration, not from the client's dataclass).
+    """
+    defaults = {}
+    if dataclasses.is_dataclass(request):
+        defaults = {
+            f.name: f.default
+            for f in dataclasses.fields(request)
+            if f.default is not dataclasses.MISSING
+        }
+    workload = getattr(request, "workload", None)
+    if not isinstance(workload, str):
+        raise TypeError(
+            "submit() needs a workload *name* (the daemon rebuilds the scene "
+            f"from its own recipe), not {type(workload).__name__}"
+        )
+    spec = {"workload": workload}
+    for key in _SPEC_ATTRS[1:]:
+        value = getattr(request, key, None)
+        if value is None or (key in defaults and value == defaults[key]):
+            continue
+        spec[key] = value
+    return spec
+
+
 def submit(
     addr: str,
-    spec: dict,
+    request,
     *,
     priority: int = 0,
     owner: str = "",
     max_attempts: int = 3,
     timeout: float = 10.0,
 ) -> dict:
-    """Submit a render spec; returns the admitted job's status dict.
+    """Submit a :class:`~repro.api.RenderRequest`; returns the admitted
+    job's status dict.
+
+    The same request object :func:`repro.api.render` executes locally is
+    handed to the daemon (only the service-relevant fields travel; the
+    service owns engine/schedule/telemetry).  A plain spec dict is still
+    accepted for one release, with a :class:`DeprecationWarning`.
 
     Raises :class:`ServiceError` when admission control rejects the job
     (queue full of higher-priority work) — an explicit refusal, never a
     silent drop.
     """
+    if isinstance(request, dict):
+        warnings.warn(
+            "submit(addr, {...}) with a spec dict is deprecated; pass a "
+            "repro.api.RenderRequest instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = dict(request)
+    else:
+        spec = _spec_from_request(request)
     reply = _rpc(
         addr,
         wire.MSG_JOB_SUBMIT,
         {
-            "spec": dict(spec),
+            "spec": spec,
             "priority": int(priority),
             "owner": str(owner),
             "max_attempts": int(max_attempts),

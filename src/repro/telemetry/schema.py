@@ -43,7 +43,12 @@ __all__ = [
 #: queued/running/done/dead-letter/rejected machine, per-attempt
 #: outcomes), mirroring on the service level what ``task.attempt`` /
 #: ``recovery`` record on the task level.
-SCHEMA_VERSION = 5
+#: v6: the ``dfb.*`` family — the distributed framebuffer narrates tile
+#: arrival (``dfb.tile`` per streamed wire tile, with byte counts so
+#: time-to-first-tile and bytes-per-message are first-class metrics) and
+#: partial-retry salvage (``dfb.salvage`` when a lost worker's already
+#: composited frames are kept and only the remainder is re-dispatched).
+SCHEMA_VERSION = 6
 
 #: Ray-kind attr keys shared by ``frame`` and ``run.end``.
 RAY_KEYS = ("rays_camera", "rays_reflected", "rays_refracted", "rays_shadow", "rays_total")
@@ -82,6 +87,9 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "net.result": frozenset({"worker", "seq", "nbytes", "compressed", "duration"}),
     "net.pong": frozenset({"worker", "rtt"}),
     "net.worker.lost": frozenset({"worker", "reason", "seq"}),
+    # -- distributed framebuffer (repro.dfb) --------------------------------
+    "dfb.tile": frozenset({"worker", "seq", "frame", "x0", "y0", "x1", "y1", "nbytes"}),
+    "dfb.salvage": frozenset({"worker", "seq", "frame0", "frame_done", "frame1"}),
     # -- distributed tracing (repro.obs) -----------------------------------
     "run": frozenset({"engine"}),
     "obs.flight": frozenset({"worker", "seq", "attempt", "outcome"}),

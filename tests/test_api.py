@@ -72,14 +72,45 @@ def test_bad_engine_strategy_workload_rejected():
     assert "sequence-division-fc" in SIM_STRATEGIES
 
 
-def test_render_animation_entry_point_deprecated():
-    from repro.pipeline import render_animation
-    from repro.scenes import newton_animation
+def test_render_animation_entry_point_removed():
+    import repro
+    import repro.pipeline
 
-    anim = newton_animation(n_frames=2, width=32, height=24)
-    with pytest.warns(DeprecationWarning, match="repro.api.render"):
-        out = render_animation(anim, grid_resolution=12)
-    assert out.n_frames == 2
+    assert not hasattr(repro, "render_animation")
+    assert not hasattr(repro.pipeline, "render_animation")
+
+
+def test_result_frames_are_lazy_but_array_shaped():
+    from repro.api import LazyFrames
+
+    calls = []
+
+    def thunk():
+        calls.append(1)
+        return np.zeros((2, 3, 4, 3))
+
+    lazy = LazyFrames(thunk)
+    assert calls == []  # nothing materialized yet
+    assert lazy.shape == (2, 3, 4, 3)
+    assert len(lazy) == 2 and lazy[0].shape == (3, 4, 3)
+    assert np.asarray(lazy).dtype == np.float64
+    assert calls == [1]  # the thunk ran exactly once
+
+    result = render(RenderRequest(engine="animation", **SMALL))
+    assert isinstance(result.frames, LazyFrames)
+    assert result.frames.shape == (3, 36, 48, 3)
+    assert result.frames.tobytes() == np.asarray(result.frames).tobytes()
+
+
+def test_unified_callbacks_across_engines():
+    """on_frame fires per frame on every engine (FrameEvent), with pixels
+    on the real engines and image=None on the simulators."""
+    for engine, has_pixels in (("animation", True), ("farm", True), ("simulate", False)):
+        seen = []
+        kwargs = {"executor": "thread", "n_workers": 2} if engine == "farm" else {}
+        render(RenderRequest(engine=engine, on_frame=seen.append, **kwargs, **SMALL))
+        assert [ev.frame for ev in seen] == [0, 1, 2], engine
+        assert all((ev.image is not None) == has_pixels for ev in seen), engine
 
 
 # -- the telemetry acceptance criterion ------------------------------------------

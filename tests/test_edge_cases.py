@@ -115,11 +115,11 @@ def test_vec3_helpers():
 
 
 def test_animation_render_accessors():
-    from repro import render_animation
+    from repro.api import RenderRequest, render
     from repro.scenes import newton_animation
 
     anim = newton_animation(n_frames=2, width=16, height=12)
-    result = render_animation(anim, grid_resolution=8)
+    result = render(RenderRequest(workload=anim, engine="animation", grid_resolution=8))
     assert result.n_frames == 2
     total_px = 2 * 16 * 12
     assert result.total_computed_pixels() + result.total_copied_pixels() == total_px

@@ -323,3 +323,41 @@ def test_tcp_farm_survives_worker_kill_bit_identically(tcp_spec, serial_referenc
 def test_tcp_requires_dynamic_schedule(tcp_spec):
     with pytest.raises(ValueError, match="dynamic schedule"):
         LocalRenderFarm(tcp_spec, transport="tcp", schedule="static")
+
+
+def test_tcp_farm_streams_tiles_with_telemetry(tcp_spec, serial_reference):
+    """Tiling must actually stream (no silent whole-frame fallback): every
+    frame's pixels arrive via MSG_TILE, the RESULT ships none, and the
+    dfb.tile events validate against the pinned schema."""
+    sink = InMemorySink()
+    tel = Telemetry(sinks=(sink,))
+    farm = LocalRenderFarm(
+        tcp_spec, n_workers=2, schedule="adaptive", transport="tcp",
+        grid_resolution=12, tile_px=16, telemetry=tel,
+    )
+    out = farm.render()
+    tel.close()
+    assert out.streamed
+    assert out.frames.tobytes() == serial_reference.frames.tobytes()
+    net = out.net
+    assert net.n_tiles >= tcp_spec.build().n_frames  # >= one tile per frame
+    assert net.t_first_tile is not None and net.t_first_result is not None
+    assert net.t_first_tile <= net.t_first_result
+    # Streaming RESULTs carry bookkeeping only — tiles dominate the wire.
+    assert net.max_msg_bytes["tile"] > net.max_msg_bytes["result"]
+    validate_events(sink.events)
+    tile_events = [r for r in sink.events if r["name"] == "dfb.tile"]
+    assert len(tile_events) == net.n_tiles
+    frames_seen = {r["attrs"]["frame"] for r in tile_events}
+    assert frames_seen == set(range(tcp_spec.build().n_frames))
+
+
+def test_tcp_farm_tile_px_zero_restores_whole_subarea_wire(tcp_spec, serial_reference):
+    farm = LocalRenderFarm(
+        tcp_spec, n_workers=2, schedule="adaptive", transport="tcp",
+        grid_resolution=12, tile_px=0,
+    )
+    out = farm.render()
+    assert not out.streamed
+    assert out.net.n_tiles == 0
+    assert out.frames.tobytes() == serial_reference.frames.tobytes()

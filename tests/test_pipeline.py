@@ -1,11 +1,17 @@
-"""Tests for the high-level animation pipeline (camera cuts etc.)."""
+"""Tests for the high-level animation pipeline (camera cuts etc.), driven
+through the unified :func:`repro.api.render` facade."""
 
 import numpy as np
 import pytest
 
-from repro import render_animation
+import repro
+from repro.api import RenderRequest, render
 from repro.render import RayTracer
 from repro.scenes import newton_animation, two_shot_animation
+
+
+def run(anim, **kwargs):
+    return render(RenderRequest(workload=anim, engine="animation", **kwargs))
 
 
 @pytest.fixture(scope="module")
@@ -14,7 +20,7 @@ def cut_anim():
 
 
 def test_pipeline_exact_across_camera_cut(cut_anim):
-    result = render_animation(cut_anim, grid_resolution=16)
+    result = run(cut_anim, grid_resolution=16)
     assert result.sequences == [(0, 3), (3, 6)]
     for f in range(cut_anim.n_frames):
         full, _ = RayTracer(cut_anim.scene_at(f)).render()
@@ -22,7 +28,7 @@ def test_pipeline_exact_across_camera_cut(cut_anim):
 
 
 def test_pipeline_chain_restart_at_cut(cut_anim):
-    result = render_animation(cut_anim, grid_resolution=16)
+    result = run(cut_anim, grid_resolution=16)
     n_px = cut_anim.camera_at(0).n_pixels
     # Frames 0 and 3 are chain starts: everything computed.
     assert result.reports[0].n_computed == n_px
@@ -33,7 +39,7 @@ def test_pipeline_chain_restart_at_cut(cut_anim):
 
 
 def test_pipeline_stats_merge(cut_anim):
-    result = render_animation(cut_anim, grid_resolution=16)
+    result = run(cut_anim, grid_resolution=16)
     assert result.stats.total == sum(r.stats.total for r in result.reports)
     assert len(result.per_sequence_stats) == 2
     assert sum(s.total for s in result.per_sequence_stats) == result.stats.total
@@ -43,35 +49,47 @@ def test_pipeline_stats_merge(cut_anim):
 
 
 def test_pipeline_shadow_coherence_identical(cut_anim):
-    base = render_animation(cut_anim, grid_resolution=16)
-    ext = render_animation(cut_anim, grid_resolution=16, shadow_coherence=True)
-    np.testing.assert_array_equal(base.frames, ext.frames)
+    base = run(cut_anim, grid_resolution=16)
+    ext = run(cut_anim, grid_resolution=16, shadow_coherence=True)
+    np.testing.assert_array_equal(np.asarray(base.frames), np.asarray(ext.frames))
     assert ext.stats.shadow <= base.stats.shadow
 
 
 def test_pipeline_on_frame_callback():
     anim = newton_animation(n_frames=3, width=32, height=24)
     seen = []
-    render_animation(
-        anim, grid_resolution=12, on_frame=lambda f, rep, img: seen.append((f, img.shape))
-    )
+    run(anim, grid_resolution=12,
+        on_frame=lambda ev: seen.append((ev.frame, ev.image.shape)))
     assert seen == [(0, (24, 32, 3)), (1, (24, 32, 3)), (2, (24, 32, 3))]
+
+
+def test_pipeline_on_tile_synthesized_whole_frame():
+    # The animation engine doesn't stream wire tiles; the unified surface
+    # still delivers one whole-frame tile per frame, already complete.
+    anim = newton_animation(n_frames=2, width=32, height=24)
+    tiles = []
+    run(anim, grid_resolution=12, on_tile=tiles.append)
+    assert [(t.frame, t.x0, t.y0, t.x1, t.y1) for t in tiles] == [
+        (0, 0, 0, 32, 24),
+        (1, 0, 0, 32, 24),
+    ]
+    assert all(t.frame_complete and t.pixels.shape == (24, 32, 3) for t in tiles)
 
 
 def test_pipeline_supersampling():
     anim = newton_animation(n_frames=2, width=32, height=24)
-    result = render_animation(anim, grid_resolution=12, samples_per_axis=2)
+    result = run(anim, grid_resolution=12, samples_per_axis=2)
     full, _ = RayTracer(anim.scene_at(1)).render(samples_per_axis=2)
     np.testing.assert_array_equal(result.frames[1], full.as_image())
     with pytest.raises(ValueError):
-        render_animation(anim, shadow_coherence=True, samples_per_axis=2)
+        run(anim, shadow_coherence=True, samples_per_axis=2)
 
 
-def test_render_animation_shim_warns_deprecation():
-    """The legacy entry point must keep warning until its removal (see the
-    README's deprecation timeline); silencing it would strand callers on a
-    path that will disappear."""
-    anim = newton_animation(n_frames=2, width=16, height=12)
-    with pytest.deprecated_call(match="render_animation.*deprecated.*repro.api.render"):
-        result = render_animation(anim, grid_resolution=8)
-    assert result.frames.shape == (2, 12, 16, 3)
+def test_render_animation_shim_removed():
+    """The deprecated entry point's removal timeline has elapsed: neither
+    the package root nor the pipeline module may still export it."""
+    import repro.pipeline
+
+    assert not hasattr(repro, "render_animation")
+    assert not hasattr(repro.pipeline, "render_animation")
+    assert "render_animation" not in repro.__all__

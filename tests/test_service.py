@@ -22,6 +22,7 @@ import urllib.request
 import numpy as np
 import pytest
 
+from repro.api import RenderRequest
 from repro.obs import fetch_status
 from repro.service import (
     Job,
@@ -38,6 +39,8 @@ from repro.telemetry import read_events, validate_events
 #: Small enough to render a job in ~a second, big enough for real tasks.
 SPEC = {"workload": "newton", "n_frames": 4, "width": 48, "height": 36,
         "grid_resolution": 16}
+#: The client-side submit surface takes the unified RenderRequest.
+REQ = RenderRequest(**SPEC)
 
 
 def make_service(state_dir, **kwargs) -> RenderService:
@@ -202,7 +205,7 @@ def test_service_renders_submitted_job_over_rpc(tmp_path):
     host, port = svc.start()
     addr = f"{host}:{port}"
     try:
-        job = svc_client.submit(addr, SPEC, priority=3, owner="ada")
+        job = svc_client.submit(addr, REQ, priority=3, owner="ada")
         assert job["state"] == "queued" and job["job_id"] == "j0001"
         done = svc.step()
         assert done.state == "done"
@@ -230,7 +233,7 @@ def test_service_control_errors(tmp_path):
     try:
         with pytest.raises(ServiceError, match="unknown job"):
             svc_client.job_status(addr, "j9999")
-        job = svc_client.submit(addr, SPEC)
+        job = svc_client.submit(addr, REQ)
         cancelled = svc_client.cancel(addr, job["job_id"])
         assert cancelled["state"] == "cancelled"
         with pytest.raises(ServiceError, match="only queued"):
@@ -238,6 +241,25 @@ def test_service_control_errors(tmp_path):
         assert svc.step() is None  # cancelled job must not run
     finally:
         svc.stop()
+
+
+def test_submit_spec_dict_is_deprecated_but_works(tmp_path):
+    svc = make_service(tmp_path / "svc")
+    host, port = svc.start()
+    addr = f"{host}:{port}"
+    try:
+        with pytest.warns(DeprecationWarning, match="RenderRequest"):
+            job = svc_client.submit(addr, SPEC, priority=2)
+        assert job["state"] == "queued"
+    finally:
+        svc.stop()
+
+
+def test_submit_rejects_unnamed_workloads(tmp_path):
+    # The daemon rebuilds the scene from a recipe, so a live Animation (or
+    # any request whose workload isn't a name) must be refused up front.
+    with pytest.raises(TypeError, match="workload"):
+        svc_client.submit("127.0.0.1:1", RenderRequest(workload=object()))
 
 
 def test_service_refuses_stale_state_dir_without_resume(tmp_path):
@@ -254,11 +276,11 @@ def test_admission_control_sheds_with_explicit_rejection(tmp_path):
     host, port = svc.start()
     addr = f"{host}:{port}"
     try:
-        svc_client.submit(addr, SPEC, priority=5)
-        svc_client.submit(addr, SPEC, priority=5)
+        svc_client.submit(addr, REQ, priority=5)
+        svc_client.submit(addr, REQ, priority=5)
         # Queue full of higher-priority work: the newcomer itself is shed.
         with pytest.raises(ServiceError, match="rejected"):
-            svc_client.submit(addr, SPEC, priority=1)
+            svc_client.submit(addr, REQ, priority=1)
         # A more urgent newcomer instead sheds a queued lower-priority job.
         job, shed = svc.submit(SPEC, priority=9)
         assert shed is not None and shed is not job

@@ -18,7 +18,10 @@ non-zero if anything the network layer promises drifts:
 A second phase starts ``repro farm --transport tcp --status-port N`` as
 a subprocess, polls the live JSON endpoint while the run is in flight,
 and fails if no mid-run snapshot is served, if the run writes anything
-to stderr, or if its event log has orphan spans.
+to stderr, or if its event log has orphan spans.  The same loop polls
+the ``/preview`` endpoint of the distributed framebuffer and fails
+unless a *partially-complete* composite (``frames_complete`` below the
+frame count) is served before the run finishes, with a valid PNG body.
 
 Usage::
 
@@ -28,12 +31,14 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import socket
 import subprocess
 import sys
 import tempfile
 import time
+import urllib.request
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -55,6 +60,12 @@ def _free_port() -> int:
     with socket.socket() as s:
         s.bind(("127.0.0.1", 0))
         return s.getsockname()[1]
+
+
+def _fetch_raw(port: int, path: str) -> tuple[str, bytes]:
+    """GET a status-server path raw (``fetch_status`` JSON-decodes)."""
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=1.0) as resp:
+        return resp.headers.get("Content-Type", ""), resp.read()
 
 
 def live_status_drill(args) -> int:
@@ -82,6 +93,8 @@ def live_status_drill(args) -> int:
             },
         )
         snapshots = []
+        previews = []
+        png = None
         deadline = time.time() + 120.0
         while proc.poll() is None and time.time() < deadline:
             try:
@@ -90,7 +103,15 @@ def live_status_drill(args) -> int:
                     snapshots.append(snap)
             except OSError:
                 pass
-            time.sleep(0.2)
+            try:
+                prev = json.loads(_fetch_raw(port, "/preview?fmt=json")[1])
+                if prev.get("available") and prev.get("frames_complete", 0) < args.frames:
+                    previews.append(prev)
+                    if png is None:
+                        png = _fetch_raw(port, "/preview?fmt=png")
+            except (OSError, ValueError):
+                pass
+            time.sleep(0.1)
         try:
             stdout, stderr = proc.communicate(timeout=120.0)
         except subprocess.TimeoutExpired:
@@ -109,18 +130,31 @@ def live_status_drill(args) -> int:
         if not snapshots:
             print("FAIL: status endpoint never served a mid-run snapshot")
             return 1
+        if not previews:
+            print("FAIL: /preview never served a partially-complete frame mid-run")
+            return 1
+        if png is None or png[0] != "image/png" or png[1][:8] != b"\x89PNG\r\n\x1a\n":
+            print("FAIL: /preview?fmt=png did not serve a valid PNG")
+            return 1
         events = read_events(run_dir)
         orphans = find_orphan_spans(events)
         if orphans:
             print(f"FAIL: {len(orphans)} orphan spans in the live-run trace")
             return 1
         last = snapshots[-1]
+        best = max(previews, key=lambda p: p.get("coverage", 0.0))
         print("OK: live status endpoint served the run")
         print(
             f"  {len(snapshots)} mid-run snapshots; last: "
             f"{last.get('tasks_done', 0)} tasks, {last.get('n_events', 0)} events, "
             f"{len(last.get('workers', []))} workers"
         )
+        print(
+            f"  {len(previews)} partial /preview snapshots; peak: frame "
+            f"{best.get('frame')} at {best.get('coverage', 0.0):.0%} coverage, "
+            f"{best.get('frames_complete', 0)}/{args.frames} frames complete"
+        )
+        print(f"  /preview?fmt=png served {len(png[1])} bytes of valid PNG")
         print(f"  {len(events)} events on disk, 0 orphan spans, stderr clean")
     return 0
 

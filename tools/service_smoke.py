@@ -63,7 +63,7 @@ def reference_frames(spec: dict) -> np.ndarray:
     """The crash-free oracle: the same farm render, no service, no crash."""
     result = render(RenderRequest(engine="farm", schedule="static",
                                   **FARM, **spec))
-    return result.frames
+    return np.asarray(result.frames)
 
 
 def start_daemon(state_dir: Path, *, resume: bool) -> subprocess.Popen:
@@ -139,10 +139,10 @@ def main(argv: list[str] | None = None) -> int:
         # -- phase 1: submit two jobs, SIGKILL the daemon mid-first-job ------
         daemon = start_daemon(state_dir, resume=False)
         addr = control_addr(state_dir, daemon)
-        job_a = svc.submit(addr, SPEC_A, priority=5, owner="smoke",
-                           max_attempts=3)["job_id"]
-        job_b = svc.submit(addr, SPEC_B, priority=1, owner="smoke",
-                           max_attempts=3)["job_id"]
+        job_a = svc.submit(addr, RenderRequest(**SPEC_A, **FARM), priority=5,
+                           owner="smoke", max_attempts=3)["job_id"]
+        job_b = svc.submit(addr, RenderRequest(**SPEC_B, **FARM), priority=1,
+                           owner="smoke", max_attempts=3)["job_id"]
         print(f"submitted {job_a} (priority 5) and {job_b} (priority 1) to {addr}")
 
         deadline = time.time() + 120.0
