@@ -155,23 +155,55 @@ class LazyFrames:
     ndarray surface (``np.asarray``, ``shape``, indexing, iteration,
     ``tobytes``) is forwarded so array-shaped callers keep working
     without materializing explicitly.
+
+    A ``releaser`` callback, when given, returns the backing buffers to
+    their pool.  For a thunk source it fires automatically right after
+    the first materialization (the thunk's shared-memory refs are dead
+    weight once this object owns its own stack); for an array source it
+    fires only on an explicit :meth:`release`, because then the buffer
+    being recycled *is* the one this object serves — after release the
+    frames must not be read through this object again, and any access
+    raises.
     """
 
-    __slots__ = ("_value", "_thunk")
+    __slots__ = ("_value", "_thunk", "_releaser")
 
-    def __init__(self, source):
+    def __init__(self, source, releaser=None):
         if callable(source):
             self._value = None
             self._thunk = source
         else:
             self._value = np.asarray(source)
             self._thunk = None
+        self._releaser = releaser
 
     def materialize(self) -> np.ndarray:
         if self._value is None:
+            if self._thunk is None:
+                raise RuntimeError(
+                    "frames were released; re-render to read pixels again"
+                )
             self._value = np.asarray(self._thunk())
             self._thunk = None
+            self._fire()
         return self._value
+
+    def _fire(self) -> None:
+        releaser, self._releaser = self._releaser, None
+        if releaser is not None:
+            releaser()
+
+    def release(self) -> None:
+        """Hand the backing storage back to its owner (idempotent).
+
+        Call when the frames are spooled/consumed and will never be read
+        through this object again — e.g. the render service releases a
+        job's frames the moment ``frames.npz`` is on disk, so a
+        long-lived daemon's resident set stays one job deep.
+        """
+        self._value = None
+        self._thunk = None
+        self._fire()
 
     def __array__(self, dtype=None, copy=None):
         a = self.materialize()
@@ -206,9 +238,11 @@ class LazyFrames:
         return self.materialize().tobytes()
 
     def __repr__(self) -> str:
-        if self._value is None:
-            return "LazyFrames(<unmaterialized>)"
-        return f"LazyFrames(shape={self._value.shape})"
+        if self._value is not None:
+            return f"LazyFrames(shape={self._value.shape})"
+        if self._thunk is None:
+            return "LazyFrames(<released>)"
+        return "LazyFrames(<unmaterialized>)"
 
 
 @dataclass
@@ -412,12 +446,18 @@ def _run_farm(req: RenderRequest, tel, label, spec, preview=None) -> RenderResul
         "invalid": out.n_invalid,
         "degraded": out.n_degraded,
     }
+    # The farm's final stack is pool-acquired (dfb take_frames); wiring
+    # the pool back in lets frames.release() recycle it once consumed —
+    # a long-running service re-renders same-shaped jobs allocation-free.
+    from .buffers import default_pool
+
+    out_frames = out.frames
     return RenderResult(
         engine="farm",
         workload=label,
         n_frames=out.n_frames,
         wall_time=wall,
-        frames=LazyFrames(out.frames),
+        frames=LazyFrames(out_frames, releaser=lambda: default_pool().release(out_frames)),
         stats=out.stats,
         mode=out.mode,
         n_tasks=out.n_tasks,

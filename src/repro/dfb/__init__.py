@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..buffers import BufferPool, default_pool
 from .png import encode_png
 
 __all__ = [
@@ -105,15 +106,31 @@ class FrameBuffer:
     ``add_tile`` is idempotent — a duplicate delivery (worker retried, or
     a tile raced its worker's loss) overwrites with identical pixels and
     reports zero newly-covered pixels.
+
+    The pixel plane comes from a :class:`~repro.buffers.BufferPool` when
+    one is passed: the compositor owns that buffer's lifetime and must
+    hand it back via :meth:`release` once the pixels have been copied
+    out (``FrameAssembler.take_frames`` does).
     """
 
-    __slots__ = ("height", "width", "image", "covered")
+    __slots__ = ("height", "width", "image", "covered", "_pool")
 
-    def __init__(self, height: int, width: int):
+    def __init__(self, height: int, width: int, pool: BufferPool | None = None):
         self.height = int(height)
         self.width = int(width)
-        self.image = np.zeros((self.height, self.width, 3), dtype=np.float64)
+        self._pool = pool
+        if pool is not None:
+            self.image = pool.acquire((self.height, self.width, 3), np.float64, zero=True)
+        else:
+            self.image = np.zeros((self.height, self.width, 3), dtype=np.float64)
         self.covered = np.zeros((self.height, self.width), dtype=bool)
+
+    def release(self) -> None:
+        """Return the pixel plane to the pool; the buffer must no longer
+        be read through ``image`` afterwards (it will be recycled)."""
+        image, self.image = self.image, None
+        if self._pool is not None and image is not None:
+            self._pool.release(image)
 
     def add_tile(self, x0: int, y0: int, x1: int, y1: int, pixels: np.ndarray) -> int:
         """Composite one tile; returns the count of newly-covered pixels."""
@@ -151,12 +168,26 @@ class FrameAssembler:
     regardless of which workers streamed.  All methods are thread-safe.
     """
 
-    def __init__(self, n_frames: int, width: int, height: int):
+    def __init__(
+        self,
+        n_frames: int,
+        width: int,
+        height: int,
+        pool: BufferPool | None = None,
+    ):
         self.n_frames = int(n_frames)
         self.width = int(width)
         self.height = int(height)
-        self._frames = [FrameBuffer(height, width) for _ in range(self.n_frames)]
+        # Per-frame composite planes come from the buffer pool (the
+        # process-wide one unless a private pool is passed), and go back
+        # to it in take_frames()/release() — repeated runs recycle the
+        # same memory instead of reallocating every framebuffer.
+        self.pool = default_pool() if pool is None else pool
+        self._frames = [
+            FrameBuffer(height, width, pool=self.pool) for _ in range(self.n_frames)
+        ]
         self._lock = threading.Lock()
+        self._released = False
         self.n_tiles = 0  #: tiles folded in (duplicates included)
 
     def _box(self, box) -> tuple[int, int, int, int]:
@@ -177,6 +208,7 @@ class FrameAssembler:
         """Fold one tile in; returns ``(newly_covered, frame_complete)``."""
         frame = self._check_frame(frame)
         with self._lock:
+            self._check_live()
             fb = self._frames[frame]
             newly = fb.add_tile(int(x0), int(y0), int(x1), int(y1), pixels)
             self.n_tiles += 1
@@ -200,6 +232,7 @@ class FrameAssembler:
                 f"{(n, h * w, 3)} nor {(n, h, w, 3)}"
             )
         with self._lock:
+            self._check_live()
             for i in range(n):
                 self._frames[self._check_frame(frame0 + i)].add_tile(
                     x0, y0, x1, y1, frames[i]
@@ -252,9 +285,14 @@ class FrameAssembler:
     def complete(self) -> bool:
         return self.n_complete == self.n_frames
 
+    def _check_live(self) -> None:
+        if self._released:
+            raise RuntimeError("framebuffer already released its composite buffers")
+
     def frames(self) -> np.ndarray:
         """The final ``(n_frames, H, W, 3)`` stack; raises if incomplete."""
         with self._lock:
+            self._check_live()
             missing = [f for f, fb in enumerate(self._frames) if not fb.complete]
             if missing:
                 raise RuntimeError(
@@ -263,8 +301,46 @@ class FrameAssembler:
                 )
             return np.stack([fb.image for fb in self._frames])
 
+    def take_frames(self) -> np.ndarray:
+        """:meth:`frames`, then hand every composite buffer back to the
+        pool.  The returned stack is the caller's own storage (the one
+        copy final assembly always was) but is itself pool-acquired, so
+        a caller done with the pixels can release it back (see
+        :meth:`repro.api.LazyFrames.release`) and a steady-state service
+        re-renders same-shaped jobs without fresh stack allocations.
+        The assembler is spent afterwards."""
+        with self._lock:
+            self._check_live()
+            missing = [f for f, fb in enumerate(self._frames) if not fb.complete]
+            if missing:
+                raise RuntimeError(
+                    f"framebuffer incomplete: frames {missing[:8]}"
+                    f"{'...' if len(missing) > 8 else ''} have uncovered pixels"
+                )
+            out = self.pool.acquire(
+                (len(self._frames), self.height, self.width, 3), np.float64
+            )
+            for i, fb in enumerate(self._frames):
+                out[i] = fb.image
+            self._released = True
+            for fb in self._frames:
+                fb.release()
+        return out
+
+    def release(self) -> None:
+        """Return all composite buffers to the pool; idempotent.  The
+        assembler refuses pixel reads afterwards (coverage bookkeeping
+        for late salvage queries stays valid)."""
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+            for fb in self._frames:
+                fb.release()
+
     def frame_image(self, frame: int) -> np.ndarray:
         with self._lock:
+            self._check_live()
             return self._frames[self._check_frame(frame)].image.copy()
 
     def preview(self, frame: int | None = None) -> tuple[int, np.ndarray, float]:
@@ -275,6 +351,7 @@ class FrameAssembler:
         the frame a watcher most wants to see filling in.
         """
         with self._lock:
+            self._check_live()
             if frame is None:
                 partial = [
                     (fb.coverage(), f)

@@ -67,8 +67,11 @@ from __future__ import annotations
 
 import struct
 import zlib
+from collections import deque
 
 import numpy as np
+
+from ..buffers import copystats
 
 __all__ = [
     "PROTO_VERSION",
@@ -90,11 +93,15 @@ __all__ = [
     "MSG_NAMES",
     "ProtocolError",
     "encode",
+    "encode_parts",
     "decode",
     "pack_frame",
+    "pack_frame_parts",
     "send_frame",
     "recv_frame",
     "FrameAssembler",
+    "set_zero_copy",
+    "zero_copy_enabled",
 ]
 
 PROTO_VERSION = 1
@@ -158,6 +165,29 @@ class ProtocolError(RuntimeError):
     """Malformed frame or unencodable value on the repro.net wire."""
 
 
+#: Zero-copy data plane switch.  On (the default), encode ships array
+#: buffers as memoryviews (scatter-gather on send), the assembler slices
+#: views out of received chunks, and decode returns **read-only** views
+#: over the payload — pixel bytes are copied at most once per hop (when
+#: a payload spans recv chunks).  Off reproduces the legacy tobytes /
+#: extend / slice / .copy() pipeline, with every one of those copies
+#: charged to :data:`repro.buffers.copystats` so benchmarks can measure
+#: the difference honestly.
+_ZERO_COPY = True
+
+
+def set_zero_copy(enabled: bool) -> bool:
+    """Flip the zero-copy data plane; returns the previous setting."""
+    global _ZERO_COPY
+    prev = _ZERO_COPY
+    _ZERO_COPY = bool(enabled)
+    return prev
+
+
+def zero_copy_enabled() -> bool:
+    return _ZERO_COPY
+
+
 # -- value encoding ---------------------------------------------------------------
 def _encode_into(out: list, obj, compress_arrays: bool, min_bytes: int) -> None:
     if obj is None:
@@ -197,13 +227,22 @@ def _encode_into(out: list, obj, compress_arrays: bool, min_bytes: int) -> None:
 
 def _encode_array(out: list, a: np.ndarray, compress: bool, min_bytes: int) -> None:
     if a.ndim:  # ascontiguousarray would promote a 0-d array to 1-d
+        if not a.flags.c_contiguous:
+            copystats.add(a.nbytes, "encode.contig")
         a = np.ascontiguousarray(a)
     dtype = a.dtype.str.encode("ascii")
-    raw = a.tobytes()
-    packed = zlib.compress(raw) if compress and len(raw) >= min_bytes else None
+    if _ZERO_COPY and a.ndim and a.size:
+        # A byte-window over the array's own storage; sendmsg gathers it
+        # straight off the frame buffer.
+        raw = memoryview(a).cast("B")
+    else:
+        copystats.add(a.nbytes, "encode.tobytes")
+        raw = a.tobytes()
+    nbytes = a.nbytes
+    packed = zlib.compress(raw) if compress and nbytes >= min_bytes else None
     # Incompressible data (already-noisy framebuffers) can grow under zlib;
     # keep whichever representation is smaller.
-    if packed is not None and len(packed) >= len(raw):
+    if packed is not None and len(packed) >= nbytes:
         packed = None
     data = raw if packed is None else packed
     out.append(b"a" + struct.pack("!B", len(dtype)) + dtype)
@@ -211,90 +250,200 @@ def _encode_array(out: list, a: np.ndarray, compress: bool, min_bytes: int) -> N
     for dim in a.shape:
         out.append(_U64.pack(dim))
     out.append(struct.pack("!B", 0 if packed is None else 1))
-    out.append(_U64.pack(len(data)))
+    out.append(_U64.pack(_nbytes(data)))
     out.append(data)
+
+
+def _nbytes(part) -> int:
+    return part.nbytes if isinstance(part, memoryview) else len(part)
+
+
+#: Array views at or above this size stay their own scatter-gather part;
+#: anything smaller is cheaper to memcpy into the neighboring metadata
+#: run than to spend an iovec slot on.
+_COALESCE_BELOW = 4096
+
+
+def _coalesce(parts: list) -> list:
+    """Merge runs of small fragments; keep large array views zero-copy."""
+    merged: list = []
+    acc = bytearray()
+    for part in parts:
+        if isinstance(part, memoryview) and part.nbytes >= _COALESCE_BELOW:
+            if acc:
+                merged.append(bytes(acc))
+                acc = bytearray()
+            merged.append(part)
+        else:
+            acc += part
+    if acc:
+        merged.append(bytes(acc))
+    return merged
+
+
+def encode_parts(
+    obj, *, compress_arrays: bool = False, compress_min_bytes: int = 4096
+) -> list:
+    """Serialize ``obj`` to a list of buffers (bytes and memoryviews).
+
+    Large array buffers come back as memoryviews over the arrays' own
+    storage — the zero-copy send path hands them to ``sendmsg`` as-is.
+    The caller must not mutate those arrays until the parts are sent.
+    """
+    out: list = []
+    _encode_into(out, obj, compress_arrays, compress_min_bytes)
+    return _coalesce(out)
 
 
 def encode(obj, *, compress_arrays: bool = False, compress_min_bytes: int = 4096) -> bytes:
     """Serialize ``obj`` to payload bytes (see the module doc for types)."""
-    out: list[bytes] = []
-    _encode_into(out, obj, compress_arrays, compress_min_bytes)
-    return b"".join(out)
+    return b"".join(
+        encode_parts(obj, compress_arrays=compress_arrays, compress_min_bytes=compress_min_bytes)
+    )
 
 
 class _Reader:
-    __slots__ = ("data", "pos")
+    """Cursor over a payload buffer; ``take`` returns zero-copy windows."""
 
-    def __init__(self, data: bytes):
-        self.data = data
+    __slots__ = ("data", "pos", "size")
+
+    def __init__(self, data):
+        mv = data if isinstance(data, memoryview) else memoryview(data)
+        if mv.format != "B":
+            mv = mv.cast("B")
+        self.data = mv
         self.pos = 0
+        self.size = mv.nbytes
 
-    def take(self, n: int) -> bytes:
+    def take(self, n: int) -> memoryview:
         end = self.pos + n
-        if end > len(self.data):
+        if end > self.size:
             raise ProtocolError("truncated payload")
         chunk = self.data[self.pos : end]
         self.pos = end
         return chunk
 
+    def take_byte(self) -> int:
+        if self.pos >= self.size:
+            raise ProtocolError("truncated payload")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+
+_T_NONE, _T_TRUE, _T_FALSE = ord("N"), ord("T"), ord("F")
+_T_INT, _T_FLOAT, _T_STR, _T_BYTES = ord("i"), ord("f"), ord("s"), ord("b")
+_T_LIST, _T_TUPLE, _T_DICT, _T_ARRAY = ord("l"), ord("t"), ord("d"), ord("a")
+
 
 def _decode_one(r: _Reader):
-    tag = r.take(1)
-    if tag == b"N":
+    tag = r.take_byte()
+    if tag == _T_NONE:
         return None
-    if tag == b"T":
+    if tag == _T_TRUE:
         return True
-    if tag == b"F":
+    if tag == _T_FALSE:
         return False
-    if tag == b"i":
+    if tag == _T_INT:
         return _I64.unpack(r.take(8))[0]
-    if tag == b"f":
+    if tag == _T_FLOAT:
         return _F64.unpack(r.take(8))[0]
-    if tag == b"s":
+    if tag == _T_STR:
         (n,) = _U32.unpack(r.take(4))
-        return r.take(n).decode("utf-8")
-    if tag == b"b":
+        return str(r.take(n), "utf-8")
+    if tag == _T_BYTES:
         (n,) = _U32.unpack(r.take(4))
-        return r.take(n)
-    if tag in (b"l", b"t"):
+        return bytes(r.take(n))
+    if tag in (_T_LIST, _T_TUPLE):
         (n,) = _U32.unpack(r.take(4))
         items = [_decode_one(r) for _ in range(n)]
-        return tuple(items) if tag == b"t" else items
-    if tag == b"d":
+        return tuple(items) if tag == _T_TUPLE else items
+    if tag == _T_DICT:
         (n,) = _U32.unpack(r.take(4))
         return {_decode_one(r): _decode_one(r) for _ in range(n)}
-    if tag == b"a":
-        (dlen,) = struct.unpack("!B", r.take(1))
-        dtype = np.dtype(r.take(dlen).decode("ascii"))
-        (ndim,) = struct.unpack("!B", r.take(1))
+    if tag == _T_ARRAY:
+        dlen = r.take_byte()
+        dtype = np.dtype(str(r.take(dlen), "ascii"))
+        ndim = r.take_byte()
         shape = tuple(_U64.unpack(r.take(8))[0] for _ in range(ndim))
-        (compressed,) = struct.unpack("!B", r.take(1))
+        compressed = r.take_byte()
         (nbytes,) = _U64.unpack(r.take(8))
         data = r.take(nbytes)
         if compressed:
             data = zlib.decompress(data)
+        if _ZERO_COPY:
+            # Read-only view over the payload itself — the one rule of
+            # the data plane: decoded arrays are borrowed, never owned.
+            # Consumers that must mutate copy explicitly (DESIGN §15).
+            arr = np.frombuffer(data, dtype=dtype).reshape(shape)
+            if arr.flags.writeable:
+                arr.setflags(write=False)
+            return arr
+        copystats.add(int(nbytes), "decode.copy")
         return np.frombuffer(data, dtype=dtype).reshape(shape).copy()
-    raise ProtocolError(f"unknown payload tag {tag!r}")
+    raise ProtocolError(f"unknown payload tag {chr(tag)!r}")
 
 
-def decode(payload: bytes):
-    """Inverse of :func:`encode`; raises :class:`ProtocolError` on junk."""
+def decode(payload):
+    """Inverse of :func:`encode`; raises :class:`ProtocolError` on junk.
+
+    Accepts bytes or a memoryview.  Arrays in the result are read-only
+    views over ``payload`` (they keep it alive; copy to mutate) unless
+    zero-copy is disabled.
+    """
     r = _Reader(payload)
     obj = _decode_one(r)
-    if r.pos != len(payload):
-        raise ProtocolError(f"{len(payload) - r.pos} trailing bytes after payload")
+    if r.pos != r.size:
+        raise ProtocolError(f"{r.size - r.pos} trailing bytes after payload")
     return obj
 
 
 # -- framing ---------------------------------------------------------------------
+def pack_frame_parts(
+    msg_type: int, obj, *, compress_arrays: bool = False, compress_min_bytes: int = 4096
+) -> list:
+    """One frame as a scatter-gather buffer list: [header, payload parts...]."""
+    parts = encode_parts(
+        obj, compress_arrays=compress_arrays, compress_min_bytes=compress_min_bytes
+    )
+    length = sum(_nbytes(p) for p in parts)
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"payload of {length} bytes exceeds MAX_PAYLOAD")
+    return [_HEADER.pack(MAGIC, PROTO_VERSION, msg_type, 0, length), *parts]
+
+
 def pack_frame(
     msg_type: int, obj, *, compress_arrays: bool = False, compress_min_bytes: int = 4096
 ) -> bytes:
     """One complete on-the-wire frame: header + encoded payload."""
-    payload = encode(obj, compress_arrays=compress_arrays, compress_min_bytes=compress_min_bytes)
-    if len(payload) > MAX_PAYLOAD:
-        raise ProtocolError(f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD")
-    return _HEADER.pack(MAGIC, PROTO_VERSION, msg_type, 0, len(payload)) + payload
+    return b"".join(
+        pack_frame_parts(
+            msg_type, obj, compress_arrays=compress_arrays, compress_min_bytes=compress_min_bytes
+        )
+    )
+
+
+def _send_parts(sock, parts: list) -> None:
+    """Scatter-gather send: array buffers go to the kernel from their own
+    storage (``sendmsg``), never joined into one outbound copy."""
+    sendmsg = getattr(sock, "sendmsg", None)
+    if sendmsg is None:  # test doubles / exotic sockets: one joined write
+        sock.sendall(b"".join(parts))
+        return
+    views = [
+        p if isinstance(p, memoryview) and p.format == "B" else memoryview(p).cast("B")
+        for p in parts
+    ]
+    while views:
+        sent = sendmsg(views)
+        while sent:
+            head = views[0]
+            if head.nbytes <= sent:
+                sent -= head.nbytes
+                views.pop(0)
+            else:
+                views[0] = head[sent:]
+                sent = 0
 
 
 def send_frame(
@@ -306,14 +455,26 @@ def send_frame(
     compress_arrays: bool = False,
     compress_min_bytes: int = 4096,
 ) -> int:
-    """Frame + sendall; returns the byte count put on the wire.
+    """Frame + scatter-gather send; returns the byte count put on the wire.
 
     ``lock`` (any context manager) serializes writers — the worker's
     heartbeat-responder thread and its render loop share one socket.
     """
+    if _ZERO_COPY:
+        parts = pack_frame_parts(
+            msg_type, obj, compress_arrays=compress_arrays, compress_min_bytes=compress_min_bytes
+        )
+        total = sum(_nbytes(p) for p in parts)
+        if lock is not None:
+            with lock:
+                _send_parts(sock, parts)
+        else:
+            _send_parts(sock, parts)
+        return total
     frame = pack_frame(
         msg_type, obj, compress_arrays=compress_arrays, compress_min_bytes=compress_min_bytes
     )
+    copystats.add(len(frame) - HEADER_SIZE, "send.join")
     if lock is not None:
         with lock:
             sock.sendall(frame)
@@ -371,24 +532,82 @@ class FrameAssembler:
     (``frame_bytes`` counts header + payload, for wire accounting).
     Partial frames stay buffered across feeds, so the master never blocks
     waiting for the rest of a message.
+
+    Fed chunks are kept whole in a deque and *sliced as views*: a payload
+    that fits inside one recv chunk is decoded zero-copy in place (the
+    decoded arrays alias the chunk and keep it alive), and a payload
+    spanning chunks is joined exactly once.  The legacy mode
+    (:func:`set_zero_copy`\\ ``(False)``) reproduces the old
+    extend-then-slice bytearray pipeline, with its copies charged to
+    :data:`repro.buffers.copystats`.
     """
 
     def __init__(self) -> None:
-        self._buf = bytearray()
+        self._chunks: deque[memoryview] = deque()
+        self._avail = 0
         self.bytes_seen = 0
 
-    def feed(self, data: bytes) -> None:
-        self._buf.extend(data)
+    def feed(self, data) -> None:
+        if not data:
+            return
+        if not isinstance(data, bytes):
+            # Only immutable buffers may be aliased by decoded views.
+            data = bytes(data)
+        if not _ZERO_COPY:
+            copystats.add(len(data), "assembler.extend")
+        self._chunks.append(memoryview(data))
+        self._avail += len(data)
         self.bytes_seen += len(data)
+
+    def _peek_header(self) -> memoryview | bytes:
+        head = self._chunks[0]
+        if head.nbytes >= HEADER_SIZE:
+            return head[:HEADER_SIZE]
+        buf = bytearray()
+        for chunk in self._chunks:
+            buf += chunk[: HEADER_SIZE - len(buf)]
+            if len(buf) == HEADER_SIZE:
+                break
+        return bytes(buf)
+
+    def _take(self, n: int) -> memoryview:
+        """Consume ``n`` buffered bytes as one contiguous view — zero-copy
+        off the front chunk when it covers them, one counted join if not."""
+        head = self._chunks[0]
+        if head.nbytes >= n:
+            out = head[:n]
+            if head.nbytes == n:
+                self._chunks.popleft()
+            else:
+                self._chunks[0] = head[n:]
+            self._avail -= n
+            return out
+        copystats.add(n, "assembler.join")
+        buf = bytearray(n)
+        pos = 0
+        while pos < n:
+            head = self._chunks[0]
+            take = min(head.nbytes, n - pos)
+            buf[pos : pos + take] = head[:take]
+            if take == head.nbytes:
+                self._chunks.popleft()
+            else:
+                self._chunks[0] = head[take:]
+            pos += take
+        self._avail -= n
+        return memoryview(buf)  # we own buf; decode marks array views read-only
 
     def __iter__(self):
         while True:
-            if len(self._buf) < HEADER_SIZE:
+            if self._avail < HEADER_SIZE:
                 return
-            msg_type, length = _parse_header(bytes(self._buf[:HEADER_SIZE]))
+            msg_type, length = _parse_header(self._peek_header())
             total = HEADER_SIZE + length
-            if len(self._buf) < total:
+            if self._avail < total:
                 return
-            payload = bytes(self._buf[HEADER_SIZE:total])
-            del self._buf[:total]
+            self._take(HEADER_SIZE)
+            payload = self._take(length) if length else memoryview(b"")
+            if not _ZERO_COPY:
+                copystats.add(length, "assembler.slice")
+                payload = bytes(payload)
             yield msg_type, decode(payload), total

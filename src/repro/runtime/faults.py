@@ -135,10 +135,21 @@ def corrupt_result(result):
     transfer); generic over the farm's per-mode result layouts because it
     only needs to defeat the supervisor's finite-value check.
     """
+    from ..buffers import FrameRef
+
     if not isinstance(result, tuple):
         return result
     out = list(result)
     for i, item in enumerate(out):
+        if isinstance(item, FrameRef):
+            # Shared-memory result: the garbage lands in the segment
+            # itself — exactly what a worker with bad RAM would ship.
+            def smear(view: np.ndarray) -> None:
+                if np.issubdtype(view.dtype, np.floating):
+                    view.reshape(-1)[: max(1, view.size // 16)] = np.nan
+
+            item.mutate(smear)
+            break
         if isinstance(item, np.ndarray) and np.issubdtype(item.dtype, np.floating):
             bad = item.copy()
             bad.reshape(-1)[: max(1, bad.size // 16)] = np.nan

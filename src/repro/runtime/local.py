@@ -57,6 +57,13 @@ from ..obs.trace import TraceContext, flight_span_id, new_run_id, worker_session
 from ..parallel.partition import PixelRegion, default_block_layout, sequence_ranges
 from ..render import RayStats
 from ..telemetry import NULL as NULL_TELEMETRY
+from ..buffers import (
+    FrameRef,
+    SharedFrameStore,
+    activate_worker_store,
+    release_refs,
+    worker_store,
+)
 from ..telemetry import Telemetry
 from ..telemetry.profiling import profile_into
 from .faults import FaultPlan
@@ -82,8 +89,37 @@ def _spec_key(spec: AnimationSpec) -> tuple:
     return (spec.factory, repr(sorted(spec.kwargs.items())))
 
 
-def _worker_init(spec: AnimationSpec) -> None:
+def _worker_init(spec: AnimationSpec, shm_token: str | None = None) -> None:
     _get_anim(spec)
+    # A token means the master runs a process pool and wants frames in
+    # shared memory; thread/serial executors pass None (same process —
+    # pickling never happens, so plain arrays are already zero-copy).
+    activate_worker_store(shm_token)
+
+
+def _frames_alloc(shape) -> tuple:
+    """One task's output framebuffer: ``(handle, writable array)``.
+
+    With an armed worker store the array is a shared-memory segment the
+    renderer fills in place and ``handle`` is the picklable
+    :class:`~repro.buffers.FrameRef` that rides home in the result tuple
+    — the pixels themselves never cross the fork boundary.  Otherwise
+    both are one plain ndarray.
+    """
+    store = worker_store()
+    if store is None:
+        frames = np.empty(shape, dtype=np.float64)
+        return frames, frames
+    return store.create(shape, np.float64)
+
+
+def _seal_frames(handle) -> None:
+    """Drop the worker's own mapping of a shm-backed result (the master
+    re-attaches from the FrameRef; keeping ours open just holds pages).
+    The caller must have dropped its own view of the frames first, or the
+    mapping survives until GC collects the view."""
+    if isinstance(handle, FrameRef):
+        handle.close_local()
 
 
 def _get_anim(spec: AnimationSpec):
@@ -172,14 +208,16 @@ def _render_block_task(args):
                 samples_per_axis=samples,
                 telemetry=tel,
             )
-            frames = np.empty((anim.n_frames, region.size, 3), dtype=np.float64)
+            out_frames, frames = _frames_alloc((anim.n_frames, region.size, 3))
             for f in range(anim.n_frames):
                 renderer.render_next()
                 frames[f] = renderer.framebuffer.gather(region)
             stats = RayStats.merge(r.stats for r in renderer.reports)
             sp.attrs["rays"] = stats.total
             sp.attrs["n_computed"] = sum(r.n_computed for r in renderer.reports)
-    return box, region, frames, stats.counts, _finish_worker_events(tel, sink)
+    frames = None
+    _seal_frames(out_frames)
+    return box, region, out_frames, stats.counts, _finish_worker_events(tel, sink)
 
 
 def _render_sequence_task(args):
@@ -209,14 +247,16 @@ def _render_sequence_task(args):
                 last_frame=stop,
                 telemetry=tel,
             )
-            frames = np.empty((stop - start, cam.height, cam.width, 3), dtype=np.float64)
+            out_frames, frames = _frames_alloc((stop - start, cam.height, cam.width, 3))
             for i in range(stop - start):
                 renderer.render_next()
                 frames[i] = renderer.frame_image()
             stats = RayStats.merge(r.stats for r in renderer.reports)
             sp.attrs["rays"] = stats.total
             sp.attrs["n_computed"] = sum(r.n_computed for r in renderer.reports)
-    return start, stop, frames, stats.counts, _finish_worker_events(tel, sink)
+    frames = None
+    _seal_frames(out_frames)
+    return start, stop, out_frames, stats.counts, _finish_worker_events(tel, sink)
 
 
 def _render_hybrid_task(args):
@@ -247,14 +287,16 @@ def _render_hybrid_task(args):
                 last_frame=stop,
                 telemetry=tel,
             )
-            frames = np.empty((stop - start, region.size, 3), dtype=np.float64)
+            out_frames, frames = _frames_alloc((stop - start, region.size, 3))
             for i in range(stop - start):
                 renderer.render_next()
                 frames[i] = renderer.framebuffer.gather(region)
             stats = RayStats.merge(r.stats for r in renderer.reports)
             sp.attrs["rays"] = stats.total
             sp.attrs["n_computed"] = sum(r.n_computed for r in renderer.reports)
-    return box, region, start, stop, frames, stats.counts, _finish_worker_events(tel, sink)
+    frames = None
+    _seal_frames(out_frames)
+    return box, region, start, stop, out_frames, stats.counts, _finish_worker_events(tel, sink)
 
 
 # Renderer-continuation cache for the dynamic schedules: an adaptive
@@ -329,7 +371,7 @@ def _render_segment_task(args, emit_tile=None):
             if emit_tile is not None:
                 # Streaming: pixels leave through the sink frame by frame;
                 # the result ships no framebuffer at all.
-                frames = None
+                out_frames = frames = None
                 for i in range(n_new):
                     renderer.render_next()
                     if region is None:
@@ -342,12 +384,12 @@ def _render_segment_task(args, emit_tile=None):
                             .reshape(y1 - y0, x1 - x0, 3),
                         )
             elif region is None:
-                frames = np.empty((n_new, cam.height, cam.width, 3), dtype=np.float64)
+                out_frames, frames = _frames_alloc((n_new, cam.height, cam.width, 3))
                 for i in range(n_new):
                     renderer.render_next()
                     frames[i] = renderer.frame_image()
             else:
-                frames = np.empty((n_new, region.size, 3), dtype=np.float64)
+                out_frames, frames = _frames_alloc((n_new, region.size, 3))
                 for i in range(n_new):
                     renderer.render_next()
                     frames[i] = renderer.framebuffer.gather(region)
@@ -360,7 +402,9 @@ def _render_segment_task(args, emit_tile=None):
             _SEGMENT_CACHE[_segment_cache_key(spec, box, grid_resolution, samples, f1)] = renderer
             while len(_SEGMENT_CACHE) > _SEGMENT_CACHE_MAX:
                 del _SEGMENT_CACHE[next(iter(_SEGMENT_CACHE))]
-    return box, f0, f1, frames, stats.counts, _finish_worker_events(tel, sink)
+    frames = None
+    _seal_frames(out_frames)
+    return box, f0, f1, out_frames, stats.counts, _finish_worker_events(tel, sink)
 
 
 _TASK_FNS = {
@@ -892,13 +936,19 @@ class LocalRenderFarm:
                 _save_task_result(_spool_path(run_path, idx), result)
                 tel.event("checkpoint", task=idx, action="saved")
 
+        # Process pools get a shared-memory frame store: workers render
+        # into segments and return FrameRef handles, so no pixels are
+        # pickled back across the fork boundary.  The master (here)
+        # releases every ref after assembly and sweeps stragglers —
+        # segments of crashed attempts or discarded duplicates.
+        store = SharedFrameStore() if self.executor == "process" else None
         supervisor = TaskSupervisor(
             _TASK_FNS[self.mode],
             tasks,
             executor=self.executor,
             n_workers=self.n_workers,
             initializer=_worker_init,
-            initargs=(self.spec,),
+            initargs=(self.spec, store.token if store else None),
             validate=validate,
             max_attempts=self.max_attempts,
             task_timeout=self.task_timeout,
@@ -910,21 +960,27 @@ class LocalRenderFarm:
             completed=completed,
             on_result=on_result,
         )
-        out = supervisor.run()
+        out = None
+        try:
+            out = supervisor.run()
 
-        frames = np.zeros((anim.n_frames, cam.height, cam.width, 3), dtype=np.float64)
-        if self.mode == "frame":
-            flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
-            for _box, region, block_frames, _counts, _ev in out.results:
-                flat[:, np.asarray(region), :] = block_frames
-        elif self.mode == "hybrid":
-            flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
-            for _box, region, start, stop, chunk_frames, _counts, _ev in out.results:
-                flat[int(start) : int(stop)][:, np.asarray(region), :] = chunk_frames
-        else:
-            for start, stop, seq_frames, _counts, _ev in out.results:
-                frames[int(start) : int(stop)] = seq_frames
-        stats = RayStats.merge(res[-2] for res in out.results)
+            frames = np.zeros((anim.n_frames, cam.height, cam.width, 3), dtype=np.float64)
+            if self.mode == "frame":
+                flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
+                for _box, region, block_frames, _counts, _ev in out.results:
+                    flat[:, np.asarray(region), :] = block_frames
+            elif self.mode == "hybrid":
+                flat = frames.reshape(anim.n_frames, cam.n_pixels, 3)
+                for _box, region, start, stop, chunk_frames, _counts, _ev in out.results:
+                    flat[int(start) : int(stop)][:, np.asarray(region), :] = chunk_frames
+            else:
+                for start, stop, seq_frames, _counts, _ev in out.results:
+                    frames[int(start) : int(stop)] = seq_frames
+            stats = RayStats.merge(res[-2] for res in out.results)
+        finally:
+            if store is not None:
+                release_refs(out.results if out is not None else ())
+                store.cleanup()
         self._fire_synthetic_events(frames)
 
         if tel.enabled:
@@ -1061,6 +1117,9 @@ class LocalRenderFarm:
                 return (spec, box_of(a), int(a.frame0), int(a.frame1), bool(a.fresh),
                         label, grid, samples, ctx_of(a, lane), prof)
 
+            # Same shared-memory contract as the static path: pool workers
+            # park pixels in segments, only FrameRef handles ride back.
+            store = SharedFrameStore() if self.executor == "process" else None
             transport = ProcessTransport(
                 policy,
                 _render_segment_task,
@@ -1068,9 +1127,10 @@ class LocalRenderFarm:
                 n_workers=self.n_workers,
                 telemetry=tel,
                 trace_root=run_span,
+                frame_store=store,
                 executor=self.executor,
                 initializer=_worker_init,
-                initargs=(self.spec,),
+                initargs=(self.spec, store.token if store else None),
                 validate=validate,
                 max_attempts=self.max_attempts,
                 task_timeout=self.task_timeout,
@@ -1089,8 +1149,9 @@ class LocalRenderFarm:
         if assembler is not None:
             # Every result — streamed tiles and whole sub-areas from
             # non-tiling workers alike — was folded into the compositor
-            # as it arrived; the finished frames come straight from it.
-            frames = assembler.frames()
+            # as it arrived; taking the frames hands the per-frame
+            # composite buffers back to the pool.
+            frames = assembler.take_frames()
         else:
             frames = np.zeros(
                 (anim.n_frames, cam.height, cam.width, 3), dtype=np.float64
@@ -1103,6 +1164,7 @@ class LocalRenderFarm:
                 else:
                     region = PixelRegion(*box, width=cam.width).pixels
                     flat[f0:f1][:, region, :] = seg_frames
+            release_refs(out.results)
         stats = RayStats.merge(res[-2] for res in out.results)
         if assembler is None:
             self._fire_synthetic_events(frames)

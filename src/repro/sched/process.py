@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..buffers import attach_refs
 from ..obs.trace import flight_span_id
 from ..runtime.supervisor import SupervisorOutcome, TaskSupervisor
 from ..telemetry import NULL
@@ -88,6 +89,14 @@ class ProcessTransport:
         one ``obs.flight`` span per assignment (dispatch -> accepted
         result), parented under ``trace_root`` — the same trace shape
         the TCP master emits, so the obs tooling reads either transport.
+    frame_store:
+        Optional :class:`~repro.buffers.SharedFrameStore` whose token the
+        caller armed the pool workers with.  The transport takes over the
+        run-end sweep: every accepted result's :class:`FrameRef` is
+        attached on arrival (so a later unlink can never strand it), and
+        ``run()`` unlinks whatever segments never came home — crashed
+        attempts, discarded duplicates.  The caller still releases the
+        refs it consumed.
     supervisor_kwargs:
         Passed through to :class:`TaskSupervisor` (executor, validate,
         timeouts, fault_plan, ...).
@@ -103,6 +112,7 @@ class ProcessTransport:
         on_result=None,
         telemetry=None,
         trace_root=None,
+        frame_store=None,
         **supervisor_kwargs,
     ) -> None:
         self.policy = policy
@@ -112,6 +122,7 @@ class ProcessTransport:
         self._user_on_result = on_result
         self.telemetry = telemetry if telemetry is not None else NULL
         self.trace_root = trace_root
+        self.frame_store = frame_store
         self.supervisor_kwargs = supervisor_kwargs
         self.lanes = [f"lane{i}" for i in range(self.n_workers)]
         self._free: deque[str] = deque(self.lanes)
@@ -145,6 +156,8 @@ class ProcessTransport:
 
     def _on_result(self, idx: int, result) -> None:
         lane, a, t0 = self._meta[idx]
+        if self.frame_store is not None:
+            attach_refs(result)
         # One flight per assignment, dispatch -> accepted result.  The
         # pool hides its internal retries behind acceptance, so attempt
         # stays 0 here (task.attempt events carry the retry story).
@@ -176,7 +189,13 @@ class ProcessTransport:
             on_result=self._on_result,
             **self.supervisor_kwargs,
         )
-        out = sup.run()
+        try:
+            out = sup.run()
+        finally:
+            if self.frame_store is not None:
+                # Accepted refs are already attached (see _on_result), so
+                # unlinking stragglers by name can't strand a consumer.
+                self.frame_store.cleanup()
         policy = self.policy
         if not policy.finished:
             missing = policy.total_units - policy.completed_units

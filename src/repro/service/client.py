@@ -16,8 +16,7 @@ re-exported from :mod:`repro.api` as the programmatic surface::
 
 ``submit`` takes the same :class:`~repro.api.RenderRequest` that
 :func:`~repro.api.render` runs locally — one request type for both "run
-it here" and "hand it to the daemon".  The old parallel-kwargs dict is
-still accepted for one release with a :class:`DeprecationWarning`.
+it here" and "hand it to the daemon".
 """
 
 from __future__ import annotations
@@ -25,7 +24,6 @@ from __future__ import annotations
 import dataclasses
 import socket
 import time
-import warnings
 
 from ..net import protocol as wire
 
@@ -125,23 +123,18 @@ def submit(
 
     The same request object :func:`repro.api.render` executes locally is
     handed to the daemon (only the service-relevant fields travel; the
-    service owns engine/schedule/telemetry).  A plain spec dict is still
-    accepted for one release, with a :class:`DeprecationWarning`.
+    service owns engine/schedule/telemetry).
 
     Raises :class:`ServiceError` when admission control rejects the job
     (queue full of higher-priority work) — an explicit refusal, never a
     silent drop.
     """
     if isinstance(request, dict):
-        warnings.warn(
-            "submit(addr, {...}) with a spec dict is deprecated; pass a "
-            "repro.api.RenderRequest instead",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "submit(addr, {...}) with a spec dict was removed; pass a "
+            "repro.api.RenderRequest instead"
         )
-        spec = dict(request)
-    else:
-        spec = _spec_from_request(request)
+    spec = _spec_from_request(request)
     reply = _rpc(
         addr,
         wire.MSG_JOB_SUBMIT,

@@ -366,6 +366,11 @@ class RenderService:
             request = self._build_request(job, final_attempt=final)
             result = render(request, telemetry=tel)
             self._save_frames(job_dir, result.frames)
+            if result.frames is not None:
+                # frames.npz is on disk; recycle the pixel stack so the
+                # daemon's resident set stays one job deep and the next
+                # same-shaped job composites into the same memory.
+                result.frames.release()
         except Exception as exc:  # noqa: BLE001 — any failure is one attempt
             duration = time.perf_counter() - t0
             tel.close()

@@ -121,6 +121,79 @@ def test_assembler_reassembles_across_arbitrary_splits():
         assert sum(n for _t, _p, n in got) == len(stream)
 
 
+def test_assembler_byte_at_a_time_with_memoryview_feeds():
+    # The worst-case TCP delivery: every recv() returns one byte, and the
+    # bytes arrive as memoryviews (what a recv_into loop hands over).
+    # Array payloads must still come out bit-identical.
+    a = np.arange(48, dtype=np.float64).reshape(4, 4, 3)
+    stream = wire.pack_frame(wire.MSG_RESULT, {"seq": 9, "frames": a}) + wire.pack_frame(
+        wire.MSG_PING, {}
+    )
+    asm = wire.FrameAssembler()
+    got = []
+    for i in range(len(stream)):
+        asm.feed(memoryview(stream)[i : i + 1])
+        got.extend(asm)
+    assert [t for t, _p, _n in got] == [wire.MSG_RESULT, wire.MSG_PING]
+    out = got[0][1]["frames"]
+    assert out.tobytes() == a.tobytes() and out.shape == a.shape
+
+
+def test_assembler_every_split_boundary():
+    # One frame, cut into two chunks at every possible boundary: the
+    # header/payload straddle cases and the spanning-join path all
+    # reassemble to the same decoded payload.
+    a = np.linspace(0.0, 1.0, 36, dtype=np.float64).reshape(3, 4, 3)
+    frame = wire.pack_frame(wire.MSG_RESULT, {"seq": 1, "frames": a, "tag": "x"})
+    for cut in range(len(frame) + 1):
+        asm = wire.FrameAssembler()
+        asm.feed(frame[:cut])
+        asm.feed(frame[cut:])
+        got = list(asm)
+        assert len(got) == 1
+        _t, payload, n = got[0]
+        assert n == len(frame)
+        assert payload["seq"] == 1 and payload["tag"] == "x"
+        assert payload["frames"].tobytes() == a.tobytes()
+
+
+def test_decoded_arrays_are_read_only_views():
+    # Zero-copy decode hands out views over the wire buffer; they must be
+    # read-only so no consumer can scribble on what another view shares.
+    a = np.arange(12, dtype=np.float64).reshape(4, 3)
+    out = wire.decode(wire.encode(a, compress_arrays=False))
+    assert not out.flags.writeable
+    with pytest.raises((ValueError, RuntimeError)):
+        out[0, 0] = 99.0
+    # The documented escape hatch for a consumer that needs to mutate:
+    own = np.array(out)
+    own[0, 0] = 99.0
+    assert out[0, 0] == 0.0
+
+
+def test_legacy_copy_mode_matches_zero_copy_bytes():
+    # The legacy (copying) codec path is kept for the benchmark baseline;
+    # both modes must produce identical wire bytes and identical decodes.
+    from repro.buffers import copystats
+
+    payload = {"seq": 3, "frames": np.arange(60, dtype=np.float64).reshape(5, 4, 3)}
+    assert wire.zero_copy_enabled()
+    zc = wire.pack_frame(wire.MSG_RESULT, payload)
+    copystats.reset()
+    wire.set_zero_copy(False)
+    try:
+        legacy = wire.pack_frame(wire.MSG_RESULT, payload)
+        asm = wire.FrameAssembler()
+        asm.feed(legacy)
+        (_t, out, _n), = list(asm)
+    finally:
+        wire.set_zero_copy(True)
+    assert legacy == zc
+    assert out["frames"].tobytes() == payload["frames"].tobytes()
+    # ...and the legacy run is the one that paid for copies.
+    assert copystats.total() >= payload["frames"].nbytes
+
+
 def test_assembler_rejects_bad_magic_and_oversize():
     asm = wire.FrameAssembler()
     asm.feed(b"XXXX" + b"\x00" * 8)

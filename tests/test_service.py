@@ -243,16 +243,11 @@ def test_service_control_errors(tmp_path):
         svc.stop()
 
 
-def test_submit_spec_dict_is_deprecated_but_works(tmp_path):
-    svc = make_service(tmp_path / "svc")
-    host, port = svc.start()
-    addr = f"{host}:{port}"
-    try:
-        with pytest.warns(DeprecationWarning, match="RenderRequest"):
-            job = svc_client.submit(addr, SPEC, priority=2)
-        assert job["state"] == "queued"
-    finally:
-        svc.stop()
+def test_submit_spec_dict_is_removed():
+    # PR 7 deprecated the spec-dict form for one release; it is gone now,
+    # and refusing it happens before any socket I/O.
+    with pytest.raises(TypeError, match="RenderRequest"):
+        svc_client.submit("127.0.0.1:1", SPEC, priority=2)
 
 
 def test_submit_rejects_unnamed_workloads(tmp_path):

@@ -38,6 +38,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import tracemalloc
 import urllib.request
 from pathlib import Path
 
@@ -166,6 +167,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--height", type=int, default=18)
     args = ap.parse_args(argv)
 
+    # Peak-allocation accounting for the master process: the zero-copy
+    # data plane's whole point is that the kill drill (decode, reassembly,
+    # compositing, verify) should not allocate frames it merely forwards.
+    tracemalloc.start()
     result = render(
         RenderRequest(
             workload="newton",
@@ -182,6 +187,8 @@ def main(argv: list[str] | None = None) -> int:
             telemetry=True,
         )
     )
+    _, peak_alloc = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
 
     if result.recovery["crashes"] < 1 or result.recovery["retries"] < 1:
         print(f"FAIL: injected worker kill not recovered: {result.recovery}")
@@ -216,6 +223,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  crashes={result.recovery['crashes']} retries={result.recovery['retries']}")
     print(f"  losses={[(e['attrs']['worker'], e['attrs']['reason']) for e in losses]}")
     print("  output bit-identical to serial reference; trace has 0 orphan spans")
+    print(f"  master peak allocation {peak_alloc / (1 << 20):.1f} MiB (tracemalloc)")
 
     return live_status_drill(args)
 
