@@ -84,6 +84,7 @@ _WORKLOAD_FACTORIES = {
     "newton": "repro.scenes.newton:newton_animation",
     "brick": "repro.scenes.brick_room:brick_room_animation",
     "spheres": "repro.scenes.stress:random_spheres_animation",
+    "orbit": "repro.scenes.orbit:orbit_animation",
 }
 
 

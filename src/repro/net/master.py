@@ -169,6 +169,15 @@ class MasterServer:
         ``tile_box(assignment)`` maps an assignment to its pixel box
         (``None`` = whole frame); ``on_tile(worker, frame, box, pixels,
         frame_complete)`` observes every composited tile.
+    session / minor_floor:
+        Object-space sharding (DESIGN §16).  A ``session`` (a
+        :class:`repro.shard.net.ShardSession`) replaces the ASSIGN/RESULT
+        dispatch loop: the master itself drives the wavefront trace,
+        lanes serve RAYS/SHADE queries for the shards the policy binds to
+        them, and losses route through ``session.on_worker_lost`` for
+        outbox-ledger replay.  ``minor_floor`` lets such a run raise the
+        HELLO admission floor to 4 (the revision that speaks RAYS/SHADE)
+        without bumping the protocol-wide floor for plain farms.
     """
 
     def __init__(
@@ -197,6 +206,8 @@ class MasterServer:
         tile_px: int | None = None,
         tile_box=None,
         on_tile=None,
+        session=None,
+        minor_floor: int | None = None,
     ) -> None:
         self.policy = policy
         self.task_name = task_name
@@ -222,6 +233,10 @@ class MasterServer:
         self.tile_px = int(tile_px) if tile_px else 32
         self.tile_box = tile_box or (lambda a: None)
         self.on_tile = on_tile
+        self.session = session
+        self.minor_floor = (
+            int(minor_floor) if minor_floor is not None else wire.PROTO_MINOR_FLOOR
+        )
         self.net = NetStats(compress=bool(compress))
         self.compress_min_bytes = int(compress_min_bytes)
         self.workers: dict[str, dict] = {}  # lane -> {host, cores, score, n_done}
@@ -285,7 +300,10 @@ class MasterServer:
                     self._ping_all(sel, now)
                     next_ping = now + self.heartbeat_interval
                 self._sweep(sel, now)
-                self._dispatch(sel, now)
+                if self.session is not None:
+                    self.session.pump(self, sel, now)
+                else:
+                    self._dispatch(sel, now)
                 if policy.finished:
                     break
                 for key, _mask in sel.select(timeout=0.05):
@@ -355,7 +373,7 @@ class MasterServer:
                 self._lose(sel, conn, "error")
                 return
             minor = int(payload.get("minor", 0) or 0)
-            if minor < wire.PROTO_MINOR_FLOOR:
+            if minor < self.minor_floor:
                 self._reject(sel, conn, payload)
                 return
             conn.name = f"w{self._n_named}"
@@ -417,6 +435,11 @@ class MasterServer:
                     self.telemetry.event(
                         "obs.clock", worker=conn.name, offset=conn.offset, rtt=rtt
                     )
+        elif msg_type in (wire.MSG_RAYS, wire.MSG_SHADE):
+            if self.session is not None:
+                self.session.on_reply(self, conn, msg_type, payload, nbytes)
+                self._last_progress = now
+            # RAYS/SHADE outside a shard session: valid type, ignored.
         elif msg_type == wire.MSG_TILE:
             self._on_tile_frame(sel, conn, payload, nbytes, now)
         elif msg_type == wire.MSG_RESULT:
@@ -762,6 +785,10 @@ class MasterServer:
                     )
                     self.policy.on_partial_result(conn.name, frame_done)
         self.policy.on_worker_lost(conn.name)
+        if self.session is not None:
+            # After the policy requeued the lane's shard units: orphan the
+            # lane's in-flight shard requests so the ledger replays them.
+            self.session.on_worker_lost(self, conn.name)
         self._last_progress = now
 
     def _send(self, conn: _Conn, msg_type: int, obj) -> int:
@@ -806,7 +833,9 @@ class TcpTransport:
 
     ``die_after`` maps a worker index to an assignment count after which
     that daemon hard-crashes (`--die-after`), the deterministic stand-in
-    for a workstation dying mid-sequence.
+    for a workstation dying mid-sequence.  ``die_after_rays`` is the
+    object-space analogue: a shard-request count after which the daemon
+    crashes (`--die-after-rays`), used by the shard-loss replay drill.
     """
 
     def __init__(
@@ -817,12 +846,14 @@ class TcpTransport:
         *,
         n_workers: int = 2,
         die_after: dict[int, int] | None = None,
+        die_after_rays: dict[int, int] | None = None,
         worker_verbose: bool = False,
         python: str | None = None,
         **master_kwargs,
     ) -> None:
         self.n_workers = max(1, int(n_workers))
         self.die_after = dict(die_after or {})
+        self.die_after_rays = dict(die_after_rays or {})
         self.worker_verbose = worker_verbose
         self.python = python or sys.executable
         self.master = MasterServer(
@@ -841,6 +872,8 @@ class TcpTransport:
         ]
         if index in self.die_after:
             cmd += ["--die-after", str(self.die_after[index])]
+        if index in self.die_after_rays:
+            cmd += ["--die-after-rays", str(self.die_after_rays[index])]
         if self.worker_verbose:
             cmd.append("--verbose")
         env = os.environ.copy()

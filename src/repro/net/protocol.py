@@ -35,6 +35,13 @@ ASSIGN      m -> w     {seq, region, frame0, frame1, fresh, coherent,
 RESULT      w -> m     {seq, result, duration, events}
 TILE        w -> m     {seq, frame, x0, y0, x1, y1, pixels}  (streamed
                        before the closing RESULT; minor 3 workers only)
+RAYS        m <-> w    {rid, shard, frame, k, op, spec, arrays...} — a ray
+                       batch routed to a shard owner (op nearest/occlude);
+                       the owner answers with the same type + rid
+                       (minor 4, object-space sharding)
+SHADE       m <-> w    {rid, shard, frame, k, spec, obj, points} — pigment
+                       and finish fetch for hits owned by a shard; answered
+                       in kind (minor 4)
 PING        m -> w     {t}
 PONG        w -> m     {t, tw}  (t echoes the ping; tw is the worker's
                        clock at the reply — rtt and skew for the master)
@@ -90,6 +97,8 @@ __all__ = [
     "MSG_JOB_STATUS",
     "MSG_JOB_CANCEL",
     "MSG_TILE",
+    "MSG_RAYS",
+    "MSG_SHADE",
     "MSG_NAMES",
     "ProtocolError",
     "encode",
@@ -113,7 +122,13 @@ PROTO_VERSION = 1
 #: Minor 3: TILE streaming — workers that advertise it receive a tile
 #: directive in ASSIGN and ship finished tiles incrementally (the
 #: distributed framebuffer); the closing RESULT then omits the pixels.
-PROTO_MINOR = 3
+#: Minor 4: RAYS/SHADE — object-space sharding.  The master routes
+#: wavefront ray batches to shard owners (``MSG_RAYS`` with op
+#: ``nearest``/``occlude``) and fetches pigment/finish data for hits
+#: (``MSG_SHADE``); owners answer with the same message type and a
+#: request id.  Capability-negotiated like tiles: a sharded master
+#: raises its HELLO floor to 4, plain farms keep serving older workers.
+PROTO_MINOR = 4
 #: Oldest worker vocabulary the master still serves.  Minor-2 workers
 #: predate TILE and simply render whole sub-areas; anything older is
 #: rejected at HELLO.
@@ -132,6 +147,8 @@ MSG_JOB_SUBMIT = 9
 MSG_JOB_STATUS = 10
 MSG_JOB_CANCEL = 11
 MSG_TILE = 12
+MSG_RAYS = 13
+MSG_SHADE = 14
 
 MSG_NAMES = {
     MSG_HELLO: "hello",
@@ -146,6 +163,8 @@ MSG_NAMES = {
     MSG_JOB_STATUS: "job_status",
     MSG_JOB_CANCEL: "job_cancel",
     MSG_TILE: "tile",
+    MSG_RAYS: "rays",
+    MSG_SHADE: "shade",
 }
 
 _HEADER = struct.Struct("!4sBBHI")

@@ -2,6 +2,7 @@
 
 from .brick_room import bounce_position, brick_room_animation, brick_room_scene
 from .newton import CradleRig, cradle_angles, newton_animation, newton_scene
+from .orbit import ease_in_out_cubic, orbit_animation, orbit_scene
 from .stress import random_spheres_animation, random_spheres_scene, two_shot_animation
 
 __all__ = [
@@ -10,8 +11,11 @@ __all__ = [
     "brick_room_animation",
     "brick_room_scene",
     "cradle_angles",
+    "ease_in_out_cubic",
     "newton_animation",
     "newton_scene",
+    "orbit_animation",
+    "orbit_scene",
     "random_spheres_animation",
     "random_spheres_scene",
     "two_shot_animation",

@@ -31,6 +31,7 @@ from .core import (
     Assignment,
     Chain,
     DemandDrivenPolicy,
+    ObjectSpacePolicy,
     SchedulingPolicy,
     make_policy,
     single_processor_policy,
@@ -64,6 +65,7 @@ __all__ = [
     "Chain",
     "DemandDrivenPolicy",
     "MasterServer",
+    "ObjectSpacePolicy",
     "OracleCostModel",
     "ProcessTransport",
     "SchedOutcome",

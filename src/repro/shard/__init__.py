@@ -1,0 +1,54 @@
+"""Object-space sharded rendering: workers own scene shards and trade rays.
+
+Every other transport in this repository divides *pixels*; this package
+implements the complementary decomposition for scenes too big for one
+node.  The scene's objects are spatial-median-split into K *shards*, each
+owned by one worker.  A wavefront ray batch is not traced where it was
+spawned: rays are routed to every shard whose domain box they can enter,
+the owners answer nearest-hit / occlusion / material queries, and the
+master merges the answers deterministically so the composite is
+bit-identical to the serial tracer (DESIGN §16).
+
+Layout:
+
+* :mod:`~repro.shard.partition` — :class:`ScenePartitioner` /
+  :class:`ShardMap`: the owner map every node can evaluate.
+* :mod:`~repro.shard.engine` — :class:`ShardWorker` (the pure query
+  server an owner runs) and the sans-io :func:`sharded_trace` generator
+  the master pumps, plus an in-process farm for tests and drills.
+* :mod:`~repro.shard.net` — :class:`ShardSession`: the generator pumped
+  through the TCP master's selectors loop with ``MSG_RAYS``/``MSG_SHADE``
+  (protocol minor 4), including loss replay from the outbox ledger.
+* :mod:`~repro.shard.oracle` — :class:`ShardOracle`: a cost model that
+  lets the discrete-event simulator replay the object-space policy at
+  100-1000 heterogeneous workers.
+"""
+
+from .engine import (
+    LocalShardFarm,
+    ShardRequest,
+    ShardTraceStats,
+    ShardWorker,
+    payload_nbytes,
+    pump_local,
+    render_frame_sharded,
+    sharded_trace,
+)
+from .oracle import ShardOracle, ShardProfile
+from .partition import ScenePartitioner, ShardMap, partition_scene
+
+__all__ = [
+    "LocalShardFarm",
+    "ScenePartitioner",
+    "ShardMap",
+    "ShardOracle",
+    "ShardProfile",
+    "ShardRequest",
+    "ShardTraceStats",
+    "ShardWorker",
+    "partition_scene",
+    "payload_nbytes",
+    "pump_local",
+    "render_frame_sharded",
+    "sharded_trace",
+]

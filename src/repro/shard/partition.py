@@ -1,0 +1,159 @@
+"""Spatial-median scene partitioning: K owned shards plus an owner map.
+
+The partitioner recursively median-splits the scene's object-AABB
+centroids along the longest axis, producing K shards of near-equal
+object count.  The split is a pure function of ``(scene, k)`` built from
+deterministic numpy ops (stable argsort, fixed tie rules), so *every*
+node — master or worker, local or remote — evaluates the identical owner
+map from the animation spec alone; no map is ever shipped on the wire.
+
+Each shard also carries a *domain box*: the union of its members'
+world AABBs (infinite members, like ground planes, make the domain
+infinite).  Ray routing is a conservative slab test against the domain
+boxes — a ray is sent to every shard whose domain it can enter within
+its parametric range, which is a superset of the shards that can
+actually intersect it, so the merged nearest-hit answer equals the
+serial intersector's (DESIGN §16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rmath import ray_aabb_intersect
+
+__all__ = ["ScenePartitioner", "ShardMap", "partition_scene"]
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The owner map: which shard owns each object, and the shard domains.
+
+    Attributes
+    ----------
+    n_objects:
+        Total objects in the scene.
+    members:
+        Per-shard tuples of owned object indices, each ascending.  The
+        ascending order is load-bearing: within a shard the intersector
+        resolves nearest-hit ties to the lowest index, so local ascending
+        order must equal global ascending order for the cross-shard merge
+        to reproduce the serial tie rule.
+    owner_of:
+        ``(n_objects,)`` int64 — shard index owning each object.
+    domain_lo, domain_hi:
+        ``(K, 3)`` shard domain boxes (``±inf`` for unbounded shards).
+    """
+
+    n_objects: int
+    members: tuple[tuple[int, ...], ...]
+    owner_of: np.ndarray
+    domain_lo: np.ndarray
+    domain_hi: np.ndarray
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.members)
+
+    def route(self, origins: np.ndarray, dirs: np.ndarray, t_max=np.inf) -> np.ndarray:
+        """``(N, K)`` bool: shards whose domain each ray can enter.
+
+        Conservative: a True never lies about a miss, so every shard that
+        could produce a hit (or an occlusion event) within ``t_max`` is
+        included.  Shadow queries pass their segment length as ``t_max``
+        to prune owners entirely beyond the light.
+        """
+        origins = np.asarray(origins, dtype=np.float64)
+        dirs = np.asarray(dirs, dtype=np.float64)
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / dirs
+        out = np.zeros((origins.shape[0], self.n_shards), dtype=bool)
+        for s in range(self.n_shards):
+            hit, _, _ = ray_aabb_intersect(
+                origins, inv, self.domain_lo[s], self.domain_hi[s], t_max=t_max
+            )
+            out[:, s] = hit
+        return out
+
+    def describe(self) -> list[dict]:
+        """JSON-able per-shard summary (for ``repro top`` and the CLI)."""
+        rows = []
+        for s, mem in enumerate(self.members):
+            rows.append(
+                {
+                    "shard": s,
+                    "n_objects": len(mem),
+                    "objects": list(mem),
+                    "lo": [float(v) for v in self.domain_lo[s]],
+                    "hi": [float(v) for v in self.domain_hi[s]],
+                }
+            )
+        return rows
+
+
+class ScenePartitioner:
+    """Builds a :class:`ShardMap` by recursive spatial-median splitting."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("need at least one shard")
+        self.k = int(k)
+
+    def partition(self, scene) -> ShardMap:
+        objects = scene.objects
+        n = len(objects)
+        if n == 0:
+            raise ValueError("cannot shard an empty scene")
+        k = min(self.k, n)
+
+        boxes = [obj.bounds() for obj in objects]
+        with np.errstate(invalid="ignore"):  # inf + -inf -> NaN for unbounded
+            centers = np.stack([0.5 * (b.lo + b.hi) for b in boxes])
+        # Unbounded objects (ground planes) have non-finite centroids;
+        # anchor them at the finite scene's center so the split sees them.
+        world = scene.finite_bounds()
+        anchor = world.center if not world.is_empty() else np.zeros(3)
+        anchor = np.where(np.isfinite(anchor), anchor, 0.0)
+        centers = np.where(np.isfinite(centers), centers, anchor)
+
+        groups = _median_split(np.arange(n, dtype=np.int64), centers, k)
+        members = tuple(tuple(int(i) for i in g) for g in groups)
+
+        owner_of = np.empty(n, dtype=np.int64)
+        domain_lo = np.empty((k, 3), dtype=np.float64)
+        domain_hi = np.empty((k, 3), dtype=np.float64)
+        for s, mem in enumerate(members):
+            owner_of[list(mem)] = s
+            domain_lo[s] = np.min([boxes[i].lo for i in mem], axis=0)
+            domain_hi[s] = np.max([boxes[i].hi for i in mem], axis=0)
+        return ShardMap(
+            n_objects=n,
+            members=members,
+            owner_of=owner_of,
+            domain_lo=domain_lo,
+            domain_hi=domain_hi,
+        )
+
+
+def _median_split(idx: np.ndarray, centers: np.ndarray, k: int) -> list[np.ndarray]:
+    """Recursively split ``idx`` into ``k`` near-equal groups by centroid."""
+    if k == 1:
+        return [np.sort(idx)]
+    pts = centers[idx]
+    axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+    order = np.argsort(pts[:, axis], kind="stable")
+    kl = k // 2
+    kr = k - kl
+    # Proportional cut, clamped so both halves can still seat their shards.
+    nl = int(round(len(idx) * kl / k))
+    nl = max(kl, min(len(idx) - kr, nl))
+    left = idx[order[:nl]]
+    right = idx[order[nl:]]
+    return _median_split(left, centers, kl) + _median_split(right, centers, kr)
+
+
+def partition_scene(scene, k: int) -> ShardMap:
+    """Convenience wrapper: ``ScenePartitioner(k).partition(scene)``."""
+    return ScenePartitioner(k).partition(scene)
