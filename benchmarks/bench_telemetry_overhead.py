@@ -8,7 +8,9 @@ bars, measured separately so each claim stays honest:
   attribute test per call site);
 * **< 8 %** with the full observability stack an operator actually runs:
   in-memory sink + JSONL sink writing every record to disk + the live
-  :class:`~repro.obs.RunLedger` fold.
+  :class:`~repro.obs.RunLedger` fold + the :class:`~repro.obs.MetricsPlane`
+  sketch fold + an installed :class:`~repro.obs.FlightRecorder` tapping
+  every record into its black-box ring.
 
 The workload is the ``random_spheres`` stress scene — many small objects,
 every frame dirty in patches — rendered through the single-process engine
@@ -22,7 +24,7 @@ import time
 
 from _bench_utils import write_result
 
-from repro.obs import RunLedger
+from repro.obs import FlightRecorder, MetricsPlane, RunLedger
 from repro.pipeline import _render_animation
 from repro.scenes import random_spheres_animation
 from repro.telemetry import (
@@ -83,20 +85,26 @@ def test_telemetry_overhead_under_5_percent(results_dir):
 
 
 def test_full_obs_stack_overhead_under_8_percent(results_dir, tmp_path):
-    """The stack an operator actually runs: memory + JSONL-to-disk + ledger."""
+    """The stack an operator actually runs: memory + JSONL-to-disk + ledger
+    + metrics plane, with a flight recorder tapping every record."""
     base, _ = _best(lambda _i: None)
-    full, events = _best(
-        lambda i: Telemetry(
-            sinks=[
-                InMemorySink(),
-                JsonlSink(tmp_path / f"events_{i}.jsonl"),
-                RunLedger(),
-            ]
+    recorder = FlightRecorder("bench", tmp_path).install(signals=False)
+    try:
+        full, events = _best(
+            lambda i: Telemetry(
+                sinks=[
+                    InMemorySink(),
+                    JsonlSink(tmp_path / f"events_{i}.jsonl"),
+                    RunLedger(),
+                    MetricsPlane(detector=False),
+                ]
+            )
         )
-    )
+    finally:
+        recorder.uninstall()
     overhead = (full - base) / base
     lines = [
-        "full observability stack overhead (memory + jsonl + ledger sinks)",
+        "full observability stack overhead (memory + jsonl + ledger + plane + recorder)",
         f"  workload           random_spheres {KW['n_frames']}f @ {KW['width']}x{KW['height']}",
         f"  baseline           {base:.3f} s (best of {REPEATS})",
         f"  full stack         {full:.3f} s (best of {REPEATS}, {len(events)} events)",

@@ -121,6 +121,8 @@ class RenderRequest:
     schedule: str = "static"
     transport: str = "process"  # "process" pool, or "tcp" loopback network farm
     net_die_after: dict | None = None  # tcp fault drill: worker idx -> kill point
+    net_die_after_frames: dict | None = None  # mid-task fault drill: idx -> frame count
+    blackbox_dir: str | Path | None = None  # flight-recorder dumps (None: run/events dir)
     segment_frames: int | None = None
     tile_px: int | None = None  # tcp tile edge; None = default, 0 = whole-subarea wire
     max_attempts: int = 3
@@ -324,16 +326,21 @@ def _resolve_workload(req: RenderRequest):
 
 
 def _setup_telemetry(req: RenderRequest):
-    """Return ``(telemetry, memory_sink, jsonl_path, ledger, owned)``."""
+    """Return ``(telemetry, memory_sink, jsonl_path, ledger, plane, owned)``."""
     ledger = None
+    plane = None
     if req.status_port is not None:
-        from .obs import RunLedger
+        from .obs import MetricsPlane, RunLedger
 
         ledger = RunLedger()
+        plane = MetricsPlane()  # streaming percentiles + health, for /metrics
     if isinstance(req.telemetry, Telemetry):
         if ledger is not None:
             req.telemetry.sinks.append(ledger)
-        return req.telemetry, None, None, ledger, False
+        if plane is not None:
+            req.telemetry.sinks.append(plane)
+            plane.bind(req.telemetry)
+        return req.telemetry, None, None, ledger, plane, False
     want = (
         bool(req.telemetry)
         or req.events_path is not None
@@ -341,7 +348,7 @@ def _setup_telemetry(req: RenderRequest):
         or ledger is not None
     )
     if not want:
-        return NULL_TELEMETRY, None, None, None, False
+        return NULL_TELEMETRY, None, None, None, None, False
     target = req.events_path
     if target is None:
         target = req.run_dir if req.run_dir is not None else req.resume
@@ -356,7 +363,11 @@ def _setup_telemetry(req: RenderRequest):
         sinks.append(JsonlSink(jsonl_path))
     if ledger is not None:
         sinks.append(ledger)
-    return Telemetry(sinks=sinks), mem, jsonl_path, ledger, True
+    tel = Telemetry(sinks=sinks)
+    if plane is not None:
+        tel.sinks.append(plane)  # Telemetry copies the sinks list
+        plane.bind(tel)
+    return tel, mem, jsonl_path, ledger, plane, True
 
 
 # -- engine dispatch -------------------------------------------------------------
@@ -420,6 +431,8 @@ def _run_farm(req: RenderRequest, tel, label, spec, preview=None) -> RenderResul
         schedule=req.schedule,
         transport=req.transport,
         net_die_after=req.net_die_after,
+        net_die_after_frames=req.net_die_after_frames,
+        blackbox_dir=req.blackbox_dir,
         segment_frames=req.segment_frames,
         grid_resolution=req.grid_resolution,
         samples_per_axis=req.samples_per_axis,
@@ -564,13 +577,25 @@ def render(request: RenderRequest | None = None, /, **kwargs) -> RenderResult:
         raise ValueError(f"unknown engine {request.engine!r}; expected one of {ENGINES}")
 
     label, spec, anim = _resolve_workload(request)
-    tel, mem, jsonl_path, ledger, owned = _setup_telemetry(request)
+    tel, mem, jsonl_path, ledger, plane, owned = _setup_telemetry(request)
+    if request.engine == "farm" and request.blackbox_dir is None:
+        # Black boxes default into the run directory (or beside the event
+        # log) so a post-mortem finds dump and trace in one place.
+        bb = request.run_dir
+        if bb is None and jsonl_path is not None:
+            bb = jsonl_path.parent
+        if bb is not None:
+            request = replace(request, blackbox_dir=bb)
     server = None
     preview = None
     if ledger is not None:
         from .obs import StatusServer
 
-        routes = None
+        routes = {}
+        if plane is not None:
+            # Prometheus text exposition: streaming task-latency
+            # percentiles and per-worker health, live during the run.
+            routes["/metrics"] = plane.route
         if request.engine == "farm":
             from .dfb import PreviewHub
 
@@ -578,7 +603,7 @@ def render(request: RenderRequest | None = None, /, **kwargs) -> RenderResult:
             # streaming (TCP) farm run is live; until the farm attaches
             # its assembler the endpoint reports {"available": false}.
             preview = PreviewHub()
-            routes = {"/preview": preview.route}
+            routes["/preview"] = preview.route
         server = StatusServer(ledger, port=int(request.status_port), routes=routes)
         server.start()
     try:
@@ -593,12 +618,14 @@ def render(request: RenderRequest | None = None, /, **kwargs) -> RenderResult:
             server.stop()
         if owned:
             tel.close()
-        elif ledger is not None:
-            # Borrowed Telemetry: detach the ledger we hung on it.
-            try:
-                request.telemetry.sinks.remove(ledger)
-            except ValueError:
-                pass
+        else:
+            # Borrowed Telemetry: detach the sinks we hung on it.
+            for sink in (ledger, plane):
+                if sink is not None:
+                    try:
+                        request.telemetry.sinks.remove(sink)
+                    except ValueError:
+                        pass
     if mem is not None:
         result.events = list(mem.events)
     result.events_path = jsonl_path

@@ -332,6 +332,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--die-after-rays", type=int, default=None, metavar="N",
         help="fault drill: crash hard before serving shard request N+1",
     )
+    p_worker.add_argument(
+        "--die-after-frames", type=int, default=None, metavar="N",
+        help="fault drill: crash hard (mid-task) on rendering frame N+1",
+    )
+    p_worker.add_argument(
+        "--blackbox-dir", type=Path, default=None, metavar="DIR",
+        help="flight-recorder dump directory (black boxes land here on a crash)",
+    )
     p_worker.add_argument("--verbose", action="store_true", help="log to stdout")
     return parser
 
@@ -431,6 +439,9 @@ def _cmd_farm(args) -> int:
         print(
             f"live status on http://127.0.0.1:{args.status_port}/status "
             f"(watch with: repro top 127.0.0.1:{args.status_port})"
+        )
+        print(
+            f"prometheus metrics on http://127.0.0.1:{args.status_port}/metrics"
         )
         if args.transport == "tcp" and not args.no_tiles:
             print(
@@ -561,6 +572,8 @@ def _cmd_worker(args) -> int:
         max_retries=args.max_retries,
         die_after=args.die_after,
         die_after_rays=args.die_after_rays,
+        die_after_frames=args.die_after_frames,
+        blackbox_dir=args.blackbox_dir,
         verbose=args.verbose,
     )
     return client.run()

@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..obs.flight import FlightRecorder, blackbox_filename
 from ..obs.trace import flight_span_id
 from ..runtime.supervisor import SupervisorOutcome, TaskAttempt
 from ..telemetry import NULL
@@ -107,6 +108,7 @@ class _Conn:
         "rtt_best",
         "minor",
         "tiles",
+        "pid",
     )
 
     def __init__(self, sock: socket.socket, now: float) -> None:
@@ -131,6 +133,7 @@ class _Conn:
         self.rtt_best = float("inf")
         self.minor = 0
         self.tiles = False  # tile streaming granted at HELLO
+        self.pid = 0  # worker process id from HELLO (black-box lookup)
 
 
 class MasterServer:
@@ -208,6 +211,7 @@ class MasterServer:
         on_tile=None,
         session=None,
         minor_floor: int | None = None,
+        blackbox_dir=None,
     ) -> None:
         self.policy = policy
         self.task_name = task_name
@@ -236,6 +240,15 @@ class MasterServer:
         self.session = session
         self.minor_floor = (
             int(minor_floor) if minor_floor is not None else wire.PROTO_MINOR_FLOOR
+        )
+        #: Flight-recorder plumbing: where black-box dumps land (ours on a
+        #: worker loss, a victim's when shipped over MSG_BLACKBOX) and
+        #: where ``net.worker.lost`` looks for the victim's own dump.
+        self.blackbox_dir = Path(blackbox_dir) if blackbox_dir else None
+        self.recorder = (
+            FlightRecorder("master", self.blackbox_dir).install()
+            if self.blackbox_dir is not None
+            else None
         )
         self.net = NetStats(compress=bool(compress))
         self.compress_min_bytes = int(compress_min_bytes)
@@ -382,6 +395,10 @@ class MasterServer:
             conn.cores = int(payload.get("cores", 1))
             conn.score = float(payload.get("score", 1.0))
             conn.minor = minor
+            try:
+                conn.pid = int(payload.get("pid", 0) or 0)
+            except (TypeError, ValueError):
+                conn.pid = 0
             # Tile streaming is per-connection: the run must want it (an
             # assembler is wired) and the worker must speak minor 3.
             conn.tiles = self.assembler is not None and minor >= 3
@@ -440,6 +457,8 @@ class MasterServer:
                 self.session.on_reply(self, conn, msg_type, payload, nbytes)
                 self._last_progress = now
             # RAYS/SHADE outside a shard session: valid type, ignored.
+        elif msg_type == wire.MSG_BLACKBOX:
+            self._on_blackbox_frame(conn, payload)
         elif msg_type == wire.MSG_TILE:
             self._on_tile_frame(sel, conn, payload, nbytes, now)
         elif msg_type == wire.MSG_RESULT:
@@ -450,6 +469,50 @@ class MasterServer:
             detail = str(payload.get("error", "")) if isinstance(payload, dict) else ""
             self._lose(sel, conn, "error", detail=detail)
         # Unsolicited HELLO repeats or unknown-but-valid types: ignore.
+
+    def _on_blackbox_frame(self, conn: _Conn, payload) -> None:
+        """A reconnecting worker shipped the dump its dead predecessor
+        wrote (or held in memory): persist it into the run's blackbox
+        directory and announce it, so post-mortem tooling finds it next
+        to the master's own."""
+        if not isinstance(payload, dict):
+            return
+        records = payload.get("records")
+        if not isinstance(records, list) or not records:
+            return
+        role = str(payload.get("role", "worker")) or "worker"
+        try:
+            pid = int(payload.get("pid", 0) or 0)
+        except (TypeError, ValueError):
+            pid = 0
+        path = ""
+        if self.blackbox_dir is not None:
+            import json as _json
+
+            try:
+                self.blackbox_dir.mkdir(parents=True, exist_ok=True)
+                target = self.blackbox_dir / blackbox_filename(role, pid)
+                tmp = target.with_name(f".{target.name}.tmp")
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for rec in records:
+                        fh.write(_json.dumps(rec, separators=(",", ":"), default=str))
+                        fh.write("\n")
+                os.replace(tmp, target)
+                path = str(target)
+            except OSError:
+                path = ""
+        self.telemetry.event(
+            "obs.blackbox", role=role, pid=pid, path=path, records=len(records)
+        )
+
+    def _blackbox_of(self, conn: _Conn) -> str:
+        """Path of the victim's dump, if it already landed in the run dir
+        (loopback workers write it before ``os._exit``); ``""`` when
+        unknown — a reconnecting daemon may still ship it later."""
+        if self.blackbox_dir is None or not conn.pid:
+            return ""
+        path = self.blackbox_dir / blackbox_filename("worker", conn.pid)
+        return str(path) if path.exists() else ""
 
     def _on_tile_frame(self, sel, conn: _Conn, payload, nbytes: int, now: float) -> None:
         """Composite one streamed tile into the distributed framebuffer."""
@@ -685,7 +748,9 @@ class MasterServer:
         if isinstance(payload, dict):
             who = f"{payload.get('host', '?')}:{payload.get('pid', 0)}"
         self.net.n_losses += 1
-        self.telemetry.event("net.worker.lost", worker=who, reason="proto", seq=-1)
+        self.telemetry.event(
+            "net.worker.lost", worker=who, reason="proto", seq=-1, blackbox=""
+        )
         try:
             self._send(conn, wire.MSG_SHUTDOWN, {})
         except OSError:
@@ -726,7 +791,12 @@ class MasterServer:
             worker=conn.name,
             reason=reason,
             seq=-1 if a is None else a.seq,
+            blackbox=self._blackbox_of(conn),
         )
+        if self.recorder is not None:
+            # The master's own last seconds around the loss are part of
+            # the autopsy: dump our ring beside the victim's.
+            self.recorder.dump(f"worker-lost:{conn.name}:{reason}")
         if a is not None:
             outcome = _LOSS_OUTCOMES.get(reason, "crash")
             key = (a.region_index, a.frame0)
@@ -812,6 +882,8 @@ class MasterServer:
             except OSError:
                 pass
         self._conns.clear()
+        if self.recorder is not None:
+            self.recorder.uninstall()
         if self._listener is not None:
             try:
                 sel.unregister(self._listener)
@@ -847,17 +919,22 @@ class TcpTransport:
         n_workers: int = 2,
         die_after: dict[int, int] | None = None,
         die_after_rays: dict[int, int] | None = None,
+        die_after_frames: dict[int, int] | None = None,
         worker_verbose: bool = False,
         python: str | None = None,
+        blackbox_dir=None,
         **master_kwargs,
     ) -> None:
         self.n_workers = max(1, int(n_workers))
         self.die_after = dict(die_after or {})
         self.die_after_rays = dict(die_after_rays or {})
+        self.die_after_frames = dict(die_after_frames or {})
         self.worker_verbose = worker_verbose
         self.python = python or sys.executable
+        self.blackbox_dir = blackbox_dir
         self.master = MasterServer(
-            policy, task_name, materialize, host="127.0.0.1", port=0, **master_kwargs
+            policy, task_name, materialize, host="127.0.0.1", port=0,
+            blackbox_dir=blackbox_dir, **master_kwargs
         )
 
     def _spawn(self, port: int, index: int) -> subprocess.Popen:
@@ -874,6 +951,10 @@ class TcpTransport:
             cmd += ["--die-after", str(self.die_after[index])]
         if index in self.die_after_rays:
             cmd += ["--die-after-rays", str(self.die_after_rays[index])]
+        if index in self.die_after_frames:
+            cmd += ["--die-after-frames", str(self.die_after_frames[index])]
+        if self.blackbox_dir is not None:
+            cmd += ["--blackbox-dir", str(self.blackbox_dir)]
         if self.worker_verbose:
             cmd.append("--verbose")
         env = os.environ.copy()

@@ -42,6 +42,9 @@ RAYS        m <-> w    {rid, shard, frame, k, op, spec, arrays...} — a ray
 SHADE       m <-> w    {rid, shard, frame, k, spec, obj, points} — pigment
                        and finish fetch for hits owned by a shard; answered
                        in kind (minor 4)
+BLACKBOX    w -> m     {role, pid, reason, records} — a reconnecting
+                       worker ships the flight-recorder dump its previous
+                       incarnation left (minor 5, observability plane)
 PING        m -> w     {t}
 PONG        w -> m     {t, tw}  (t echoes the ping; tw is the worker's
                        clock at the reply — rtt and skew for the master)
@@ -99,6 +102,7 @@ __all__ = [
     "MSG_TILE",
     "MSG_RAYS",
     "MSG_SHADE",
+    "MSG_BLACKBOX",
     "MSG_NAMES",
     "ProtocolError",
     "encode",
@@ -128,7 +132,11 @@ PROTO_VERSION = 1
 #: (``MSG_SHADE``); owners answer with the same message type and a
 #: request id.  Capability-negotiated like tiles: a sharded master
 #: raises its HELLO floor to 4, plain farms keep serving older workers.
-PROTO_MINOR = 4
+#: Minor 5: BLACKBOX — a reconnecting worker ships the flight-recorder
+#: dump its dead predecessor wrote, so the master can stitch the victim's
+#: last seconds into the merged trace.  Purely additive: masters ignore
+#: the type from workers that never send it, older workers never do.
+PROTO_MINOR = 5
 #: Oldest worker vocabulary the master still serves.  Minor-2 workers
 #: predate TILE and simply render whole sub-areas; anything older is
 #: rejected at HELLO.
@@ -149,6 +157,7 @@ MSG_JOB_CANCEL = 11
 MSG_TILE = 12
 MSG_RAYS = 13
 MSG_SHADE = 14
+MSG_BLACKBOX = 15
 
 MSG_NAMES = {
     MSG_HELLO: "hello",
@@ -165,6 +174,7 @@ MSG_NAMES = {
     MSG_TILE: "tile",
     MSG_RAYS: "rays",
     MSG_SHADE: "shade",
+    MSG_BLACKBOX: "blackbox",
 }
 
 _HEADER = struct.Struct("!4sBBHI")

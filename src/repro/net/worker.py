@@ -20,7 +20,14 @@ prices against), then serves assignments until the master says stop:
 ``die_after=N`` is the fault hook: the daemon hard-exits
 (``os._exit``) on receiving its ``N+1``-th assignment — a deterministic
 stand-in for a workstation crashing mid-sequence, used by the recovery
-tests and the CI ``net-smoke`` drill.
+tests and the CI ``net-smoke`` drill.  ``die_after_frames=N`` is the
+mid-task variant: the daemon dies the moment frame event ``N+1`` crosses
+the telemetry spine, i.e. *inside* an assignment with the task span still
+open — the scenario the flight-recorder black box (DESIGN §17) exists
+for.  Every kill path dumps the ring first; on (re)connect the daemon
+ships any black boxes a predecessor process left in ``--blackbox-dir``
+to the master over ``MSG_BLACKBOX``, so post-mortems survive even when
+the run directory is not shared storage.
 
 In **object-space sharded** runs (protocol minor 4, DESIGN §16) the
 worker additionally serves RAYS/SHADE queries against the scene shard it
@@ -49,6 +56,7 @@ import zlib
 import numpy as np
 
 from ..dfb import tile_rects
+from ..obs.flight import FlightRecorder, blackbox_filename, read_blackbox
 from ..telemetry import InMemorySink, Telemetry
 from . import protocol as wire
 from .tasks import REGISTRY
@@ -150,6 +158,14 @@ class WorkerClient:
         Crash hard before serving shard request number
         ``die_after_rays + 1`` (``None`` = never) — the object-space
         analogue of ``die_after``, used by the shard-loss replay drill.
+    die_after_frames:
+        Crash hard the instant frame event ``die_after_frames + 1``
+        crosses the telemetry spine (``None`` = never) — a *mid-task*
+        crash with the task span still open, the black-box drill.
+    blackbox_dir:
+        Where the flight recorder dumps ``blackbox_worker_<pid>.jsonl``
+        on a kill path (``None`` = no file dumps).  Predecessor dumps
+        found here are shipped to the master on (re)connect.
     score:
         Calibration score override (``None`` = measure one now).
     """
@@ -165,6 +181,8 @@ class WorkerClient:
         backoff_cap: float = 3.0,
         die_after: int | None = None,
         die_after_rays: int | None = None,
+        die_after_frames: int | None = None,
+        blackbox_dir=None,
         score: float | None = None,
         label: str | None = None,
         verbose: bool = False,
@@ -177,6 +195,7 @@ class WorkerClient:
         self.backoff_cap = float(backoff_cap)
         self.die_after = die_after
         self.die_after_rays = die_after_rays
+        self.die_after_frames = die_after_frames
         self.score = calibrate() if score is None else float(score)
         self.label = label or f"{socket.gethostname()}:{os.getpid()}"
         self.verbose = verbose
@@ -195,6 +214,14 @@ class WorkerClient:
         # RESULT/ERROR frame (a disconnected worker has no other channel).
         self._sink = InMemorySink()
         self._tel = Telemetry(sinks=(self._sink,))
+        # The black box: taps every telemetry record this process emits
+        # (including the short-lived per-task sessions) and dumps the
+        # ring on any kill path.  The frame-counting hook is how
+        # ``die_after_frames`` sees frames rendered *inside* a task.
+        self.recorder = FlightRecorder("worker", blackbox_dir)
+        self.recorder.hook = self._on_record
+        self._n_frames_seen = 0
+        self._shipped: set[str] = set()  # black boxes already sent upstream
 
     # -- logging ---------------------------------------------------------------
     def _log(self, msg: str) -> None:
@@ -204,6 +231,66 @@ class WorkerClient:
     def _drain_events(self) -> list:
         events, self._sink.events[:] = list(self._sink.events), []
         return events
+
+    # -- flight recorder -------------------------------------------------------
+    def _on_record(self, rec: dict) -> None:
+        """Recorder hook: count frame events for the mid-task fault drill.
+
+        Frame completions are point events emitted by the render engine
+        from *inside* the task function, so this is the only place the
+        daemon can observe them — and crashing here leaves the task span
+        open, which is exactly what the black-box stitch test wants."""
+        if rec.get("name") != "frame":
+            return
+        self._n_frames_seen += 1
+        if (
+            self.die_after_frames is not None
+            and self._n_frames_seen > self.die_after_frames
+        ):
+            self._log(f"injected crash on frame {self._n_frames_seen} (mid-task)")
+            self.recorder.dump("die-after-frames")
+            os._exit(EXIT_INJECTED_CRASH)
+
+    def _ship_blackboxes(self, sock: socket.socket) -> None:
+        """Send any black boxes a *predecessor* worker process left in the
+        dump directory to the master (MSG_BLACKBOX, protocol minor 5).
+
+        This is how a post-mortem escapes a workstation whose disk the
+        master cannot read: the replacement daemon finds the corpse's
+        ring on its local disk and relays it over the fresh connection.
+        Each file ships at most once per daemon lifetime; re-shipping by
+        a later replacement is idempotent (the master rewrites the same
+        role/pid-named file with the same records)."""
+        if self.recorder.out_dir is None:
+            return
+        try:
+            candidates = sorted(self.recorder.out_dir.glob("blackbox_worker_*.jsonl"))
+        except OSError:
+            return
+        own = blackbox_filename("worker", self.recorder.pid)
+        for path in candidates:
+            if path.name == own or str(path) in self._shipped:
+                continue
+            try:
+                records = read_blackbox(path)
+            except OSError:
+                continue
+            if not records:
+                continue
+            meta = records[0].get("attrs") or {} if isinstance(records[0], dict) else {}
+            wire.send_frame(
+                sock,
+                wire.MSG_BLACKBOX,
+                {
+                    "role": "worker",
+                    "pid": int(meta.get("pid", 0) or 0),
+                    "reason": str(meta.get("reason", "recovered")),
+                    "records": records,
+                },
+                lock=self._send_lock,
+            )
+            self._shipped.add(str(path))
+            self._log(f"shipped black box {path.name} ({len(records)} records)")
 
     # -- connection ------------------------------------------------------------
     def backoff_delays(self):
@@ -313,6 +400,7 @@ class WorkerClient:
         self._n_assigned += 1
         if self.die_after is not None and self._n_assigned > self.die_after:
             self._log(f"injected crash on assignment {self._n_assigned}")
+            self.recorder.dump("die-after")
             os._exit(EXIT_INJECTED_CRASH)
         seq = int(payload.get("seq", -1))
         name = str(payload.get("task", ""))
@@ -383,6 +471,7 @@ class WorkerClient:
         self._n_shard_served += 1
         if self.die_after_rays is not None and self._n_shard_served > self.die_after_rays:
             self._log(f"injected crash on shard request {self._n_shard_served}")
+            self.recorder.dump("die-after-rays")
             os._exit(EXIT_INJECTED_CRASH)
         rid = payload.get("rid")
         try:
@@ -416,6 +505,10 @@ class WorkerClient:
         hs = self._handshake(sock)
         if hs != "ok":
             return "shutdown" if hs == "rejected" else "lost"
+        try:
+            self._ship_blackboxes(sock)
+        except OSError:
+            return "lost"
         inbox: queue.Queue = queue.Queue()
         reader = threading.Thread(
             target=self._reader, args=(sock, inbox), name="repro-net-reader", daemon=True
@@ -438,22 +531,26 @@ class WorkerClient:
 
     def run(self) -> int:
         """Connect (and reconnect) until shut down; returns an exit code."""
-        while True:
-            sock = self._connect()
-            if sock is None:
-                self._log("out of connection retries; giving up")
-                return EXIT_GAVE_UP
-            try:
-                ended = self._serve(sock)
-            finally:
+        self.recorder.install()  # record for the daemon's whole lifetime
+        try:
+            while True:
+                sock = self._connect()
+                if sock is None:
+                    self._log("out of connection retries; giving up")
+                    return EXIT_GAVE_UP
                 try:
-                    sock.close()
-                except OSError:
-                    pass
-            if ended == "shutdown":
-                self._log(f"clean shutdown after {self.n_rendered} assignments")
-                return EXIT_OK
-            self._log("connection lost; reconnecting")
+                    ended = self._serve(sock)
+                finally:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                if ended == "shutdown":
+                    self._log(f"clean shutdown after {self.n_rendered} assignments")
+                    return EXIT_OK
+                self._log("connection lost; reconnecting")
+        finally:
+            self.recorder.uninstall()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -483,6 +580,14 @@ def main(argv: list[str] | None = None) -> int:
         "--die-after-rays", type=int, default=None, metavar="N",
         help="fault drill: crash hard before serving shard request N+1",
     )
+    parser.add_argument(
+        "--die-after-frames", type=int, default=None, metavar="N",
+        help="fault drill: crash hard (mid-task) on rendering frame N+1",
+    )
+    parser.add_argument(
+        "--blackbox-dir", default=None, metavar="DIR",
+        help="flight-recorder dump directory (black boxes land here on a crash)",
+    )
     parser.add_argument("--verbose", action="store_true", help="log to stdout")
     args = parser.parse_args(argv)
 
@@ -496,6 +601,8 @@ def main(argv: list[str] | None = None) -> int:
         max_retries=args.max_retries,
         die_after=args.die_after,
         die_after_rays=args.die_after_rays,
+        die_after_frames=args.die_after_frames,
+        blackbox_dir=args.blackbox_dir,
         verbose=args.verbose,
     )
     return client.run()

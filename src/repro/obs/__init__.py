@@ -30,12 +30,20 @@ from .analysis import (
     WorkerTimeline,
     compare_division,
     format_utilization,
+    stitch_blackbox,
     utilization_report,
     worker_timelines,
 )
 from .chrometrace import chrome_trace, write_chrome_trace
+from .flight import FlightRecorder, blackbox_filename, open_span_records, read_blackbox
 from .ledger import RunLedger
 from .live import StatusServer, fetch_status, render_jobs, render_status
+from .metrics import (
+    EXPOSITION_CONTENT_TYPE,
+    MetricsPlane,
+    StragglerDetector,
+    prometheus_name,
+)
 from .trace import (
     FLIGHT_PREFIX,
     TraceContext,
@@ -46,12 +54,17 @@ from .trace import (
 )
 
 __all__ = [
+    "EXPOSITION_CONTENT_TYPE",
     "FLIGHT_PREFIX",
+    "FlightRecorder",
+    "MetricsPlane",
     "RunLedger",
     "StatusServer",
+    "StragglerDetector",
     "TraceContext",
     "UtilizationReport",
     "WorkerTimeline",
+    "blackbox_filename",
     "chrome_trace",
     "compare_division",
     "fetch_status",
@@ -59,8 +72,12 @@ __all__ = [
     "flight_span_id",
     "format_utilization",
     "new_run_id",
+    "open_span_records",
+    "prometheus_name",
+    "read_blackbox",
     "render_jobs",
     "render_status",
+    "stitch_blackbox",
     "utilization_report",
     "worker_session",
     "worker_timelines",

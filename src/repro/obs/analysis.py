@@ -25,11 +25,62 @@ from dataclasses import dataclass, field
 __all__ = [
     "WorkerTimeline",
     "UtilizationReport",
+    "stitch_blackbox",
     "worker_timelines",
     "utilization_report",
     "format_utilization",
     "compare_division",
 ]
+
+#: Record types a black-box dump can contribute to a merged trace (wire
+#: notes and the dump's own meta header are post-mortem-only detail).
+_TELEMETRY_TYPES = frozenset({"span", "event", "counter", "gauge", "histogram"})
+
+
+def stitch_blackbox(events, dump_records, t_offset: float = 0.0):
+    """Merge a victim's flight-recorder dump into a run's event stream.
+
+    A worker's ring holds both records it already shipped in RESULT
+    buffers (absorbed into ``events`` long ago) and its final seconds —
+    unshipped records plus spans synthesized open at the moment of death.
+    Only the latter are new: spans are deduplicated by span id (globally
+    unique by construction — worker sessions namespace their ids), other
+    records by ``(type, name, t)`` after the clock correction.
+
+    ``t_offset`` is the same per-worker skew the master applied when
+    absorbing the victim's live buffers (``-conn.offset``), so the
+    stitched records land on the master's time axis and the victim's last
+    spans line up with the loss that ended them.
+
+    Returns ``(merged, n_added)`` — a new list; ``events`` is untouched.
+    """
+    merged = list(events)
+    have_spans = {rec.get("span") for rec in merged if rec.get("type") == "span"}
+    have_points = {
+        (rec.get("type"), rec.get("name"), rec.get("t"))
+        for rec in merged
+        if rec.get("type") != "span"
+    }
+    n_added = 0
+    for rec in dump_records:
+        if rec.get("type") not in _TELEMETRY_TYPES:
+            continue
+        rec = dict(rec)
+        if t_offset and "t" in rec:
+            rec["t"] = rec["t"] + t_offset
+        if rec.get("type") == "span":
+            sid = rec.get("span")
+            if sid in have_spans:
+                continue
+            have_spans.add(sid)
+        else:
+            key = (rec.get("type"), rec.get("name"), rec.get("t"))
+            if key in have_points:
+                continue
+            have_points.add(key)
+        merged.append(rec)
+        n_added += 1
+    return merged, n_added
 
 
 @dataclass

@@ -69,7 +69,23 @@ def chrome_trace(events, run_id: str = "") -> dict:
                     "args": {"value": float(rec.get("value", 0.0))},
                 }
             )
-        # histograms carry a summary dict, not a plottable scalar: skipped.
+        elif rtype == "histogram":
+            # A flushed distribution summary plots as one counter track
+            # per quantile series (name/p50, name/p95), so task-latency
+            # percentiles graph under the lanes in Perfetto.
+            for q in ("p50", "p95"):
+                if q not in attrs:
+                    continue
+                trace_events.append(
+                    {
+                        **base,
+                        "name": f"{name}/{q}",
+                        "tid": 0,
+                        "ph": "C",
+                        "cat": "histogram",
+                        "args": {"value": float(attrs[q])},
+                    }
+                )
     for lane, tid in lanes.items():
         trace_events.append(
             {

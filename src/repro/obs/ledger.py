@@ -86,6 +86,7 @@ class RunLedger:
                 "busy": 0.0,
                 "rtt": None,
                 "offset": 0.0,
+                "health": "ok",  # ok | straggler | lost (health.* + loss events)
                 "last_heartbeat": None,  # wall-clock time of last sign of life
                 # Object-space sharding counters (zero outside shard runs).
                 "rays_local": 0,  # rays this worker's shards traced for themselves
@@ -113,6 +114,7 @@ class RunLedger:
         w["host"] = str(attrs.get("host", ""))
         w["cores"] = int(attrs.get("cores", 0))
         w["score"] = float(attrs.get("score", 0.0))
+        w["health"] = "ok"  # a (re)join clears lost/straggler state
         w["last_heartbeat"] = self._clock()
 
     def _on_assign(self, attrs, record) -> None:
@@ -165,11 +167,24 @@ class RunLedger:
 
     def _on_lost(self, attrs, record) -> None:
         self._losses.append(
-            {"worker": str(attrs.get("worker", "?")), "reason": str(attrs.get("reason", "?"))}
+            {
+                "worker": str(attrs.get("worker", "?")),
+                "reason": str(attrs.get("reason", "?")),
+                "blackbox": str(attrs.get("blackbox", "") or ""),
+            }
         )
+        self._worker(attrs.get("worker", "?"))["health"] = "lost"
         seq = attrs.get("seq")
         if seq is not None and int(seq) >= 0:
             self._in_flight.pop(int(seq), None)
+
+    def _on_straggler(self, attrs, record) -> None:
+        self._worker(attrs.get("worker", "?"))["health"] = "straggler"
+
+    def _on_recovered(self, attrs, record) -> None:
+        w = self._worker(attrs.get("worker", "?"))
+        if w["health"] == "straggler":
+            w["health"] = "ok"
 
     def _on_tile(self, attrs, record) -> None:
         self._tiles_done += 1
@@ -201,6 +216,8 @@ class RunLedger:
         "net.pong": _on_pong,
         "net.result": _on_result,
         "net.worker.lost": _on_lost,
+        "health.straggler": _on_straggler,
+        "health.recovered": _on_recovered,
         "obs.clock": _on_clock,
         "obs.flight": _on_flight,
         "task.attempt": _on_task_attempt,
@@ -251,6 +268,7 @@ class RunLedger:
                     "busy": round(w["busy"], 6),
                     "rtt": w["rtt"],
                     "offset": w["offset"],
+                    "health": w["health"],
                     "heartbeat_age": (round(now - hb, 3) if hb is not None else None),
                     "shards": owned.get(w["worker"], []),
                     "rays_local": w["rays_local"],

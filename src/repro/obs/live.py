@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import json
 import threading
+import time
+import urllib.error
 import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -117,15 +119,35 @@ class StatusServer:
         self.stop()
 
 
-def fetch_status(addr: str, timeout: float = 2.0, path: str = "/status") -> dict:
+def fetch_status(
+    addr: str,
+    timeout: float = 2.0,
+    path: str = "/status",
+    retries: int = 3,
+    retry_delay: float = 0.1,
+) -> dict:
     """GET a snapshot from ``host:port`` (or a full http URL).
 
     ``path`` picks the endpoint — ``/status`` for the farm view,
     ``/jobs`` for the render service's job table.
+
+    A connection-refused is retried ``retries`` times with a short
+    doubling delay: pollers (``repro top``, the smoke drills) race daemon
+    startup, and the socket existing a beat later is the common case.
+    Anything else — timeouts, HTTP errors, bad JSON — raises immediately.
     """
     url = addr if addr.startswith("http") else f"http://{addr}{path}"
-    with urllib.request.urlopen(url, timeout=timeout) as resp:  # noqa: S310
-        return json.loads(resp.read().decode())
+    delay = retry_delay
+    for attempt in range(int(retries) + 1):
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as resp:  # noqa: S310
+                return json.loads(resp.read().decode())
+        except urllib.error.URLError as exc:
+            refused = isinstance(exc.reason, ConnectionRefusedError)
+            if not refused or attempt >= retries:
+                raise
+            time.sleep(delay)
+            delay *= 2
 
 
 def _age_str(age) -> str:
@@ -174,8 +196,8 @@ def render_status(snap: dict) -> str:
             )
     lines += [
         "",
-        f"  {'worker':<14} {'host':<12} {'done':>5} {'busy s':>8} {'rtt ms':>7} "
-        f"{'hb age':>7}  in flight",
+        f"  {'worker':<14} {'host':<12} {'health':<10} {'done':>5} {'busy s':>8} "
+        f"{'rtt ms':>7} {'hb age':>7}  in flight",
     ]
     in_flight = {a["worker"]: a for a in snap.get("in_flight", [])}
     for w in snap.get("workers", []):
@@ -187,9 +209,10 @@ def render_status(snap: dict) -> str:
             if a
             else "idle"
         )
+        health = str(w.get("health") or "ok")
         lines.append(
-            f"  {w['worker']:<14} {w.get('host') or '-':<12} {w.get('n_done', 0):>5} "
-            f"{w.get('busy', 0.0):>8.2f} {rtt_str:>7} "
+            f"  {w['worker']:<14} {w.get('host') or '-':<12} {health:<10} "
+            f"{w.get('n_done', 0):>5} {w.get('busy', 0.0):>8.2f} {rtt_str:>7} "
             f"{_age_str(w.get('heartbeat_age')):>7}  {flight}"
         )
     attempts = snap.get("attempts") or {}

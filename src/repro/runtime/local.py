@@ -493,6 +493,15 @@ class LocalRenderFarm:
         TCP fault drill: maps a worker index to the assignment count
         after which that daemon is spawned to hard-crash
         (``--die-after``), exercising ``on_worker_lost`` reassignment.
+    net_die_after_frames:
+        The mid-task variant: maps a worker index to the frame count
+        after which that daemon hard-crashes *inside* an assignment
+        (``--die-after-frames``), leaving an open task span for the
+        flight-recorder black box to capture.
+    blackbox_dir:
+        Flight-recorder dump directory for the TCP master and its
+        spawned daemons; worker-loss events point at the victim's
+        ``blackbox_worker_<pid>.jsonl`` here (DESIGN §17).
     schedule:
         ``"static"`` (the upfront task list above), ``"demand"``
         (demand-driven block x frame-chunk units from a shared queue) or
@@ -551,6 +560,8 @@ class LocalRenderFarm:
         schedule: str = "static",
         transport: str = "process",
         net_die_after: dict[int, int] | None = None,
+        net_die_after_frames: dict[int, int] | None = None,
+        blackbox_dir: str | Path | None = None,
         segment_frames: int | None = None,
         block_w: int | None = None,
         block_h: int | None = None,
@@ -590,6 +601,8 @@ class LocalRenderFarm:
         self.schedule = schedule
         self.transport = transport
         self.net_die_after = dict(net_die_after or {})
+        self.net_die_after_frames = dict(net_die_after_frames or {})
+        self.blackbox_dir = str(blackbox_dir) if blackbox_dir is not None else None
         self.segment_frames = segment_frames
         self.n_workers = min(os.cpu_count() or 2, 8) if n_workers is None else int(n_workers)
         if self.n_workers < 1:
@@ -1099,6 +1112,8 @@ class LocalRenderFarm:
                 materialize,
                 n_workers=self.n_workers,
                 die_after=self.net_die_after,
+                die_after_frames=self.net_die_after_frames,
+                blackbox_dir=self.blackbox_dir,
                 telemetry=tel,
                 trace_root=run_span,
                 validate=validate,

@@ -178,6 +178,17 @@ class RenderService:
         self.telemetry = Telemetry(
             sinks=[self._mem, JsonlSink(self.state_dir / "service.events.jsonl")]
         )
+        # The service's own black box: records everything this process
+        # emits (including in-process farm masters run for jobs) and
+        # dumps into the state dir on SIGTERM or an unhandled exception.
+        from ..obs.flight import FlightRecorder
+        from ..obs.metrics import MetricsPlane
+
+        self.recorder = FlightRecorder("service", self.state_dir)
+        # Streaming percentiles over everything the service's jobs emit,
+        # served as Prometheus text at /metrics on the status endpoint.
+        self.metrics = MetricsPlane().bind(self.telemetry)
+        self.telemetry.sinks.append(self.metrics)
         if resume and self.n_recovered:
             self._log(
                 f"resume: {len(self.jobs)} jobs replayed, "
@@ -470,6 +481,7 @@ class RenderService:
     # -- control socket --------------------------------------------------------
     def start(self) -> tuple[str, int]:
         """Bind the control socket (and status endpoint); returns the addr."""
+        self.recorder.install()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((self.host, self.port))
@@ -483,7 +495,9 @@ class RenderService:
             from ..obs import StatusServer
 
             self._status_server = StatusServer(
-                self, port=int(self.status_port), routes={"/jobs": self._jobs_snapshot}
+                self,
+                port=int(self.status_port),
+                routes={"/jobs": self._jobs_snapshot, "/metrics": self.metrics.route},
             )
             self._status_server.start()
         self._write_addr_file()
@@ -599,6 +613,7 @@ class RenderService:
             self._status_server = None
         self.telemetry.close()
         self.ledger.close()
+        self.recorder.uninstall()
 
     def __enter__(self) -> "RenderService":
         self.start()

@@ -320,6 +320,7 @@ def render_sharded_tcp(
     chunk_size: int = 32768,
     die_after_rays: dict[int, int] | None = None,
     telemetry=None,
+    blackbox_dir=None,
     worker_verbose: bool = False,
     **master_kwargs,
 ):
@@ -331,6 +332,11 @@ def render_sharded_tcp(
     ``(session, outcome)`` — ``session.frames`` holds one Framebuffer
     per frame, bit-identical to ``RayTracer(scene).render()``'s, even
     when ``die_after_rays`` kills a shard owner mid-run.
+
+    ``blackbox_dir`` arms the flight recorder (DESIGN §17) on the master
+    *and* every spawned daemon: a shard owner killed by ``die_after_rays``
+    leaves ``blackbox_worker_<pid>.jsonl`` there, and the session's
+    ``net.worker.lost`` event points at it.
     """
     from ..net.master import TcpTransport
 
@@ -356,6 +362,7 @@ def render_sharded_tcp(
         lambda a, worker: None,
         n_workers=n_workers,
         die_after_rays=die_after_rays,
+        blackbox_dir=blackbox_dir,
         worker_verbose=worker_verbose,
         session=session,
         minor_floor=4,  # shard lanes must speak RAYS/SHADE

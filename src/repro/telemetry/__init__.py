@@ -30,7 +30,8 @@ from .bench_io import (
     validate_bench,
     write_bench_json,
 )
-from .core import NULL, Telemetry, VirtualClock
+from .core import NULL, Telemetry, VirtualClock, live_sessions, set_flight_tap
+from .hist import DEFAULT_REL_ERR, LogHistogram
 from .profiling import merge_profiles, profile_into, profile_summary
 from .report import TelemetryReport, format_report, read_events, report_from_events
 from .schema import (
@@ -45,9 +46,11 @@ from .sinks import InMemorySink, JsonlSink, StreamSink
 
 __all__ = [
     "CORE_EVENTS",
+    "DEFAULT_REL_ERR",
     "EVENT_SCHEMA",
     "InMemorySink",
     "JsonlSink",
+    "LogHistogram",
     "NULL",
     "REQUIRED_BENCH_METRICS",
     "SCHEMA_VERSION",
@@ -58,6 +61,7 @@ __all__ = [
     "VirtualClock",
     "bench_payload",
     "format_report",
+    "live_sessions",
     "merge_profiles",
     "metrics_from_events",
     "profile_into",
@@ -65,6 +69,7 @@ __all__ = [
     "read_events",
     "report_from_events",
     "schema_of_events",
+    "set_flight_tap",
     "validate_bench",
     "validate_events",
     "write_bench_json",

@@ -25,11 +25,35 @@ from __future__ import annotations
 
 import json
 import time
+import weakref
 from contextlib import contextmanager
 
+from .hist import LogHistogram
 from .schema import SCHEMA_VERSION
 
-__all__ = ["Telemetry", "VirtualClock", "NULL"]
+__all__ = ["Telemetry", "VirtualClock", "NULL", "set_flight_tap", "live_sessions"]
+
+#: Process-global observer called with every record any enabled session
+#: emits.  The flight recorder (:mod:`repro.obs.flight`) installs itself
+#: here rather than as a per-instance sink because worker processes build
+#: short-lived per-task sessions the daemon never sees — a tap on the one
+#: shared emission path catches them all.
+_FLIGHT_TAP = None
+
+#: Weak registry of live *enabled* sessions, so a crash-time dump can walk
+#: still-open span stacks and synthesize their close records.
+_LIVE: "weakref.WeakSet[Telemetry]" = weakref.WeakSet()
+
+
+def set_flight_tap(tap) -> None:
+    """Install (or clear, with ``None``) the process-global record tap."""
+    global _FLIGHT_TAP
+    _FLIGHT_TAP = tap
+
+
+def live_sessions() -> list["Telemetry"]:
+    """Every enabled :class:`Telemetry` currently alive in this process."""
+    return list(_LIVE)
 
 
 class VirtualClock:
@@ -103,10 +127,12 @@ class Telemetry:
         self.span_ns = span_ns
         self.root_parent = root_parent
         self._counters: dict[str, float] = {}
-        self._hists: dict[str, list[float]] = {}
+        self._hists: dict[str, LogHistogram] = {}
         self._span_stack: list[_SpanHandle] = []
         self._next_span_id = 1
         self._closed = False
+        if self.enabled:
+            _LIVE.add(self)
 
     # -- clock ----------------------------------------------------------------
     def use_clock(self, clock) -> None:
@@ -125,6 +151,8 @@ class Telemetry:
             record.setdefault("run", self.run_id)
         for sink in self.sinks:
             sink.emit(record)
+        if _FLIGHT_TAP is not None:
+            _FLIGHT_TAP(record)
 
     def event(self, name: str, **attrs) -> None:
         """A point event at the current clock time."""
@@ -217,11 +245,15 @@ class Telemetry:
         )
 
     def histogram(self, name: str, value: float) -> None:
-        """Record one observation; a distribution summary (count/min/max/
-        mean/p50/p95) is emitted by :meth:`flush_counters`."""
+        """Record one observation into a mergeable log-bucketed sketch; a
+        distribution summary (count/min/max/mean/p50/p95/p99 + the digest)
+        is emitted by :meth:`flush_counters`."""
         if not self.enabled:
             return
-        self._hists.setdefault(name, []).append(float(value))
+        h = self._hists.get(name)
+        if h is None:
+            h = self._hists[name] = LogHistogram()
+        h.add(value)
 
     @property
     def counters(self) -> dict[str, float]:
@@ -238,21 +270,14 @@ class Telemetry:
             )
         self._counters.clear()
         for name in sorted(self._hists):
-            values = sorted(self._hists[name])
-            n = len(values)
+            h = self._hists[name]
             self.emit(
                 {
                     "type": "histogram",
                     "name": name,
                     "t": t,
-                    "value": n,
-                    "attrs": {
-                        "min": values[0],
-                        "max": values[-1],
-                        "mean": sum(values) / n,
-                        "p50": values[n // 2],
-                        "p95": values[min(n - 1, (19 * n) // 20)],
-                    },
+                    "value": h.count,
+                    "attrs": h.summary(),
                 }
             )
         self._hists.clear()

@@ -54,7 +54,15 @@ __all__ = [
 #: (``shard.xfer`` with rays routed + request/reply payload bytes), so
 #: ``repro top`` and the bench can show who owns what and what the ray
 #: trade costs on the wire.
-SCHEMA_VERSION = 7
+#: v8: the observability plane — ``net.worker.lost`` gains ``blackbox``
+#: (path of the victim's flight-recorder dump, ``""`` when none landed),
+#: ``obs.blackbox`` records a dump arriving at the master (written locally
+#: or shipped over ``MSG_BLACKBOX`` by a reconnecting worker), and the
+#: ``health.*`` pair narrates the online EWMA straggler detector
+#: (``health.straggler`` when a worker's latency EWMA exceeds the
+#: farm-wide EWMA by the detection ratio, ``health.recovered`` when it
+#: drops back under the hysteresis ratio).
+SCHEMA_VERSION = 8
 
 #: Ray-kind attr keys shared by ``frame`` and ``run.end``.
 RAY_KEYS = ("rays_camera", "rays_reflected", "rays_refracted", "rays_shadow", "rays_total")
@@ -92,7 +100,7 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "net.assign": frozenset({"worker", "seq", "frame0", "frame1", "region", "nbytes"}),
     "net.result": frozenset({"worker", "seq", "nbytes", "compressed", "duration"}),
     "net.pong": frozenset({"worker", "rtt"}),
-    "net.worker.lost": frozenset({"worker", "reason", "seq"}),
+    "net.worker.lost": frozenset({"worker", "reason", "seq", "blackbox"}),
     # -- distributed framebuffer (repro.dfb) --------------------------------
     "dfb.tile": frozenset({"worker", "seq", "frame", "x0", "y0", "x1", "y1", "nbytes"}),
     "dfb.salvage": frozenset({"worker", "seq", "frame0", "frame_done", "frame1"}),
@@ -103,6 +111,10 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "run": frozenset({"engine"}),
     "obs.flight": frozenset({"worker", "seq", "attempt", "outcome"}),
     "obs.clock": frozenset({"worker", "offset", "rtt"}),
+    # -- observability plane (repro.obs.flight / repro.obs.metrics) ---------
+    "obs.blackbox": frozenset({"role", "pid", "path", "records"}),
+    "health.straggler": frozenset({"worker", "ewma", "farm", "ratio"}),
+    "health.recovered": frozenset({"worker", "ewma", "farm", "ratio"}),
     # -- persistent render service (repro.service) --------------------------
     "job.submit": frozenset({"job", "workload", "priority", "owner", "n_frames"}),
     "job.state": frozenset({"job", "state", "detail"}),

@@ -250,7 +250,7 @@ def test_ledger_records_losses():
     led.emit(_event("net.assign", worker="w0", seq=3, frame0=0, frame1=1, bytes=1))
     led.emit(_event("net.worker.lost", worker="w0", reason="eof", seq=3))
     snap = led.snapshot()
-    assert snap["losses"] == [{"worker": "w0", "reason": "eof"}]
+    assert snap["losses"] == [{"worker": "w0", "reason": "eof", "blackbox": ""}]
     assert snap["in_flight"] == []
 
 

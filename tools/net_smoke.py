@@ -11,9 +11,13 @@ non-zero if anything the network layer promises drifts:
 * the recovered output is not bit-identical to the serial single-renderer
   reference (golden-image equality),
 * the telemetry log violates the pinned schema,
-* the merged master+worker trace has orphan spans, or
+* the merged master+worker trace has orphan spans,
 * the ``net.*`` events (listen / join / assign / result / worker.lost)
-  are missing from the log.
+  are missing from the log, or
+* the victim's flight-recorder black box (the kill is mid-frame, via
+  ``--die-after-frames``) is missing, unparseable, not pointed at by the
+  ``net.worker.lost`` event, or stitches into the merged trace with
+  orphan spans / without the victim's final open task span.
 
 A second phase starts ``repro farm --transport tcp --status-port N`` as
 a subprocess, polls the live JSON endpoint while the run is in flight,
@@ -22,6 +26,10 @@ to stderr, or if its event log has orphan spans.  The same loop polls
 the ``/preview`` endpoint of the distributed framebuffer and fails
 unless a *partially-complete* composite (``frames_complete`` below the
 frame count) is served before the run finishes, with a valid PNG body.
+It also polls ``/metrics`` mid-run and fails unless a well-formed
+Prometheus text exposition (HELP/TYPE comments, ``name{labels} value``
+samples) with task-latency quantiles and per-worker health is served
+while the run is in flight.
 
 Usage::
 
@@ -33,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import socket
 import subprocess
 import sys
@@ -45,7 +54,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.api import RenderRequest, render  # noqa: E402
-from repro.obs import fetch_status, find_orphan_spans  # noqa: E402
+from repro.obs import (  # noqa: E402
+    fetch_status,
+    find_orphan_spans,
+    read_blackbox,
+    stitch_blackbox,
+)
 from repro.telemetry import SchemaError, read_events, validate_events  # noqa: E402
 
 REQUIRED_NET_EVENTS = {
@@ -67,6 +81,60 @@ def _fetch_raw(port: int, path: str) -> tuple[str, bytes]:
     """GET a status-server path raw (``fetch_status`` JSON-decodes)."""
     with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=1.0) as resp:
         return resp.headers.get("Content-Type", ""), resp.read()
+
+
+#: One Prometheus text-format sample: name, optional {labels}, float value.
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+-]+|[+-]?Inf|NaN)$"
+)
+
+
+def check_exposition(content_type: str, body: bytes) -> list[str]:
+    """Validate a Prometheus text exposition; returns problem strings.
+
+    The same spirit as tools/trace_lint.py for Chrome traces: every line
+    must be blank, a ``# HELP``/``# TYPE`` comment, or a
+    ``name{labels} value`` sample with a parseable float value, and every
+    sampled metric family must have a ``# TYPE``.
+    """
+    problems: list[str] = []
+    if not content_type.startswith("text/plain"):
+        problems.append(f"content-type {content_type!r} is not text/plain")
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        return problems + [f"body is not utf-8: {exc}"]
+    typed: set[str] = set()
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "summary", "histogram", "untyped"
+            ):
+                problems.append(f"line {i}: malformed TYPE comment {line!r}")
+            else:
+                typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {i}: unknown comment {line!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {i}: unparseable sample {line!r}")
+            continue
+        name = m.group(1)
+        try:
+            float(m.group(3))
+        except ValueError:
+            problems.append(f"line {i}: non-numeric value in {line!r}")
+        family = re.sub(r"_(sum|count|total|bucket)$", "", name)
+        if name not in typed and family not in typed:
+            problems.append(f"line {i}: sample {name!r} has no # TYPE")
+    return problems
 
 
 def live_status_drill(args) -> int:
@@ -96,6 +164,8 @@ def live_status_drill(args) -> int:
         snapshots = []
         previews = []
         png = None
+        metrics = None  # latest (content_type, body) served while in flight
+        n_metrics_polls = 0
         deadline = time.time() + 120.0
         while proc.poll() is None and time.time() < deadline:
             try:
@@ -111,6 +181,11 @@ def live_status_drill(args) -> int:
                     if png is None:
                         png = _fetch_raw(port, "/preview?fmt=png")
             except (OSError, ValueError):
+                pass
+            try:
+                metrics = _fetch_raw(port, "/metrics")
+                n_metrics_polls += 1
+            except OSError:
                 pass
             time.sleep(0.1)
         try:
@@ -137,6 +212,25 @@ def live_status_drill(args) -> int:
         if png is None or png[0] != "image/png" or png[1][:8] != b"\x89PNG\r\n\x1a\n":
             print("FAIL: /preview?fmt=png did not serve a valid PNG")
             return 1
+        if metrics is None:
+            print("FAIL: /metrics never answered mid-run")
+            return 1
+        exposition_problems = check_exposition(*metrics)
+        if exposition_problems:
+            print(f"FAIL: /metrics exposition invalid ({len(exposition_problems)}):")
+            for p in exposition_problems[:10]:
+                print(f"  - {p}")
+            return 1
+        metrics_text = metrics[1].decode("utf-8")
+        for needle in (
+            'repro_task_duration{quantile="0.5"}',
+            'repro_task_duration{quantile="0.95"}',
+            'repro_task_duration{quantile="0.99"}',
+            "repro_worker_health{",
+        ):
+            if needle not in metrics_text:
+                print(f"FAIL: /metrics exposition is missing {needle!r}")
+                return 1
         events = read_events(run_dir)
         orphans = find_orphan_spans(events)
         if orphans:
@@ -156,6 +250,10 @@ def live_status_drill(args) -> int:
             f"{best.get('frames_complete', 0)}/{args.frames} frames complete"
         )
         print(f"  /preview?fmt=png served {len(png[1])} bytes of valid PNG")
+        print(
+            f"  /metrics polled {n_metrics_polls}x mid-run; last exposition "
+            f"{len(metrics[1])} bytes, valid, with task-latency quantiles"
+        )
         print(f"  {len(events)} events on disk, 0 orphan spans, stderr clean")
     return 0
 
@@ -170,6 +268,8 @@ def main(argv: list[str] | None = None) -> int:
     # Peak-allocation accounting for the master process: the zero-copy
     # data plane's whole point is that the kill drill (decode, reassembly,
     # compositing, verify) should not allocate frames it merely forwards.
+    blackbox_tmp = tempfile.TemporaryDirectory(prefix="net_smoke_blackbox_")
+    blackbox_dir = Path(blackbox_tmp.name)
     tracemalloc.start()
     result = render(
         RenderRequest(
@@ -178,7 +278,10 @@ def main(argv: list[str] | None = None) -> int:
             n_workers=2,
             schedule="adaptive",
             transport="tcp",
-            net_die_after={0: 1},  # worker 0 dies after its first assignment
+            # worker 0 dies *mid-task* on rendering its second frame, with
+            # the task span still open — the flight-recorder drill.
+            net_die_after_frames={0: 1},
+            blackbox_dir=blackbox_dir,
             n_frames=args.frames,
             width=args.width,
             height=args.height,
@@ -218,11 +321,47 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: kill-drill events are not stamped with a single run id")
         return 1
 
+    # -- black-box drill: the victim's last seconds must survive it ------------
     losses = [e for e in result.events if e["name"] == "net.worker.lost"]
+    loss = next((e for e in losses if e["attrs"].get("blackbox")), None)
+    if loss is None:
+        print(f"FAIL: no net.worker.lost event points at a black box: "
+              f"{[e['attrs'] for e in losses]}")
+        return 1
+    box_path = Path(loss["attrs"]["blackbox"])
+    if not box_path.exists():
+        print(f"FAIL: loss event points at missing black box {box_path}")
+        return 1
+    dump = read_blackbox(box_path)
+    if len(dump) < 2 or dump[0].get("type") != "blackbox":
+        print(f"FAIL: black box {box_path.name} unparseable or missing meta header")
+        return 1
+    if dump[0]["attrs"].get("reason") != "die-after-frames":
+        print(f"FAIL: black box dumped for {dump[0]['attrs'].get('reason')!r}, "
+              "expected 'die-after-frames'")
+        return 1
+    merged, n_added = stitch_blackbox(result.events, dump)
+    stitch_orphans = find_orphan_spans(merged)
+    if stitch_orphans:
+        print(f"FAIL: {len(stitch_orphans)} orphan spans after stitching the black box")
+        return 1
+    open_tasks = [
+        r for r in merged
+        if r.get("type") == "span" and r.get("open") and r.get("name") == "task"
+    ]
+    if not open_tasks:
+        print("FAIL: stitched trace is missing the victim's final open task span")
+        return 1
+    blackbox_tmp.cleanup()
+
     print("OK: loopback TCP farm recovered from an injected worker kill")
     print(f"  crashes={result.recovery['crashes']} retries={result.recovery['retries']}")
     print(f"  losses={[(e['attrs']['worker'], e['attrs']['reason']) for e in losses]}")
     print("  output bit-identical to serial reference; trace has 0 orphan spans")
+    print(
+        f"  black box {box_path.name}: {len(dump)} records, {n_added} stitched in, "
+        f"{len(open_tasks)} open task span(s) recovered, 0 orphans after stitch"
+    )
     print(f"  master peak allocation {peak_alloc / (1 << 20):.1f} MiB (tracemalloc)")
 
     return live_status_drill(args)
